@@ -1,0 +1,293 @@
+//! Elastic-training baselines: TorchElastic-like and Pollux-like jobs.
+//!
+//! Both adapt the *training procedure* to the resource count — which is
+//! precisely what makes their accuracy a function of the resource schedule.
+//! EasyScale's contribution is refusing to do that; these exist to reproduce
+//! the motivation figures (2, 3, 4).
+
+use crate::spmd::{SpmdConfig, SpmdTrainer};
+use data::Dataset;
+use models::Workload;
+use optim::{LrSchedule, StepLr};
+
+/// TorchElastic-style job: world = GPU count, per-GPU batch fixed, LR
+/// linearly rescaled with world size (Goyal et al.), full restart on scale.
+pub struct TorchElasticJob {
+    workload: Workload,
+    seed: u64,
+    base_workers: u32,
+    base_schedule: StepLr,
+    trainer: SpmdTrainer,
+    /// Fractional epochs completed (worlds of different sizes advance epochs
+    /// at different rates).
+    epochs: f64,
+    dataset_len: usize,
+    batch_size: usize,
+}
+
+impl TorchElasticJob {
+    /// Start with `initial_world` GPUs; hyper-parameters were tuned for
+    /// `base_workers`.
+    pub fn new(
+        workload: Workload,
+        seed: u64,
+        base_workers: u32,
+        initial_world: u32,
+        base_schedule: StepLr,
+        dataset_len: usize,
+        batch_size: usize,
+    ) -> Self {
+        let cfg = SpmdConfig::new(workload, seed, initial_world)
+            .with_dataset_len(dataset_len)
+            .with_batch_size(batch_size);
+        TorchElasticJob {
+            workload,
+            seed,
+            base_workers,
+            base_schedule,
+            trainer: SpmdTrainer::new(cfg),
+            epochs: 0.0,
+            dataset_len,
+            batch_size,
+        }
+    }
+
+    /// Current world size.
+    pub fn world(&self) -> u32 {
+        self.trainer.world()
+    }
+
+    /// Fractional epochs completed.
+    pub fn epochs(&self) -> f64 {
+        self.epochs
+    }
+
+    /// Resource change: restart with a new world size, carrying parameters
+    /// and optimizer state — and silently dropping sampler position, BN
+    /// stats, and bucket layout, as the real system does.
+    pub fn set_world(&mut self, world: u32) {
+        if world == self.trainer.world() {
+            return;
+        }
+        let params = self.trainer.flat_params();
+        let velocity = self.trainer.opt_velocity();
+        let cfg = SpmdConfig::new(self.workload, self.seed, world)
+            .with_dataset_len(self.dataset_len)
+            .with_batch_size(self.batch_size);
+        self.trainer = SpmdTrainer::restarted(cfg, &params, &velocity);
+    }
+
+    /// The linear scaling rule's LR at the current world size and epoch.
+    pub fn current_lr(&self) -> f32 {
+        self.base_schedule.lr(self.epochs as u64) * self.trainer.world() as f32
+            / self.base_workers as f32
+    }
+
+    /// One global step; returns the mean loss.
+    pub fn step(&mut self) -> f32 {
+        let lr = self.current_lr();
+        let loss = self.trainer.step(lr);
+        self.epochs += 1.0 / self.trainer.steps_per_epoch() as f64;
+        loss
+    }
+
+    /// Run a whole epoch at the current world size.
+    pub fn run_epoch(&mut self) -> f32 {
+        let steps = self.trainer.steps_per_epoch();
+        let mut last = 0.0;
+        for _ in 0..steps {
+            last = self.step();
+        }
+        last
+    }
+
+    /// Evaluate (overall, per-class) accuracy.
+    pub fn evaluate(&mut self, dataset: &dyn Dataset, batch: usize) -> (f64, Vec<f64>) {
+        self.trainer.evaluate(dataset, batch)
+    }
+
+    /// Flat parameters.
+    pub fn flat_params(&self) -> Vec<f32> {
+        self.trainer.flat_params()
+    }
+}
+
+/// Pollux-style job: co-adapts batch size and learning rate to the resource
+/// count for goodput, restarting with re-tuned hyper-parameters on scale.
+pub struct PolluxJob {
+    workload: Workload,
+    seed: u64,
+    base_workers: u32,
+    base_batch: usize,
+    base_schedule: StepLr,
+    trainer: SpmdTrainer,
+    epochs: f64,
+    dataset_len: usize,
+}
+
+impl PolluxJob {
+    /// Start with `initial_world` GPUs.
+    pub fn new(
+        workload: Workload,
+        seed: u64,
+        base_workers: u32,
+        initial_world: u32,
+        base_schedule: StepLr,
+        dataset_len: usize,
+        base_batch: usize,
+    ) -> Self {
+        let mut job = PolluxJob {
+            workload,
+            seed,
+            base_workers,
+            base_batch,
+            base_schedule,
+            trainer: SpmdTrainer::new(
+                SpmdConfig::new(workload, seed, initial_world)
+                    .with_dataset_len(dataset_len)
+                    .with_batch_size(base_batch),
+            ),
+            epochs: 0.0,
+            dataset_len,
+        };
+        job.retune(initial_world);
+        job
+    }
+
+    /// The per-GPU batch size Pollux's goodput model picks at world size
+    /// `w`: it grows the batch on small worlds to keep GPUs saturated and
+    /// shrinks toward the base on large worlds (statistical efficiency).
+    pub fn tuned_batch(&self, w: u32) -> usize {
+        let scale = (self.base_workers as f64 / w as f64).sqrt().clamp(1.0, 4.0);
+        ((self.base_batch as f64 * scale) as usize).max(1)
+    }
+
+    /// Square-root LR scaling for the effective global batch (AdaScale-ish).
+    pub fn current_lr(&self) -> f32 {
+        let global = self.trainer.world() as f64 * self.tuned_batch(self.trainer.world()) as f64;
+        let base_global = self.base_workers as f64 * self.base_batch as f64;
+        self.base_schedule.lr(self.epochs as u64) * (global / base_global).sqrt() as f32
+    }
+
+    fn retune(&mut self, world: u32) {
+        let batch = self.tuned_batch(world);
+        let params = self.trainer.flat_params();
+        let velocity = self.trainer.opt_velocity();
+        let cfg = SpmdConfig::new(self.workload, self.seed, world)
+            .with_dataset_len(self.dataset_len)
+            .with_batch_size(batch);
+        self.trainer = SpmdTrainer::restarted(cfg, &params, &velocity);
+    }
+
+    /// Current world size.
+    pub fn world(&self) -> u32 {
+        self.trainer.world()
+    }
+
+    /// Fractional epochs completed.
+    pub fn epochs(&self) -> f64 {
+        self.epochs
+    }
+
+    /// Resource change: re-tune batch/LR and restart.
+    pub fn set_world(&mut self, world: u32) {
+        if world == self.trainer.world() {
+            return;
+        }
+        self.retune(world);
+    }
+
+    /// One global step.
+    pub fn step(&mut self) -> f32 {
+        let lr = self.current_lr();
+        let loss = self.trainer.step(lr);
+        self.epochs += 1.0 / self.trainer.steps_per_epoch() as f64;
+        loss
+    }
+
+    /// Run one epoch.
+    pub fn run_epoch(&mut self) -> f32 {
+        let steps = self.trainer.steps_per_epoch();
+        let mut last = 0.0;
+        for _ in 0..steps {
+            last = self.step();
+        }
+        last
+    }
+
+    /// Evaluate (overall, per-class) accuracy.
+    pub fn evaluate(&mut self, dataset: &dyn Dataset, batch: usize) -> (f64, Vec<f64>) {
+        self.trainer.evaluate(dataset, batch)
+    }
+
+    /// Flat parameters.
+    pub fn flat_params(&self) -> Vec<f32> {
+        self.trainer.flat_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> StepLr {
+        StepLr { base_lr: 0.05, gamma: 0.1, step_epochs: 20 }
+    }
+
+    #[test]
+    fn torchelastic_scales_lr_linearly() {
+        let mut job = TorchElasticJob::new(Workload::ResNet18, 3, 4, 4, schedule(), 128, 8);
+        assert!((job.current_lr() - 0.05).abs() < 1e-7);
+        job.set_world(8);
+        assert!((job.current_lr() - 0.10).abs() < 1e-7);
+        job.set_world(1);
+        assert!((job.current_lr() - 0.0125).abs() < 1e-7);
+    }
+
+    #[test]
+    fn torchelastic_resource_schedule_changes_accuracy() {
+        // Same job, two different resource schedules ⇒ different parameters.
+        let mut stable = TorchElasticJob::new(Workload::ResNet18, 3, 4, 4, schedule(), 128, 8);
+        let mut bouncy = TorchElasticJob::new(Workload::ResNet18, 3, 4, 4, schedule(), 128, 8);
+        for i in 0..12 {
+            stable.step();
+            if i == 4 {
+                bouncy.set_world(2);
+            }
+            if i == 8 {
+                bouncy.set_world(8);
+            }
+            bouncy.step();
+        }
+        assert_ne!(stable.flat_params(), bouncy.flat_params());
+    }
+
+    #[test]
+    fn pollux_retunes_batch_on_scale() {
+        let job = PolluxJob::new(Workload::ResNet18, 3, 4, 4, schedule(), 256, 8);
+        assert_eq!(job.tuned_batch(4), 8, "base world keeps base batch");
+        assert!(job.tuned_batch(1) > 8, "small worlds grow the per-GPU batch");
+    }
+
+    #[test]
+    fn pollux_sqrt_scaling_is_gentler_than_linear() {
+        let mut p = PolluxJob::new(Workload::ResNet18, 3, 4, 4, schedule(), 256, 8);
+        let t = TorchElasticJob::new(Workload::ResNet18, 3, 4, 8, schedule(), 256, 8);
+        p.set_world(8);
+        // Pollux at world 8: global = 8·8 = 64 vs base 32 ⇒ lr·√2.
+        // TorchElastic at world 8: lr·2.
+        assert!(p.current_lr() < t.current_lr());
+        assert!(p.current_lr() > schedule().base_lr);
+    }
+
+    #[test]
+    fn elastic_baselines_train() {
+        let mut job = TorchElasticJob::new(Workload::ResNet18, 3, 2, 2, schedule(), 256, 8);
+        let first = job.step();
+        for _ in 0..20 {
+            job.step();
+        }
+        let last = job.step();
+        assert!(last < first, "TE still learns: {first} → {last}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Gradient-synchronization benchmarks: ring all-reduce cost across world
+//! sizes and bucket caps (Fig 13's sync component).
+
+use comm::ElasticDdp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn grads(vworld: u32, n: usize) -> Vec<Vec<f32>> {
+    (0..vworld)
+        .map(|r| (0..n).map(|i| ((i + r as usize) as f32 * 0.7).sin()).collect())
+        .collect()
+}
+
+fn bench_world_size(c: &mut Criterion) {
+    let sizes = vec![1000usize; 16]; // 16k params
+    let mut g = c.benchmark_group("allreduce_16k_params");
+    for vworld in [2u32, 4, 8, 16] {
+        let ddp = ElasticDdp::new(&sizes, vworld, 8192);
+        let gr = grads(vworld, 16_000);
+        g.bench_with_input(BenchmarkId::new("vworld", vworld), &vworld, |b, _| {
+            b.iter(|| black_box(ddp.allreduce_avg(black_box(&gr))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bucket_cap(c: &mut Criterion) {
+    let sizes = vec![500usize; 32];
+    let gr = grads(4, 16_000);
+    let mut g = c.benchmark_group("allreduce_bucket_cap");
+    for cap in [512usize, 4096, 65_536] {
+        let ddp = ElasticDdp::new(&sizes, 4, cap);
+        g.bench_with_input(BenchmarkId::new("cap_bytes", cap), &cap, |b, _| {
+            b.iter(|| black_box(ddp.allreduce_avg(black_box(&gr))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_world_size, bench_bucket_cap);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! On-demand checkpoint benchmarks: capture, restore, and the full rescale
+//! path — the "scale in seconds" claim of §5.3 depends on these being cheap
+//! relative to training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use device::GpuType;
+use easyscale::{Engine, JobConfig, Placement};
+use models::Workload;
+use std::hint::black_box;
+
+fn trained_engine() -> Engine {
+    let cfg = JobConfig::new(Workload::ResNet18, 7, 8).with_dataset_len(1024);
+    let mut e = Engine::new(cfg, Placement::homogeneous(8, 2, GpuType::V100));
+    e.run(3);
+    e
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let e = trained_engine();
+    c.bench_function("checkpoint_capture_8_ests", |b| b.iter(|| black_box(e.checkpoint())));
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let ckpt = trained_engine().checkpoint();
+    c.bench_function("checkpoint_serialize_json", |b| {
+        b.iter(|| black_box(serde_json::to_vec(&ckpt).unwrap()))
+    });
+    let bytes = serde_json::to_vec(&ckpt).unwrap();
+    c.bench_function("checkpoint_deserialize_json", |b| {
+        b.iter(|| black_box(serde_json::from_slice::<easyscale::JobCheckpoint>(&bytes).unwrap()))
+    });
+}
+
+fn bench_restore(c: &mut Criterion) {
+    let e = trained_engine();
+    let ckpt = e.checkpoint();
+    let cfg = e.config().clone();
+    c.bench_function("engine_restore_to_new_placement", |b| {
+        b.iter(|| {
+            black_box(Engine::from_checkpoint(
+                cfg.clone(),
+                Placement::homogeneous(8, 4, GpuType::V100),
+                &ckpt,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_capture, bench_serialize, bench_restore);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig 11 as a Criterion bench: per-EST local-step time with and without
+//! context switching, and how the per-EST time scales with the number of
+//! co-resident ESTs (it shouldn't).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use device::GpuType;
+use easyscale::{EasyScaleWorker, JobConfig, Slot};
+use models::Workload;
+use std::hint::black_box;
+
+fn worker(n_ests: u32) -> EasyScaleWorker {
+    let cfg = JobConfig::new(Workload::ResNet18, 7, n_ests).with_dataset_len(4096);
+    EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::V100, vranks: (0..n_ests).collect() })
+}
+
+fn bench_switch_on_off(c: &mut Criterion) {
+    let mut g = c.benchmark_group("local_steps_8_ests");
+    g.sample_size(20);
+    let mut with = worker(8);
+    g.bench_function("with_context_switch", |b| {
+        b.iter(|| black_box(with.run_local_steps_opts(true)))
+    });
+    let mut without = worker(8);
+    g.bench_function("without_context_switch", |b| {
+        b.iter(|| black_box(without.run_local_steps_opts(false)))
+    });
+    g.finish();
+}
+
+fn bench_est_count_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("per_est_time_vs_count");
+    g.sample_size(20);
+    for n in [1u32, 2, 4, 8] {
+        let mut w = worker(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            // Normalize by EST count inside the measured closure via
+            // iter_custom so the metric is per-EST.
+            b.iter_custom(|iters| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    black_box(w.run_local_steps());
+                }
+                start.elapsed() / n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_switch_on_off, bench_est_count_scaling);
+criterion_main!(benches);

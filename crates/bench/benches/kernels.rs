@@ -1,0 +1,54 @@
+//! Kernel micro-benchmarks: the raw cost of profile-controlled reductions
+//! vs naive summation, and matmul across tile shapes — quantifying what the
+//! deterministic-kernel discipline costs on this substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tensor::ops;
+use tensor::{KernelProfile, Tensor};
+
+fn bench_blocked_sum(c: &mut Criterion) {
+    let data: Vec<f32> = (0..65_536).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut g = c.benchmark_group("blocked_sum_64k");
+    g.bench_function("naive_iter_sum", |b| {
+        b.iter(|| black_box(black_box(&data).iter().sum::<f32>()))
+    });
+    for (name, p) in [
+        ("vendor_v100", KernelProfile::vendor_optimized(80)),
+        ("vendor_t4", KernelProfile::vendor_optimized(40)),
+        ("hardware_agnostic", KernelProfile::hardware_agnostic()),
+        ("nondeterministic", KernelProfile::nondeterministic(80)),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(ops::blocked_sum(black_box(&data), &p))));
+    }
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let m = 32;
+    let k = 128;
+    let n = 32;
+    let a = Tensor::from_vec((0..m * k).map(|i| (i as f32 * 0.01).sin()).collect(), &[m, k]);
+    let bm = Tensor::from_vec((0..k * n).map(|i| (i as f32 * 0.02).cos()).collect(), &[k, n]);
+    let mut g = c.benchmark_group("matmul_32x128x32");
+    for tile in [4usize, 16, 64] {
+        let p = KernelProfile { tile_k: tile, ..KernelProfile::hardware_agnostic() };
+        g.bench_with_input(BenchmarkId::new("tile_k", tile), &p, |b, p| {
+            b.iter(|| black_box(ops::matmul(black_box(&a), black_box(&bm), p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let x = Tensor::from_vec((0..3 * 8 * 8).map(|i| (i as f32 * 0.1).sin()).collect(), &[3, 8, 8]);
+    let w = Tensor::from_vec((0..16 * 27).map(|i| (i as f32 * 0.05).cos()).collect(), &[16, 27]);
+    let geom = ops::ConvGeom { kernel: 3, stride: 1, pad: 1 };
+    let p = KernelProfile::hardware_agnostic();
+    c.bench_function("conv2d_3x8x8_to_16", |b| {
+        b.iter(|| black_box(ops::conv2d(black_box(&x), black_box(&w), geom, &p)))
+    });
+}
+
+criterion_group!(benches, bench_blocked_sum, bench_matmul, bench_conv);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Scheduler benchmarks: Eq 1 plan evaluation, proposal generation, and
+//! whole-trace simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use device::{ClusterSpec, GpuType};
+use models::Workload;
+use sched::{ClusterSim, Companion, IntraJobScheduler, Policy};
+use std::collections::HashMap;
+use std::hint::black_box;
+use trace::{TraceConfig, TraceGenerator};
+
+fn bench_plan(c: &mut Criterion) {
+    let companion = Companion::for_workload(&Workload::Bert.spec(), 16, true);
+    let alloc = vec![(GpuType::V100, 4), (GpuType::P100, 4), (GpuType::T4, 8)];
+    c.bench_function("companion_plan_16_ests_16_gpus", |b| {
+        b.iter(|| black_box(companion.plan(black_box(&alloc))))
+    });
+}
+
+fn bench_proposals(c: &mut Criterion) {
+    let companion = Companion::for_workload(&Workload::ResNet50.spec(), 16, false);
+    let mut s = IntraJobScheduler::new(0, companion, false);
+    s.apply_allocation(vec![(GpuType::V100, 2)]);
+    let free: HashMap<GpuType, u32> =
+        [(GpuType::V100, 16), (GpuType::P100, 16), (GpuType::T4, 16)].into_iter().collect();
+    c.bench_function("intra_job_proposals", |b| b.iter(|| black_box(s.proposals(&free, 3))));
+}
+
+fn bench_trace_sim(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper_trace_cluster();
+    let jobs = TraceGenerator::new(TraceConfig { n_jobs: 40, ..Default::default() }).generate();
+    let mut g = c.benchmark_group("cluster_sim_40_jobs");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("yarn", Policy::YarnCapacity),
+        ("easyscale_homo", Policy::EasyScaleHomo),
+        ("easyscale_heter", Policy::EasyScaleHeter),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(ClusterSim::new(&cluster, jobs.clone(), policy).run()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plan, bench_proposals, bench_trace_sim);
+criterion_main!(benches);

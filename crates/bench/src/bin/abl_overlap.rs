@@ -1,0 +1,66 @@
+//! Ablation: gradient copy-out overlap.
+//!
+//! §3.2 overlaps the swapped-out gradient's D2H copy with the next EST's
+//! compute. This ablation sweeps the *exposed* (un-overlapped) fraction of
+//! the copy through the device performance model to show what the design
+//! choice buys: at full exposure (no overlap), an 8-EST worker loses ~10%+
+//! throughput for copy-heavy models; with full overlap it loses none.
+
+use device::PerfModel;
+use models::{Workload, WORKLOADS};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: &'static str,
+    exposed_frac: f64,
+    throughput_rel: f64,
+}
+
+/// Per-model copy weight: the gradient bytes relative to a mini-batch's
+/// compute time determine how much an exposed copy hurts.
+fn copy_frac(w: Workload) -> f64 {
+    let s = w.spec();
+    // D2H at ~12 GB/s effective.
+    let copy_secs = s.footprint.gradients as f64 / 12e9;
+    copy_secs / s.base_v100_secs
+}
+
+fn main() {
+    bench::header("Ablation: gradient copy-out overlap (8 ESTs per worker)");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>12}",
+        "Model", "copy/mb", "overlap=1.0", "overlap=0.5", "overlap=0.0"
+    );
+    let mut rows = Vec::new();
+    for w in WORKLOADS {
+        let cf = copy_frac(w);
+        let mut line = format!("{:<16} {:>9.1}%", w.name(), cf * 100.0);
+        let full = {
+            let m = PerfModel { grad_copy_exposed_frac: 0.0, ..PerfModel::default() };
+            m.easyscale_throughput(w.spec().base_v100_secs, 8)
+        };
+        for exposed in [0.0f64, 0.5, 1.0] {
+            let m = PerfModel {
+                grad_copy_exposed_frac: exposed * cf,
+                ..PerfModel::default()
+            };
+            let thr = m.easyscale_throughput(w.spec().base_v100_secs, 8);
+            let rel = thr / full;
+            line.push_str(&format!(" {:>12.3}", rel));
+            rows.push(Row { model: w.name(), exposed_frac: exposed, throughput_rel: rel });
+        }
+        println!("{line}");
+    }
+    let worst_no_overlap = rows
+        .iter()
+        .filter(|r| r.exposed_frac == 1.0)
+        .map(|r| r.throughput_rel)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nwithout overlap the worst model loses {:.1}% throughput; with overlap, 0%",
+        (1.0 - worst_no_overlap) * 100.0
+    );
+    assert!(worst_no_overlap < 0.97, "the overlap must matter for at least one model");
+    bench::write_json("abl_overlap", &rows);
+}

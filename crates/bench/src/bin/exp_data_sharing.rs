@@ -1,0 +1,82 @@
+//! §5.1.2 data-worker sharing: the first-mini-batch latency after an
+//! elastic restart, with naive per-EST data workers (ESTs × workers-per-
+//! trainer processes) vs EasyScale's shared pool (workers-per-trainer
+//! processes total).
+//!
+//! Expected shape: sharing cuts first-mini-batch time by ~67% at 8 ESTs
+//! (the paper reduces 32 spawned workers to 4).
+
+use data::{AugmentConfig, Augmenter, DataWorkerPool, ShardedLoader, SyntheticImageDataset};
+use device::PerfModel;
+use models::Workload;
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Row {
+    n_ests: u32,
+    naive_workers: u32,
+    shared_workers: u32,
+    naive_first_batch_secs: f64,
+    shared_first_batch_secs: f64,
+    reduction_pct: f64,
+}
+
+const WORKERS_PER_TRAINER: u32 = 4;
+
+fn main() {
+    bench::header("§5.1.2: data-worker sharing — first-mini-batch latency after restart");
+    let perf = PerfModel::default();
+    let mb = Workload::ResNet50.spec().base_v100_secs;
+    println!(
+        "{:>6} {:>14} {:>15} {:>12} {:>13} {:>10}",
+        "nESTs", "naive workers", "shared workers", "naive (s)", "shared (s)", "reduction"
+    );
+    let mut rows = Vec::new();
+    for n_ests in [1u32, 2, 4, 8, 16] {
+        let naive_workers = n_ests * WORKERS_PER_TRAINER;
+        let shared_workers = WORKERS_PER_TRAINER;
+        let naive = perf.first_minibatch_latency(mb, naive_workers);
+        let shared = perf.first_minibatch_latency(mb, shared_workers);
+        let reduction = (1.0 - shared / naive) * 100.0;
+        println!(
+            "{:>6} {:>14} {:>15} {:>12.2} {:>13.2} {:>9.1}%",
+            n_ests, naive_workers, shared_workers, naive, shared, reduction
+        );
+        rows.push(Row {
+            n_ests,
+            naive_workers,
+            shared_workers,
+            naive_first_batch_secs: naive,
+            shared_first_batch_secs: shared,
+            reduction_pct: reduction,
+        });
+    }
+    let at8 = rows.iter().find(|r| r.n_ests == 8).unwrap();
+    println!(
+        "\nat 8 ESTs: {} → {} data workers, first-batch time −{:.1}% (paper: −67.1%, 32 → 4 workers)",
+        at8.naive_workers, at8.shared_workers, at8.reduction_pct
+    );
+
+    // Functional demonstration: the shared pool really does serve 16 ESTs
+    // with 4 workers and byte-identical batches.
+    let mk_loader = || {
+        ShardedLoader::new(
+            Arc::new(SyntheticImageDataset::cifar_like(3, 512)),
+            16,
+            8,
+            99,
+            true,
+            Some(Augmenter::new(AugmentConfig::default())),
+        )
+    };
+    let mut pool = DataWorkerPool::new(mk_loader(), 4, 2);
+    let mut bare = mk_loader();
+    for r in 0..16 {
+        let a = pool.next_batch(r);
+        let b = bare.next_batch(r);
+        assert!(a.features.bitwise_eq(&b.features));
+    }
+    println!("functional check: 16 ESTs served by a 4-worker pool, batches bitwise-identical.");
+    bench::write_json("exp_data_sharing", &rows);
+}

@@ -1,0 +1,76 @@
+//! Equation 1 in action: the companion module's plan database for one job
+//! across candidate allocations — EST assignments, overload factor, waste,
+//! and estimated throughput.
+
+use device::GpuType;
+use models::Workload;
+use sched::Companion;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    alloc: String,
+    a: Vec<u32>,
+    n_est: u32,
+    f_overload: f64,
+    waste: f64,
+    throughput: f64,
+}
+
+fn main() {
+    bench::header("Eq 1: companion plan model (Bert proxy, maxP = 8, D2 kernels)");
+    let spec = Workload::Bert.spec();
+    let companion = Companion::for_workload(&spec, 8, true);
+    println!(
+        "caps: V100 {:.2} | P100 {:.2} | T4 {:.2} mini-batches/s",
+        companion.capability(GpuType::V100),
+        companion.capability(GpuType::P100),
+        companion.capability(GpuType::T4)
+    );
+    let candidates = vec![
+        vec![(GpuType::V100, 1)],
+        vec![(GpuType::V100, 2)],
+        vec![(GpuType::V100, 4)],
+        vec![(GpuType::V100, 8)],
+        vec![(GpuType::P100, 2)],
+        vec![(GpuType::P100, 4)],
+        vec![(GpuType::T4, 4)],
+        vec![(GpuType::V100, 2), (GpuType::P100, 2)],
+        vec![(GpuType::V100, 2), (GpuType::T4, 4)],
+        vec![(GpuType::V100, 1), (GpuType::P100, 2), (GpuType::T4, 2)],
+    ];
+    println!(
+        "{:<28} {:>12} {:>6} {:>10} {:>8} {:>12}",
+        "allocation", "A per type", "nEST", "f_ovl (s)", "waste", "throughput"
+    );
+    let mut rows = Vec::new();
+    for alloc in candidates {
+        let plan = companion.plan(&alloc).unwrap();
+        let name = alloc
+            .iter()
+            .map(|(t, n)| format!("{n}x{t}"))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        println!(
+            "{:<28} {:>12} {:>6} {:>10.3} {:>8.2} {:>12.2}",
+            name,
+            format!("{:?}", plan.a),
+            plan.n_est,
+            plan.f_overload,
+            plan.waste,
+            plan.throughput
+        );
+        // The Eq 1 identity holds for every plan.
+        assert!((plan.throughput - 8.0 / plan.f_overload).abs() < 1e-6);
+        rows.push(Row {
+            alloc: name,
+            a: plan.a,
+            n_est: plan.n_est,
+            f_overload: plan.f_overload,
+            waste: plan.waste,
+            throughput: plan.throughput,
+        });
+    }
+    println!("\ninvariant verified: throughput = maxP / f_overload for every plan.");
+    bench::write_json("exp_plan_model", &rows);
+}

@@ -1,0 +1,35 @@
+//! Figure 1: two-day GPU allocation variation of an online serving cluster.
+//! The peak-to-trough swing (~2,000 GPUs) is the idle capacity elastic
+//! training can harvest.
+
+use serde::Serialize;
+use trace::ServingLoad;
+
+#[derive(Serialize)]
+struct Point {
+    minute: u32,
+    allocated_gpus: u32,
+}
+
+fn main() {
+    bench::header("Figure 1: online serving cluster load variation (2 days)");
+    let load = ServingLoad::production(2021);
+    let mut series = Vec::new();
+    let mut min = u32::MAX;
+    let mut max = 0;
+    for minute in (0..2 * 1440).step_by(10) {
+        let gpus = load.demand(minute as f64 * 60.0);
+        min = min.min(gpus);
+        max = max.max(gpus);
+        series.push(Point { minute, allocated_gpus: gpus });
+    }
+    // A terminal sparkline of the first day.
+    println!("minute    gpus");
+    for p in series.iter().step_by(12) {
+        let bar = "#".repeat((p.allocated_gpus / 60) as usize);
+        println!("{:>6}  {:>5}  {bar}", p.minute, p.allocated_gpus);
+    }
+    println!("\npeak = {max} GPUs, trough = {min} GPUs, swing = {} GPUs", max - min);
+    println!("(paper: difference between idle and peak hours up to ~2,000 GPUs)");
+    bench::write_json("fig01_serving_load", &series);
+}

@@ -1,0 +1,144 @@
+//! Figure 2: validation-accuracy curves of ResNet18/CIFAR10-like training
+//! under different systems and GPU counts.
+//!
+//! Expected shape: DDP at 1/2/4/8 GPUs traces *different* curves (global
+//! batch changes with the GPU count — that is expected and user-visible);
+//! TorchElastic and Pollux under a fluctuating GPU schedule produce curves
+//! that match none of the fixed-GPU runs; EasyScale with nEST=4 produces the
+//! DDP-4GPU curve exactly, no matter how many GPUs it actually uses.
+
+use baselines::{PolluxJob, TorchElasticJob};
+use baselines::spmd::{SpmdConfig, SpmdTrainer};
+use data::SyntheticImageDataset;
+use device::GpuType;
+use easyscale::{Engine, JobConfig, Placement};
+use models::Workload;
+use optim::{LrSchedule, StepLr};
+use serde::Serialize;
+
+const EPOCHS: usize = 10;
+const DATASET: usize = 512;
+const BATCH: usize = 8;
+const SEED: u64 = 42;
+
+fn schedule() -> StepLr {
+    StepLr { base_lr: 0.05, gamma: 0.1, step_epochs: 20 }
+}
+
+fn eval_set() -> SyntheticImageDataset {
+    SyntheticImageDataset::eval_split(SEED, DATASET, 512)
+}
+
+#[derive(Serialize)]
+struct Curve {
+    name: String,
+    accuracy_per_epoch: Vec<f64>,
+}
+
+fn ddp_curve(world: u32) -> Curve {
+    let mut t = SpmdTrainer::new(
+        SpmdConfig::new(Workload::ResNet18, SEED, world)
+            .with_dataset_len(DATASET)
+            .with_batch_size(BATCH),
+    );
+    let eval = eval_set();
+    let mut acc = Vec::new();
+    for _ in 0..EPOCHS {
+        for _ in 0..t.steps_per_epoch() {
+            let epoch = t.global_step() / t.steps_per_epoch();
+            t.step(schedule().lr(epoch));
+        }
+        acc.push(t.evaluate(&eval, 64).0);
+    }
+    Curve { name: format!("DDP-{world}GPU"), accuracy_per_epoch: acc }
+}
+
+/// The fluctuating GPU schedule elasticity exposes jobs to: the available
+/// GPU count changes every two epochs.
+fn gpu_schedule(epoch: usize) -> u32 {
+    [4u32, 2, 1, 2, 8][(epoch / 2) % 5]
+}
+
+fn te_curve() -> Curve {
+    let mut job = TorchElasticJob::new(Workload::ResNet18, SEED, 4, 4, schedule(), DATASET, BATCH);
+    let eval = eval_set();
+    let mut acc = Vec::new();
+    for e in 0..EPOCHS {
+        job.set_world(gpu_schedule(e));
+        job.run_epoch();
+        acc.push(job.evaluate(&eval, 64).0);
+    }
+    Curve { name: "TE-elastic".into(), accuracy_per_epoch: acc }
+}
+
+fn pollux_curve() -> Curve {
+    let mut job = PolluxJob::new(Workload::ResNet18, SEED, 4, 4, schedule(), DATASET, BATCH);
+    let eval = eval_set();
+    let mut acc = Vec::new();
+    for e in 0..EPOCHS {
+        job.set_world(gpu_schedule(e));
+        job.run_epoch();
+        acc.push(job.evaluate(&eval, 64).0);
+    }
+    Curve { name: "Pollux-elastic".into(), accuracy_per_epoch: acc }
+}
+
+fn easyscale_curve() -> Curve {
+    // nEST = 4 logical workers; physical GPUs follow the same fluctuating
+    // schedule the baselines suffered under.
+    let cfg = JobConfig::new(Workload::ResNet18, SEED, 4)
+        .with_dataset_len(DATASET)
+        .with_batch_size(BATCH)
+        .with_lr(schedule());
+    let mut engine = Engine::new(cfg, Placement::homogeneous(4, gpu_schedule(0), GpuType::V100));
+    let eval = eval_set();
+    let spe = engine.steps_per_epoch();
+    let mut acc = Vec::new();
+    for e in 0..EPOCHS {
+        let gpus = gpu_schedule(e).min(4); // nEST=4 caps useful GPUs at 4
+        if engine.placement().n_workers() != gpus as usize {
+            engine = engine.rescale(Placement::homogeneous(4, gpus, GpuType::V100));
+        }
+        for _ in 0..spe {
+            engine.step();
+        }
+        acc.push(engine.evaluate(&eval, 64).overall);
+    }
+    Curve { name: "EasyScale-4EST-elastic".into(), accuracy_per_epoch: acc }
+}
+
+fn main() {
+    bench::header("Figure 2: accuracy curves under elasticity (ResNet18 proxy, CIFAR10-like)");
+    let mut curves = Vec::new();
+    for w in [1u32, 2, 4, 8] {
+        curves.push(ddp_curve(w));
+    }
+    curves.push(te_curve());
+    curves.push(pollux_curve());
+    curves.push(easyscale_curve());
+
+    print!("{:<24}", "epoch");
+    for e in 1..=EPOCHS {
+        print!("{e:>7}");
+    }
+    println!();
+    for c in &curves {
+        print!("{:<24}", c.name);
+        for a in &c.accuracy_per_epoch {
+            print!("{:>7.3}", a);
+        }
+        println!();
+    }
+
+    // Shape check: EasyScale under elasticity == DDP-4GPU exactly.
+    let ddp4 = curves.iter().find(|c| c.name == "DDP-4GPU").unwrap();
+    let es = curves.iter().find(|c| c.name == "EasyScale-4EST-elastic").unwrap();
+    assert_eq!(
+        ddp4.accuracy_per_epoch, es.accuracy_per_epoch,
+        "EasyScale accuracy must equal fixed-4-GPU DDP"
+    );
+    let te = curves.iter().find(|c| c.name == "TE-elastic").unwrap();
+    assert_ne!(ddp4.accuracy_per_epoch, te.accuracy_per_epoch, "TE must diverge");
+    println!("\nshape checks passed: EasyScale == DDP-4GPU exactly; TE/Pollux diverge from every fixed-GPU curve.");
+    bench::write_json("fig02_accuracy_curves", &curves);
+}

@@ -1,0 +1,125 @@
+//! Figure 3: per-class accuracy of ResNet18/CIFAR10-like training at the
+//! final epoch, for TorchElastic and Pollux runs executed with different
+//! GPU counts (1/2/4/8).
+//!
+//! Expected shape: the overall accuracy varies across GPU counts, and the
+//! per-class accuracy varies more (the paper reports up to 7.4% / 17.3% max
+//! per-class variance for TE / Pollux); EasyScale's per-class accuracies
+//! are identical across placements.
+
+use baselines::{PolluxJob, TorchElasticJob};
+use data::SyntheticImageDataset;
+use device::GpuType;
+use easyscale::{Engine, JobConfig, Placement};
+use models::Workload;
+use optim::StepLr;
+use serde::Serialize;
+
+const EPOCHS: usize = 12;
+const DATASET: usize = 512;
+const BATCH: usize = 8;
+const SEED: u64 = 42;
+
+fn schedule() -> StepLr {
+    StepLr { base_lr: 0.05, gamma: 0.1, step_epochs: 20 }
+}
+
+#[derive(Serialize)]
+struct RowOut {
+    system: String,
+    gpus: u32,
+    overall: f64,
+    per_class: Vec<f64>,
+}
+
+fn run_te(gpus: u32) -> RowOut {
+    let mut job = TorchElasticJob::new(Workload::ResNet18, SEED, 4, gpus, schedule(), DATASET, BATCH);
+    for _ in 0..EPOCHS {
+        job.run_epoch();
+    }
+    let eval = SyntheticImageDataset::eval_split(SEED, DATASET, 512);
+    let (overall, per_class) = job.evaluate(&eval, 64);
+    RowOut { system: "TE".into(), gpus, overall, per_class }
+}
+
+fn run_pollux(gpus: u32) -> RowOut {
+    let mut job = PolluxJob::new(Workload::ResNet18, SEED, 4, gpus, schedule(), DATASET, BATCH);
+    for _ in 0..EPOCHS {
+        job.run_epoch();
+    }
+    let eval = SyntheticImageDataset::eval_split(SEED, DATASET, 512);
+    let (overall, per_class) = job.evaluate(&eval, 64);
+    RowOut { system: "Pollux".into(), gpus, overall, per_class }
+}
+
+fn run_easyscale(gpus: u32) -> RowOut {
+    let cfg = JobConfig::new(Workload::ResNet18, SEED, 4)
+        .with_dataset_len(DATASET)
+        .with_batch_size(BATCH)
+        .with_lr(schedule());
+    let mut e = Engine::new(cfg, Placement::homogeneous(4, gpus.min(4), GpuType::V100));
+    let steps = EPOCHS as u64 * e.steps_per_epoch();
+    e.run(steps);
+    let eval = SyntheticImageDataset::eval_split(SEED, DATASET, 512);
+    let r = e.evaluate(&eval, 64);
+    RowOut { system: "EasyScale".into(), gpus, overall: r.overall, per_class: r.per_class }
+}
+
+fn print_block(rows: &[RowOut]) -> (f64, f64) {
+    print!("{:<10} {:>4} {:>7}", "system", "gpus", "total");
+    for c in 0..10 {
+        print!("   C{c}");
+    }
+    println!();
+    for r in rows {
+        print!("{:<10} {:>4} {:>7.3}", r.system, r.gpus, r.overall);
+        for a in &r.per_class {
+            print!(" {:>4.0}", a * 100.0);
+        }
+        println!();
+    }
+    // Variance: max spread per class across the GPU-count runs, and overall.
+    let overall_spread = rows.iter().map(|r| r.overall).fold(f64::NEG_INFINITY, f64::max)
+        - rows.iter().map(|r| r.overall).fold(f64::INFINITY, f64::min);
+    let mut max_class_spread = 0.0f64;
+    for c in 0..10 {
+        let vals: Vec<f64> = rows.iter().map(|r| r.per_class[c]).collect();
+        let spread = vals.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x))
+            - vals.iter().fold(f64::INFINITY, |m, &x| m.min(x));
+        max_class_spread = max_class_spread.max(spread);
+    }
+    println!(
+        "overall spread: {:.1}%   max per-class spread: {:.1}%\n",
+        overall_spread * 100.0,
+        max_class_spread * 100.0
+    );
+    (overall_spread, max_class_spread)
+}
+
+fn main() {
+    bench::header("Figure 3: per-class accuracy variance across GPU counts (final epoch)");
+    let gpu_counts = [1u32, 2, 4, 8];
+
+    println!("\n--- TorchElastic ---");
+    let te: Vec<RowOut> = gpu_counts.iter().map(|&g| run_te(g)).collect();
+    let (te_overall, te_class) = print_block(&te);
+
+    println!("--- Pollux ---");
+    let pollux: Vec<RowOut> = gpu_counts.iter().map(|&g| run_pollux(g)).collect();
+    let (_, pollux_class) = print_block(&pollux);
+
+    println!("--- EasyScale (nEST=4, varying physical GPUs) ---");
+    let es: Vec<RowOut> = [1u32, 2, 4].iter().map(|&g| run_easyscale(g)).collect();
+    let (es_overall, es_class) = print_block(&es);
+
+    assert!(te_class > te_overall, "per-class variance exceeds overall variance");
+    assert!(pollux_class > 0.0 && te_class > 0.0, "baselines vary across GPU counts");
+    assert_eq!(es_overall, 0.0, "EasyScale overall accuracy identical across placements");
+    assert_eq!(es_class, 0.0, "EasyScale per-class accuracy identical across placements");
+    println!("shape checks passed: baselines vary per class; EasyScale is placement-invariant.");
+
+    let mut all = te;
+    all.extend(pollux);
+    all.extend(es);
+    bench::write_json("fig03_per_class", &all);
+}

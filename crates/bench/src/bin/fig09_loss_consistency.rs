@@ -1,0 +1,138 @@
+//! Figure 9: loss-curve difference between EasyScale and DDP across three
+//! resource stages, under four determinism configurations.
+//!
+//! Stages (paper §5.1.1): stage 0 = 4 V100, stage 1 = 2 V100 (elasticity),
+//! stage 2 = 1 V100 + 2 P100 (heterogeneity). Each transition goes through
+//! an on-demand checkpoint + restore. References: DDP-homo (fixed 4 V100,
+//! deterministic vendor kernels) and DDP-heter (fixed 4 V100, hardware-
+//! agnostic kernels).
+//!
+//! Expected shape:
+//! * D1    == DDP-homo  bitwise through stages 0–1, drifts in stage 2;
+//! * D0    == DDP-homo  in stage 0 only (bucket layout lost at restart);
+//! * D1+D2 == DDP-heter bitwise through ALL stages;
+//! * D0+D2 == DDP-heter in stage 0 only.
+
+use device::GpuType;
+use easyscale::{Determinism, Engine, JobConfig, Placement};
+use models::Workload;
+use serde::Serialize;
+
+const STEPS_PER_STAGE: u64 = 40;
+
+#[derive(Serialize)]
+struct ConfigResult {
+    config: String,
+    reference: String,
+    /// Max |loss(EasyScale) − loss(DDP)| of the last worker, per stage.
+    max_diff_per_stage: [f32; 3],
+    bitwise_stages: [bool; 3],
+}
+
+fn stage_placements() -> [Placement; 3] {
+    [
+        Placement::one_est_per_gpu(4, GpuType::V100),
+        Placement::homogeneous(4, 2, GpuType::V100),
+        Placement::heterogeneous(&[(GpuType::V100, 2), (GpuType::P100, 1), (GpuType::P100, 1)]),
+    ]
+}
+
+/// Run the fixed-resource DDP reference: 4 workers on 4 V100s, no scaling.
+fn run_ddp(workload: Workload, det: Determinism) -> Vec<f32> {
+    let cfg = JobConfig::new(workload, 42, 4).with_determinism(det).with_dataset_len(256);
+    let mut e = Engine::new(cfg, Placement::one_est_per_gpu(4, GpuType::V100));
+    (0..3 * STEPS_PER_STAGE).map(|_| e.step().last_worker_loss()).collect()
+}
+
+/// Run EasyScale through the three stages with checkpoint/restore at each
+/// transition.
+fn run_easyscale(workload: Workload, det: Determinism) -> Vec<f32> {
+    let cfg = JobConfig::new(workload, 42, 4).with_determinism(det).with_dataset_len(256);
+    let stages = stage_placements();
+    let mut losses = Vec::new();
+    let mut engine = Engine::new(cfg, stages[0].clone());
+    for (i, stage) in stages.iter().enumerate() {
+        if i > 0 {
+            engine = engine.rescale(stage.clone());
+        }
+        for _ in 0..STEPS_PER_STAGE {
+            losses.push(engine.step().last_worker_loss());
+        }
+    }
+    losses
+}
+
+fn compare(name: &str, reference: &str, es: &[f32], ddp: &[f32]) -> ConfigResult {
+    let mut max_diff = [0.0f32; 3];
+    let mut bitwise = [true; 3];
+    for stage in 0..3 {
+        let lo = stage * STEPS_PER_STAGE as usize;
+        let hi = lo + STEPS_PER_STAGE as usize;
+        for i in lo..hi {
+            let d = (es[i] - ddp[i]).abs();
+            max_diff[stage] = max_diff[stage].max(d);
+            if es[i].to_bits() != ddp[i].to_bits() {
+                bitwise[stage] = false;
+            }
+        }
+    }
+    println!(
+        "{:<8} vs {:<10}  stage0: {:>10.3e} ({})  stage1: {:>10.3e} ({})  stage2: {:>10.3e} ({})",
+        name,
+        reference,
+        max_diff[0],
+        if bitwise[0] { "bitwise" } else { "DRIFT" },
+        max_diff[1],
+        if bitwise[1] { "bitwise" } else { "DRIFT" },
+        max_diff[2],
+        if bitwise[2] { "bitwise" } else { "DRIFT" },
+    );
+    ConfigResult {
+        config: name.into(),
+        reference: reference.into(),
+        max_diff_per_stage: max_diff,
+        bitwise_stages: bitwise,
+    }
+}
+
+fn run_model(workload: Workload) -> Vec<ConfigResult> {
+    println!("\n--- {} ---", workload.name());
+    let ddp_homo = run_ddp(workload, Determinism::d1());
+    let ddp_heter = run_ddp(workload, Determinism::d1_d2());
+
+    let mut out = Vec::new();
+    let d0 = run_easyscale(workload, Determinism::d0());
+    out.push(compare("D0", "DDP-homo", &d0, &ddp_homo));
+    let d1 = run_easyscale(workload, Determinism::d1());
+    out.push(compare("D1", "DDP-homo", &d1, &ddp_homo));
+    let d0d2 = run_easyscale(workload, Determinism::d0_d2());
+    out.push(compare("D0+D2", "DDP-heter", &d0d2, &ddp_heter));
+    let d1d2 = run_easyscale(workload, Determinism::d1_d2());
+    out.push(compare("D1+D2", "DDP-heter", &d1d2, &ddp_heter));
+    out
+}
+
+fn main() {
+    bench::header("Figure 9: loss-curve difference of EasyScale vs DDP across elastic stages");
+    println!(
+        "stages: 0 = 4xV100 | 1 = 2xV100 (elastic restart) | 2 = 1xV100+2xP100 (heterogeneous); {STEPS_PER_STAGE} mini-batches each"
+    );
+    let mut results = Vec::new();
+    for w in [Workload::ResNet50, Workload::Vgg19] {
+        results.extend(run_model(w));
+    }
+
+    // The headline assertions, mirrored from the paper's reading of Fig 9.
+    let d1d2_rows: Vec<&ConfigResult> = results.iter().filter(|r| r.config == "D1+D2").collect();
+    assert!(
+        d1d2_rows.iter().all(|r| r.bitwise_stages.iter().all(|&b| b)),
+        "D1+D2 must be bitwise-identical to DDP-heter in every stage"
+    );
+    let d0_rows: Vec<&ConfigResult> = results.iter().filter(|r| r.config == "D0").collect();
+    assert!(
+        d0_rows.iter().all(|r| r.bitwise_stages[0] && !r.bitwise_stages[1]),
+        "D0 must match in stage 0 and drift from stage 1 (bucket layout lost at restart)"
+    );
+    println!("\nshape checks passed: D1+D2 bitwise everywhere; D0/D0+D2 drift after restart; D1 drifts only under heterogeneity.");
+    bench::write_json("fig09_loss_consistency", &results);
+}

@@ -1,0 +1,74 @@
+//! Figure 10: peak GPU memory and training throughput of EasyScale vs
+//! Gandiva-style worker packing, for 1..16 workers on a 32 GB V100.
+//!
+//! Expected shape: packing memory grows linearly and OOMs past 8 workers
+//! (ResNet50) / past 2 workers (ShuffleNetV2 at batch 512); EasyScale memory
+//! is flat; packing throughput peaks ≈1.11× EasyScale's.
+
+use baselines::PackingSim;
+use device::GpuType;
+use models::Workload;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workers: u32,
+    packing_mem_gib: Option<f64>,
+    easyscale_mem_gib: f64,
+    packing_throughput: Option<f64>,
+    easyscale_throughput: f64,
+}
+
+#[derive(Serialize)]
+struct Series {
+    model: &'static str,
+    rows: Vec<Row>,
+    packing_oom_at: u64,
+}
+
+const GIB: f64 = (1u64 << 30) as f64;
+
+fn run(workload: Workload) -> Series {
+    let sim = PackingSim::new(&workload.spec(), GpuType::V100);
+    let oom_at = sim.max_packed_workers() + 1;
+    println!("\n--- {} (V100 32 GB) ---", workload.name());
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "workers", "pack mem GiB", "ES mem GiB", "pack thr", "ES thr"
+    );
+    let mut rows = Vec::new();
+    for n in 1..=16u32 {
+        let packed = sim.try_pack(n as u64).ok().map(|b| b as f64 / GIB);
+        let es = sim.easyscale_memory(n as u64) as f64 / GIB;
+        let pt = packed.is_some().then(|| sim.packed_throughput(n));
+        let et = sim.easyscale_throughput(n);
+        println!(
+            "{:>8} {:>14} {:>14.2} {:>12} {:>12.3}",
+            n,
+            packed.map(|m| format!("{m:.2}")).unwrap_or_else(|| "OOM".into()),
+            es,
+            pt.map(|t| format!("{t:.3}")).unwrap_or_else(|| "OOM".into()),
+            et
+        );
+        rows.push(Row {
+            workers: n,
+            packing_mem_gib: packed,
+            easyscale_mem_gib: es,
+            packing_throughput: pt,
+            easyscale_throughput: et,
+        });
+    }
+    println!("packing OOMs at {oom_at} workers; EasyScale memory flat at {:.2} GiB", rows[15].easyscale_mem_gib);
+    Series { model: workload.name(), rows, packing_oom_at: oom_at }
+}
+
+fn main() {
+    bench::header("Figure 10: GPU memory and throughput, EasyScale vs worker packing");
+    let out = vec![run(Workload::ResNet50), run(Workload::ShuffleNetV2)];
+    let ratio = {
+        let sim = PackingSim::new(&Workload::ResNet50.spec(), GpuType::V100);
+        sim.packed_throughput(8) / sim.easyscale_throughput(8)
+    };
+    println!("\npacking concurrency bonus at 8 workers: {ratio:.3}x (paper: 1.11x)");
+    bench::write_json("fig10_packing", &out);
+}

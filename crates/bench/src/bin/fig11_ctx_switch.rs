@@ -1,0 +1,70 @@
+//! Figure 11: the cost of lightweight context switching — wall time of one
+//! local step per EST with and without the context switch (implicit-state
+//! swap + RNG capture), per workload.
+//!
+//! Expected shape: overhead ≤ ~2% (the paper's maximum is 1.9% on Electra),
+//! because the EST context is tiny relative to the forward/backward work.
+
+use device::GpuType;
+use easyscale::{EasyScaleWorker, JobConfig, Slot};
+use models::WORKLOADS;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: &'static str,
+    with_switch_us: f64,
+    without_switch_us: f64,
+    overhead_pct: f64,
+}
+
+/// Measure both configurations with interleaved rounds (so clock-frequency
+/// drift hits both equally) and report (median with, median without).
+fn measure(workload: models::Workload) -> (f64, f64) {
+    let cfg = JobConfig::new(workload, 7, 8).with_dataset_len(2048).with_batch_size(32);
+    let slot = Slot { gpu: GpuType::V100, vranks: (0..8).collect() };
+    let mut with = EasyScaleWorker::new(&cfg, &slot);
+    let mut without = EasyScaleWorker::new(&cfg, &slot);
+    for _ in 0..2 {
+        with.run_local_steps_opts(true);
+        without.run_local_steps_opts(false);
+    }
+    let mut s_with: Vec<f64> = Vec::new();
+    let mut s_without: Vec<f64> = Vec::new();
+    for _ in 0..16 {
+        for (_, d) in with.run_local_steps_opts(true) {
+            s_with.push(d.as_secs_f64() * 1e6);
+        }
+        for (_, d) in without.run_local_steps_opts(false) {
+            s_without.push(d.as_secs_f64() * 1e6);
+        }
+    }
+    let med = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    (med(&mut s_with), med(&mut s_without))
+}
+
+fn main() {
+    bench::header("Figure 11: lightweight context switching overhead");
+    println!(
+        "{:<16} {:>16} {:>16} {:>10}",
+        "Model", "w/ switch (us)", "w/o switch (us)", "overhead"
+    );
+    let mut rows = Vec::new();
+    for w in WORKLOADS {
+        let (with, without) = measure(w);
+        let overhead = (with / without - 1.0) * 100.0;
+        println!("{:<16} {:>16.1} {:>16.1} {:>9.2}%", w.name(), with, without, overhead);
+        rows.push(Row {
+            model: w.name(),
+            with_switch_us: with,
+            without_switch_us: without,
+            overhead_pct: overhead,
+        });
+    }
+    let max = rows.iter().map(|r| r.overhead_pct).fold(f64::NEG_INFINITY, f64::max);
+    println!("\nmax context-switch overhead: {max:.2}% (paper: ≤1.9%)");
+    bench::write_json("fig11_ctx_switch", &rows);
+}

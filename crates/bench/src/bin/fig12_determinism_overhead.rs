@@ -1,0 +1,69 @@
+//! Figure 12: per-iteration overhead of ensuring accuracy-consistency, per
+//! workload and GPU type. D1 (elastic determinism on homogeneous GPUs) is
+//! ≈free; D1+D2 (heterogeneous determinism) costs ~236% on average for the
+//! conv-kernel models and <1% for the attention/embedding models.
+//!
+//! Substitution note (DESIGN.md): on real GPUs the D2 cost comes from
+//! disabling vendor conv kernels; our CPU kernels cannot reproduce that
+//! ratio physically, so the slowdown comes from each workload's calibrated
+//! `d2_overhead` factor through the device performance model.
+
+use device::{GpuType, PerfModel};
+use models::WORKLOADS;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: &'static str,
+    gpu: &'static str,
+    baseline: f64,
+    d1_normalized: f64,
+    d1_d2_normalized: f64,
+}
+
+fn main() {
+    bench::header("Figure 12: overhead of ensuring accuracy-consistency (normalized time)");
+    let perf = PerfModel::default();
+    println!(
+        "{:<16} {:>6} {:>10} {:>10} {:>10}",
+        "Model", "GPU", "baseline", "D1", "D1+D2"
+    );
+    let mut rows = Vec::new();
+    let mut conv_overheads = Vec::new();
+    for w in WORKLOADS {
+        let s = w.spec();
+        for gpu in GpuType::ALL {
+            let base = perf.minibatch_time(s.base_v100_secs, gpu, 1.0);
+            // D1: deterministic vendor kernels — negligible cost (the paper
+            // measures <1%); we charge the context-switch-free determinism
+            // bookkeeping at 0.3%.
+            let d1 = base * 1.003;
+            // D1+D2: hardware-agnostic kernels; the catalog's d2_overhead
+            // already encodes ~1.0 for non-conv models.
+            let d2_factor = s.d2_overhead;
+            let d1d2 = perf.minibatch_time(s.base_v100_secs, gpu, d2_factor) * 1.003;
+            println!(
+                "{:<16} {:>6} {:>10.4} {:>10.3} {:>10.3}",
+                w.name(),
+                gpu.name(),
+                base,
+                d1 / base,
+                d1d2 / base
+            );
+            rows.push(Row {
+                model: w.name(),
+                gpu: gpu.name(),
+                baseline: base,
+                d1_normalized: d1 / base,
+                d1_d2_normalized: d1d2 / base,
+            });
+        }
+        if s.conv_dependent {
+            conv_overheads.push(s.d2_overhead - 1.0);
+        }
+    }
+    let avg = conv_overheads.iter().sum::<f64>() / conv_overheads.len() as f64;
+    println!("\naverage D2 overhead on conv models: {:.0}% (paper: 236%)", avg * 100.0);
+    println!("attention/embedding models stay <1% under D1+D2 and may use heterogeneous GPUs.");
+    bench::write_json("fig12_determinism_overhead", &rows);
+}

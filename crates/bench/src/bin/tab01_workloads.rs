@@ -1,0 +1,51 @@
+//! Table 1: the deep-learning workload catalog, with the cost/memory/D2
+//! metadata this reproduction attaches to each entry.
+
+use models::WORKLOADS;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: &'static str,
+    task: &'static str,
+    dataset: &'static str,
+    conv_dependent: bool,
+    d2_overhead: f64,
+    base_v100_secs: f64,
+    batch_size: usize,
+    max_p: u32,
+}
+
+fn main() {
+    bench::header("Table 1: Deep learning workloads in experiments");
+    println!(
+        "{:<16} {:<22} {:<10} {:>6} {:>8} {:>10} {:>6} {:>5}",
+        "Model", "Task", "Dataset", "conv?", "D2 cost", "V100 s/mb", "batch", "maxP"
+    );
+    let mut rows = Vec::new();
+    for w in WORKLOADS {
+        let s = w.spec();
+        println!(
+            "{:<16} {:<22} {:<10} {:>6} {:>8.2} {:>10.3} {:>6} {:>5}",
+            w.name(),
+            s.task,
+            s.dataset,
+            if s.conv_dependent { "yes" } else { "no" },
+            s.d2_overhead,
+            s.base_v100_secs,
+            s.batch_size,
+            s.max_p
+        );
+        rows.push(Row {
+            model: w.name(),
+            task: s.task,
+            dataset: s.dataset,
+            conv_dependent: s.conv_dependent,
+            d2_overhead: s.d2_overhead,
+            base_v100_secs: s.base_v100_secs,
+            batch_size: s.batch_size,
+            max_p: s.max_p,
+        });
+    }
+    bench::write_json("tab01_workloads", &rows);
+}

@@ -1,0 +1,119 @@
+//! Ring all-reduce with honest floating-point semantics.
+//!
+//! In NCCL's ring algorithm a bucket is cut into `nranks` chunks; chunk `c`
+//! is reduced by circulating around the ring, so its values are summed in a
+//! rank order *rotated by the chunk index*. Two consequences this module
+//! reproduces exactly:
+//!
+//! 1. Moving an element to a different chunk (because the bucket layout
+//!    changed) changes its addition order ⇒ different f32 bits.
+//! 2. Changing the rank count changes both the chunking and the number of
+//!    addends ⇒ different bits.
+
+/// Ring topology parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingSpec {
+    /// Number of ranks in the ring.
+    pub nranks: usize,
+}
+
+/// All-reduce (sum) the elements at `positions` (a bucket's flat-gradient
+/// positions, in bucket order) across `grads[rank][...]`, writing sums into
+/// `out` at the same positions.
+///
+/// The reduction order of the element at bucket-relative position `p` is the
+/// ring order of chunk `p / chunk_len`: starting at rank `(chunk + 1) % n`
+/// and proceeding around the ring — matching the reduce-scatter phase of a
+/// ring all-reduce where chunk `c` ends fully reduced at rank `c`.
+pub fn ring_allreduce(grads: &[&[f32]], positions: &[usize], spec: &RingSpec, out: &mut [f32]) {
+    let n = spec.nranks;
+    assert!(n > 0, "empty ring");
+    assert_eq!(grads.len(), n, "one gradient slice per rank");
+    if positions.is_empty() {
+        return;
+    }
+    let chunk_len = positions.len().div_ceil(n);
+    for (bp, &pos) in positions.iter().enumerate() {
+        let chunk = bp / chunk_len;
+        // Ring order for this chunk: (chunk+1)%n, (chunk+2)%n, …, chunk.
+        let mut acc = 0.0f32;
+        for k in 1..=n {
+            let rank = (chunk + k) % n;
+            acc += grads[rank][pos];
+        }
+        out[pos] = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_grads(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|r| {
+                (0..len)
+                    .map(|i| ((i + r * 13) as f32).sin() * 10f32.powi(((i + r) % 5) as i32 - 2))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sums_are_correct() {
+        let g = mk_grads(4, 32);
+        let views: Vec<&[f32]> = g.iter().map(|v| v.as_slice()).collect();
+        let positions: Vec<usize> = (0..32).collect();
+        let mut out = vec![0.0; 32];
+        ring_allreduce(&views, &positions, &RingSpec { nranks: 4 }, &mut out);
+        for i in 0..32 {
+            let expect: f64 = g.iter().map(|r| r[i] as f64).sum();
+            assert!((out[i] as f64 - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn chunk_rotation_affects_bits() {
+        // The same element, placed in different chunks (by permuting the
+        // bucket positions), is summed in a different rank order.
+        let g = mk_grads(3, 300);
+        let views: Vec<&[f32]> = g.iter().map(|v| v.as_slice()).collect();
+        let forward: Vec<usize> = (0..300).collect();
+        let reversed: Vec<usize> = (0..300).rev().collect();
+        let mut out_f = vec![0.0; 300];
+        let mut out_r = vec![0.0; 300];
+        ring_allreduce(&views, &forward, &RingSpec { nranks: 3 }, &mut out_f);
+        ring_allreduce(&views, &reversed, &RingSpec { nranks: 3 }, &mut out_r);
+        let differs = out_f.iter().zip(&out_r).any(|(a, b)| a.to_bits() != b.to_bits());
+        assert!(differs, "chunk placement must influence addition order");
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let g = mk_grads(1, 16);
+        let views: Vec<&[f32]> = g.iter().map(|v| v.as_slice()).collect();
+        let positions: Vec<usize> = (0..16).collect();
+        let mut out = vec![0.0; 16];
+        ring_allreduce(&views, &positions, &RingSpec { nranks: 1 }, &mut out);
+        assert!(out.iter().zip(&g[0]).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn sparse_positions_only_touch_their_slots() {
+        let g = mk_grads(2, 10);
+        let views: Vec<&[f32]> = g.iter().map(|v| v.as_slice()).collect();
+        let mut out = vec![f32::NAN; 10];
+        ring_allreduce(&views, &[3, 7], &RingSpec { nranks: 2 }, &mut out);
+        assert!(!out[3].is_nan() && !out[7].is_nan());
+        assert!(out.iter().enumerate().filter(|(i, _)| *i != 3 && *i != 7).all(|(_, v)| v.is_nan()));
+    }
+
+    #[test]
+    fn empty_positions_is_noop() {
+        let g = mk_grads(2, 4);
+        let views: Vec<&[f32]> = g.iter().map(|v| v.as_slice()).collect();
+        let mut out = vec![0.0; 4];
+        ring_allreduce(&views, &[], &RingSpec { nranks: 2 }, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

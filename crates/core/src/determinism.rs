@@ -1,0 +1,166 @@
+//! The paper's determinism ladder (§3.3) as configuration.
+//!
+//! * **D0 — static determinism**: fixed seeds (always on in this
+//!   implementation), deterministic kernel implementations (no atomic-order
+//!   races), autotune off. Without D0, the same run twice gives different
+//!   bits on the *same* hardware.
+//! * **D1 — elastic determinism**: D0 + constant virtual communication
+//!   ranks + gradient-bucket layout recorded in checkpoints and
+//!   reconstruction disabled after restore. Without D1, a checkpoint or
+//!   restart (scale event) rebuilds the buckets from a fresh,
+//!   timing-dependent ready order and the loss drifts from the fixed-GPU
+//!   reference.
+//! * **D2 — heterogeneous determinism**: D1 + hardware-agnostic kernel
+//!   profiles + pinned library algorithm ids. Without D2, V100/P100/T4
+//!   vendor kernels reduce in different orders and heterogeneous placements
+//!   drift.
+
+use device::GpuType;
+use serde::{Deserialize, Serialize};
+use tensor::kernels::NoiseSource;
+use tensor::{AutotunePolicy, KernelProfile};
+
+/// Determinism configuration, one flag per level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Determinism {
+    /// D0: deterministic kernels + no autotune.
+    pub deterministic_kernels: bool,
+    /// D1: pin the gradient-bucket layout across restarts.
+    pub pin_bucket_layout: bool,
+    /// D2: hardware-agnostic kernels + pinned algo ids.
+    pub hardware_agnostic: bool,
+}
+
+impl Determinism {
+    /// No determinism measures (what default framework settings give you).
+    pub fn none() -> Self {
+        Determinism { deterministic_kernels: false, pin_bucket_layout: false, hardware_agnostic: false }
+    }
+
+    /// D0 only.
+    pub fn d0() -> Self {
+        Determinism { deterministic_kernels: true, pin_bucket_layout: false, hardware_agnostic: false }
+    }
+
+    /// D0 + D1 (EasyScale's default).
+    pub fn d1() -> Self {
+        Determinism { deterministic_kernels: true, pin_bucket_layout: true, hardware_agnostic: false }
+    }
+
+    /// D0 + D2 (no bucket pinning — the Fig 9 ablation).
+    pub fn d0_d2() -> Self {
+        Determinism { deterministic_kernels: true, pin_bucket_layout: false, hardware_agnostic: true }
+    }
+
+    /// D0 + D1 + D2: full heterogeneous determinism.
+    pub fn d1_d2() -> Self {
+        Determinism { deterministic_kernels: true, pin_bucket_layout: true, hardware_agnostic: true }
+    }
+
+    /// The kernel profile a worker on `gpu` executes with.
+    pub fn profile_for(&self, gpu: GpuType) -> KernelProfile {
+        if self.hardware_agnostic {
+            KernelProfile::hardware_agnostic()
+        } else if self.deterministic_kernels {
+            KernelProfile::vendor_optimized(gpu.sm_count())
+        } else {
+            KernelProfile::nondeterministic(gpu.sm_count())
+        }
+    }
+
+    /// The autotuning policy in force.
+    pub fn autotune_policy(&self) -> AutotunePolicy {
+        if self.hardware_agnostic {
+            AutotunePolicy::Pinned(0)
+        } else if self.deterministic_kernels {
+            AutotunePolicy::Deterministic
+        } else {
+            AutotunePolicy::Benchmark { reprofile_every: 50 }
+        }
+    }
+}
+
+impl Default for Determinism {
+    fn default() -> Self {
+        Self::d1()
+    }
+}
+
+/// The gradient-ready order DDP observes at the end of the first mini-batch
+/// of a *fresh* process: backward order with a small, timing-stable
+/// interleave. Deterministic per (n_params) — two identical fresh runs see
+/// the same order, which is why D0 alone reproduces fixed-GPU training.
+pub fn fresh_ready_order(n_params: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n_params).collect();
+    // Stable interleave: swap each adjacent pair — models the slight
+    // mismatch between topological order and kernel-completion order.
+    for i in (0..n_params.saturating_sub(1)).step_by(2) {
+        order.swap(i, i + 1);
+    }
+    order
+}
+
+/// The ready order observed after a *restart*: the new process's kernel
+/// timing differs, so the order is perturbed unpredictably. This is the
+/// non-determinism D1 removes by never re-observing the order at all.
+pub fn restart_ready_order(n_params: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n_params).collect();
+    if n_params < 2 {
+        return order;
+    }
+    // Fisher–Yates driven by the process noise source: irreproducible.
+    for i in (1..n_params).rev() {
+        let j = (NoiseSource::next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone() {
+        assert!(!Determinism::none().deterministic_kernels);
+        assert!(Determinism::d0().deterministic_kernels && !Determinism::d0().pin_bucket_layout);
+        assert!(Determinism::d1().pin_bucket_layout && !Determinism::d1().hardware_agnostic);
+        assert!(Determinism::d1_d2().hardware_agnostic && Determinism::d1_d2().pin_bucket_layout);
+    }
+
+    #[test]
+    fn d2_profile_is_device_independent() {
+        let d = Determinism::d1_d2();
+        assert_eq!(d.profile_for(GpuType::V100), d.profile_for(GpuType::T4));
+    }
+
+    #[test]
+    fn vendor_profiles_differ_across_devices() {
+        let d = Determinism::d1();
+        assert_ne!(d.profile_for(GpuType::V100), d.profile_for(GpuType::T4));
+    }
+
+    #[test]
+    fn none_gets_nondeterministic_kernels() {
+        assert!(!Determinism::none().profile_for(GpuType::V100).deterministic);
+        assert!(Determinism::d0().profile_for(GpuType::V100).deterministic);
+    }
+
+    #[test]
+    fn fresh_order_is_reproducible_permutation() {
+        let a = fresh_ready_order(11);
+        let b = fresh_ready_order(11);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..11).collect::<Vec<usize>>());
+        assert_ne!(a, (0..11).collect::<Vec<usize>>(), "order differs from topological");
+    }
+
+    #[test]
+    fn restart_order_varies() {
+        let orders: std::collections::HashSet<Vec<usize>> =
+            (0..8).map(|_| restart_ready_order(10)).collect();
+        assert!(orders.len() > 1, "restart order must be timing-dependent");
+    }
+}

@@ -1,0 +1,440 @@
+//! The elastic training engine: global-step orchestration over any
+//! placement, with bitwise placement-invariance.
+//!
+//! One global step = every EST runs one local step (mini-batch) on its
+//! current physical worker, the per-EST gradients are all-reduced over
+//! *virtual* ranks, and one optimizer update is applied to every worker's
+//! parameter replica. Physical workers execute concurrently (crossbeam
+//! scoped threads — each worker owns its state, so this is data-race-free
+//! by construction); results are merged in virtual-rank order, so thread
+//! interleaving cannot influence a single output bit.
+
+use crate::checkpoint::JobCheckpoint;
+use crate::determinism::{fresh_ready_order, restart_ready_order};
+use crate::est::EstContext;
+use crate::placement::Placement;
+use crate::worker::{EasyScaleWorker, LocalStep};
+use crate::JobConfig;
+use comm::ElasticDdp;
+use data::{Dataset, DistributedSampler};
+use optim::{LrSchedule, Sgd};
+
+/// Outcome of one global step.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Global step index (0-based, value before the step).
+    pub step: u64,
+    /// Epoch the step belonged to.
+    pub epoch: u64,
+    /// Learning rate used.
+    pub lr: f32,
+    /// Per-EST losses in virtual-rank order.
+    pub losses: Vec<f32>,
+    /// Mean loss across ESTs.
+    pub mean_loss: f32,
+}
+
+impl StepResult {
+    /// The last virtual rank's loss — the series Fig 9 plots.
+    pub fn last_worker_loss(&self) -> f32 {
+        *self.losses.last().expect("at least one EST")
+    }
+}
+
+/// Evaluation result.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Overall accuracy in [0,1].
+    pub overall: f64,
+    /// Per-class accuracy in [0,1].
+    pub per_class: Vec<f64>,
+}
+
+/// The EasyScale job engine.
+pub struct Engine {
+    config: JobConfig,
+    placement: Placement,
+    workers: Vec<EasyScaleWorker>,
+    ddp: ElasticDdp,
+    opt: Sgd,
+    global_step: u64,
+    steps_per_epoch: u64,
+    /// True when the engine was restored without the D1 layout — the next
+    /// bucket rebuild will observe a fresh (timing-perturbed) ready order.
+    restarted_without_layout: bool,
+}
+
+impl Engine {
+    /// Start a fresh job on `placement`.
+    pub fn new(config: JobConfig, placement: Placement) -> Self {
+        placement.validate(config.n_ests).unwrap_or_else(|e| panic!("invalid placement: {e}"));
+        let workers: Vec<EasyScaleWorker> =
+            placement.slots.iter().map(|s| EasyScaleWorker::new(&config, s)).collect();
+        let param_sizes = workers[0].model().param_sizes();
+        let n_params: usize = param_sizes.iter().sum();
+        let ddp = ElasticDdp::new(&param_sizes, config.n_ests, config.bucket_cap_bytes);
+        let opt = Sgd::new(n_params, config.momentum, config.weight_decay);
+        let steps_per_epoch = Self::compute_steps_per_epoch(&config);
+        Engine {
+            config,
+            placement,
+            workers,
+            ddp,
+            opt,
+            global_step: 0,
+            steps_per_epoch,
+            restarted_without_layout: false,
+        }
+    }
+
+    /// Resume a job from an on-demand checkpoint on a (possibly different,
+    /// possibly heterogeneous) placement.
+    pub fn from_checkpoint(config: JobConfig, placement: Placement, ckpt: &JobCheckpoint) -> Self {
+        placement.validate(config.n_ests).unwrap_or_else(|e| panic!("invalid placement: {e}"));
+        assert_eq!(ckpt.n_ests(), config.n_ests, "checkpoint EST count mismatch");
+        let mut workers: Vec<EasyScaleWorker> =
+            placement.slots.iter().map(|s| EasyScaleWorker::new(&config, s)).collect();
+        for (w, slot) in workers.iter_mut().zip(&placement.slots) {
+            w.load_flat_params(&ckpt.params);
+            w.restore_pool(&ckpt.loader);
+            let contexts = slot
+                .vranks
+                .iter()
+                .map(|&r| ckpt.est_contexts[r as usize].clone())
+                .collect();
+            w.set_contexts(contexts);
+        }
+        let param_sizes = workers[0].model().param_sizes();
+        let (ddp, restarted_without_layout) = if config.determinism.pin_bucket_layout {
+            // D1: reinstate the recorded gradient-bucket mapping and disable
+            // reconstruction.
+            (ElasticDdp::restore(ckpt.comm.clone()), false)
+        } else {
+            // Non-D1 frameworks rebuild communication from scratch: the
+            // bucket mapping will be re-derived from restart timing.
+            (ElasticDdp::new(&param_sizes, config.n_ests, config.bucket_cap_bytes), true)
+        };
+        let mut opt = Sgd::new(param_sizes.iter().sum(), config.momentum, config.weight_decay);
+        opt.restore_state(&ckpt.opt_velocity);
+        let steps_per_epoch = Self::compute_steps_per_epoch(&config);
+        Engine {
+            config,
+            placement,
+            workers,
+            ddp,
+            opt,
+            global_step: ckpt.global_step,
+            steps_per_epoch,
+            restarted_without_layout,
+        }
+    }
+
+    fn compute_steps_per_epoch(config: &JobConfig) -> u64 {
+        let sampler = DistributedSampler::new(config.dataset_len, config.n_ests, config.seed, true);
+        let bpe = sampler.batches_per_epoch(config.batch_size) as u64;
+        assert!(bpe > 0, "batch size too large for the per-EST shard");
+        bpe
+    }
+
+    /// The job configuration.
+    pub fn config(&self) -> &JobConfig {
+        &self.config
+    }
+
+    /// The active placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Global steps completed.
+    pub fn global_step(&self) -> u64 {
+        self.global_step
+    }
+
+    /// Current epoch (by EST progress).
+    pub fn epoch(&self) -> u64 {
+        self.global_step / self.steps_per_epoch
+    }
+
+    /// Mini-batches per EST per epoch.
+    pub fn steps_per_epoch(&self) -> u64 {
+        self.steps_per_epoch
+    }
+
+    /// Flat model parameters (identical bitwise on every worker replica).
+    pub fn flat_params(&self) -> Vec<f32> {
+        self.workers[0].flat_params()
+    }
+
+    /// One global step: local steps on all workers (concurrently), virtual-
+    /// rank all-reduce, shared optimizer update.
+    pub fn step(&mut self) -> StepResult {
+        let epoch = self.epoch();
+        let lr = self.config.lr.lr(epoch);
+
+        // Local steps. Workers run in parallel; each owns its model replica,
+        // pool, and contexts, so no synchronization is needed until merge.
+        let mut locals: Vec<LocalStep> = if self.workers.len() > 1 {
+            let handles: Vec<Vec<LocalStep>> = crossbeam::thread::scope(|s| {
+                let joins: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .map(|w| s.spawn(move |_| w.run_local_steps()))
+                    .collect();
+                joins.into_iter().map(|j| j.join().expect("worker thread panicked")).collect()
+            })
+            .expect("crossbeam scope failed");
+            handles.into_iter().flatten().collect()
+        } else {
+            self.workers[0].run_local_steps()
+        };
+        // Deterministic merge: virtual-rank order, independent of thread
+        // completion order.
+        locals.sort_by_key(|l| l.vrank);
+        debug_assert_eq!(locals.len(), self.config.n_ests as usize);
+
+        let losses: Vec<f32> = locals.iter().map(|l| l.loss).collect();
+        let grads: Vec<Vec<f32>> = locals.into_iter().map(|l| l.grad).collect();
+
+        // Gradient synchronization over virtual ranks.
+        let avg = self.ddp.allreduce_avg(&grads);
+
+        // One optimizer update, applied identically to every replica.
+        let params = self.workers[0].flat_params();
+        let delta = self.opt.step(&params, &avg, lr);
+        for w in &mut self.workers {
+            w.apply_update(&delta);
+        }
+
+        // DDP's end-of-first-mini-batch bucket rebuild (§3.3): deterministic
+        // on a fresh start, timing-perturbed after a non-D1 restart.
+        if !self.ddp.is_rebuilt() {
+            let n = self.workers[0].model().param_sizes().len();
+            let order = if self.restarted_without_layout {
+                restart_ready_order(n)
+            } else {
+                fresh_ready_order(n)
+            };
+            self.ddp.rebuild_from_ready_order(&order, self.config.bucket_cap_bytes);
+        }
+
+        let step = self.global_step;
+        self.global_step += 1;
+        let mean_loss = losses.iter().sum::<f32>() / losses.len() as f32;
+        StepResult { step, epoch, lr, losses, mean_loss }
+    }
+
+    /// Run `n` global steps, returning the per-step results.
+    pub fn run(&mut self, n: u64) -> Vec<StepResult> {
+        (0..n).map(|_| self.step()).collect()
+    }
+
+    /// Take an on-demand checkpoint (paper Figure 6).
+    pub fn checkpoint(&self) -> JobCheckpoint {
+        // EST contexts gathered from their current owners, in vrank order.
+        let mut contexts: Vec<Option<EstContext>> = vec![None; self.config.n_ests as usize];
+        for w in &self.workers {
+            for c in w.contexts() {
+                contexts[c.vrank as usize] = Some(c.clone());
+            }
+        }
+        let est_contexts: Vec<EstContext> =
+            contexts.into_iter().map(|c| c.expect("placement covered all ranks")).collect();
+
+        // Merge loader cursors: each rank's cursor comes from its owner.
+        let mut loader = self.workers[0].pool_checkpoint();
+        for (w, slot) in self.workers.iter().zip(&self.placement.slots) {
+            let wc = w.pool_checkpoint();
+            for &r in &slot.vranks {
+                loader.cursors[r as usize] = wc.cursors[r as usize];
+            }
+        }
+
+        JobCheckpoint {
+            est_contexts,
+            loader,
+            comm: self.ddp.checkpoint(),
+            global_step: self.global_step,
+            params: self.workers[0].flat_params(),
+            opt_velocity: self.opt.state().to_vec(),
+        }
+    }
+
+    /// Scale in/out: checkpoint, rebuild on the new placement, resume. This
+    /// is the complete "resource reconfiguration" path of Figure 5.
+    pub fn rescale(self, new_placement: Placement) -> Engine {
+        let ckpt = self.checkpoint();
+        Engine::from_checkpoint(self.config, new_placement, &ckpt)
+    }
+
+    /// Evaluate on `dataset` using virtual rank 0's implicit state.
+    pub fn evaluate(&mut self, dataset: &dyn Dataset, batch_size: usize) -> EvalResult {
+        let (wi, ci) = self
+            .placement
+            .slots
+            .iter()
+            .enumerate()
+            .find_map(|(wi, s)| s.vranks.iter().position(|&r| r == 0).map(|ci| (wi, ci)))
+            .expect("rank 0 is always placed");
+        let (overall, per_class) = self.workers[wi].evaluate(dataset, batch_size, ci);
+        EvalResult { overall, per_class }
+    }
+
+    /// Build the held-out evaluation dataset for the config's workload:
+    /// the *same task* (same seed, same class structure) with sample indices
+    /// offset past the training set, so evaluation data is fresh but
+    /// evaluates the learned task.
+    pub fn eval_dataset(&self, len: usize) -> std::sync::Arc<dyn Dataset> {
+        crate::worker::make_eval_dataset(&self.config, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Determinism;
+    use device::GpuType;
+    use models::Workload;
+
+    fn config() -> JobConfig {
+        JobConfig::new(Workload::ResNet18, 21, 4).with_dataset_len(128)
+    }
+
+    fn params_bits(e: &Engine) -> Vec<u32> {
+        e.flat_params().iter().map(|p| p.to_bits()).collect()
+    }
+
+    #[test]
+    fn headline_claim_elasticity_is_bitwise_invisible() {
+        // 4 logical workers on 4, 2, and 1 V100s: identical bits.
+        let mut four = Engine::new(config(), Placement::one_est_per_gpu(4, GpuType::V100));
+        let mut two = Engine::new(config(), Placement::homogeneous(4, 2, GpuType::V100));
+        let mut one = Engine::new(config(), Placement::homogeneous(4, 1, GpuType::V100));
+        for _ in 0..4 {
+            four.step();
+            two.step();
+            one.step();
+        }
+        assert_eq!(params_bits(&four), params_bits(&two));
+        assert_eq!(params_bits(&four), params_bits(&one));
+    }
+
+    #[test]
+    fn d2_makes_heterogeneity_bitwise_invisible() {
+        let cfg = config().with_determinism(Determinism::d1_d2());
+        let mut homo = Engine::new(cfg.clone(), Placement::one_est_per_gpu(4, GpuType::V100));
+        let mut hetero = Engine::new(
+            cfg,
+            Placement::heterogeneous(&[(GpuType::V100, 2), (GpuType::P100, 1), (GpuType::T4, 1)]),
+        );
+        for _ in 0..3 {
+            homo.step();
+            hetero.step();
+        }
+        assert_eq!(params_bits(&homo), params_bits(&hetero));
+    }
+
+    #[test]
+    fn without_d2_heterogeneity_is_visible() {
+        let cfg = config().with_determinism(Determinism::d1());
+        let mut homo = Engine::new(cfg.clone(), Placement::one_est_per_gpu(4, GpuType::V100));
+        let mut hetero = Engine::new(
+            cfg,
+            Placement::heterogeneous(&[(GpuType::V100, 2), (GpuType::P100, 2)]),
+        );
+        homo.step();
+        hetero.step();
+        assert_ne!(params_bits(&homo), params_bits(&hetero));
+    }
+
+    #[test]
+    fn d1_checkpoint_restart_is_bitwise_invisible() {
+        let mut reference = Engine::new(config(), Placement::one_est_per_gpu(4, GpuType::V100));
+        let mut elastic = Engine::new(config(), Placement::one_est_per_gpu(4, GpuType::V100));
+        for _ in 0..3 {
+            reference.step();
+            elastic.step();
+        }
+        // Scale in to 2 GPUs, then to a single GPU.
+        let mut elastic = elastic.rescale(Placement::homogeneous(4, 2, GpuType::V100));
+        for _ in 0..3 {
+            reference.step();
+            elastic.step();
+        }
+        let mut elastic = elastic.rescale(Placement::homogeneous(4, 1, GpuType::V100));
+        for _ in 0..3 {
+            reference.step();
+            elastic.step();
+        }
+        assert_eq!(params_bits(&reference), params_bits(&elastic));
+        assert_eq!(reference.global_step(), elastic.global_step());
+    }
+
+    #[test]
+    fn without_d1_restart_diverges() {
+        let cfg = config().with_determinism(Determinism::d0());
+        let mut reference = Engine::new(cfg.clone(), Placement::one_est_per_gpu(4, GpuType::V100));
+        let mut elastic = Engine::new(cfg, Placement::one_est_per_gpu(4, GpuType::V100));
+        for _ in 0..2 {
+            reference.step();
+            elastic.step();
+        }
+        assert_eq!(params_bits(&reference), params_bits(&elastic), "identical until restart");
+        let mut elastic = elastic.rescale(Placement::homogeneous(4, 2, GpuType::V100));
+        for _ in 0..3 {
+            reference.step();
+            elastic.step();
+        }
+        assert_ne!(
+            params_bits(&reference),
+            params_bits(&elastic),
+            "D0 loses the bucket layout on restart and drifts"
+        );
+    }
+
+    #[test]
+    fn losses_decrease_on_average() {
+        let mut e = Engine::new(
+            JobConfig::new(Workload::ResNet18, 3, 2).with_dataset_len(256),
+            Placement::homogeneous(2, 1, GpuType::V100),
+        );
+        let results = e.run(2 * e.steps_per_epoch());
+        let first: f32 = results[..4].iter().map(|r| r.mean_loss).sum::<f32>() / 4.0;
+        let n = results.len();
+        let last: f32 = results[n - 4..].iter().map(|r| r.mean_loss).sum::<f32>() / 4.0;
+        assert!(last < first, "training must actually learn: {first} → {last}");
+    }
+
+    #[test]
+    fn step_result_bookkeeping() {
+        let mut e = Engine::new(config(), Placement::homogeneous(4, 2, GpuType::V100));
+        let r = e.step();
+        assert_eq!(r.step, 0);
+        assert_eq!(r.epoch, 0);
+        assert_eq!(r.losses.len(), 4);
+        assert!((r.lr - 0.05).abs() < 1e-9);
+        assert_eq!(e.global_step(), 1);
+    }
+
+    #[test]
+    fn evaluate_runs_on_any_placement() {
+        let mut e = Engine::new(config(), Placement::homogeneous(4, 2, GpuType::V100));
+        e.step();
+        let eval = e.eval_dataset(64);
+        let r = e.evaluate(eval.as_ref(), 16);
+        assert!((0.0..=1.0).contains(&r.overall));
+        assert_eq!(r.per_class.len(), 10);
+    }
+
+    #[test]
+    fn attention_workload_is_also_placement_invariant() {
+        let cfg = JobConfig::new(Workload::Bert, 77, 4).with_dataset_len(128);
+        let mut a = Engine::new(cfg.clone(), Placement::one_est_per_gpu(4, GpuType::V100));
+        let mut b = Engine::new(cfg, Placement::homogeneous(4, 1, GpuType::V100));
+        for _ in 0..3 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(params_bits(&a), params_bits(&b));
+    }
+}

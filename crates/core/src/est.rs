@@ -1,0 +1,91 @@
+//! The EasyScaleThread context: everything one logical worker owns that
+//! cannot be shared.
+//!
+//! The paper's working-set taxonomy (§3.2) sorts an EST's GPU-resident state
+//! into three classes. Temporal tensors/activations die at mini-batch
+//! boundaries — nothing to save. Model parameters and optimizer state are
+//! identical across ESTs within a global step — shared, one replica per
+//! worker. What remains — and what this struct is — is the genuinely
+//! per-EST state: RNG positions, BatchNorm running statistics, and the
+//! gradient produced by the current local step (the one buffer "swapped to
+//! CPU" during a context switch).
+
+use esrng::{EsRng, RngState, StreamKey, StreamKind};
+use models::ImplicitState;
+use serde::{Deserialize, Serialize};
+
+/// Serializable per-EST state (the paper's "context of EST").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstContext {
+    /// Constant virtual communication rank (never changes for the lifetime
+    /// of the job; keys the data shard, RNG streams, and ring slot).
+    pub vrank: u32,
+    /// Dropout generator position.
+    pub dropout: RngState,
+    /// BatchNorm running stats (empty vectors for stateless layers).
+    pub implicit: ImplicitState,
+    /// Local steps completed.
+    pub steps: u64,
+    /// Loss of the most recent local step (0.0 before the first step;
+    /// diagnostics — Fig 9 plots the last worker's loss).
+    pub last_loss: f32,
+}
+
+impl EstContext {
+    /// Fresh context for virtual rank `vrank` under `seed`, with the given
+    /// initial implicit state (from the freshly-initialized model).
+    pub fn fresh(seed: u64, vrank: u32, implicit: ImplicitState) -> Self {
+        let rng = EsRng::for_stream(seed, StreamKey::ranked(StreamKind::Dropout, vrank));
+        EstContext { vrank, dropout: rng.state(), implicit, steps: 0, last_loss: 0.0 }
+    }
+
+    /// Open the dropout generator at the stored position.
+    pub fn dropout_rng(&self) -> EsRng {
+        EsRng::restore(self.dropout)
+    }
+
+    /// Approximate in-memory size of the context in bytes — the quantity
+    /// context switching has to move, which the design keeps small.
+    pub fn approx_bytes(&self) -> usize {
+        let implicit: usize =
+            self.implicit.per_layer.iter().flatten().map(|t| t.nbytes()).sum();
+        implicit + std::mem::size_of::<RngState>() + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::zoo::build_proxy;
+    use models::Workload;
+
+    #[test]
+    fn fresh_contexts_have_rank_keyed_rng() {
+        let implicit = build_proxy(Workload::ResNet18, 1).implicit_state();
+        let a = EstContext::fresh(7, 0, implicit.clone());
+        let b = EstContext::fresh(7, 1, implicit);
+        assert_ne!(a.dropout.key, b.dropout.key, "ranks draw from disjoint streams");
+    }
+
+    #[test]
+    fn context_is_small_relative_to_model() {
+        let model = build_proxy(Workload::ResNet18, 1);
+        let ctx = EstContext::fresh(7, 0, model.implicit_state());
+        let model_bytes = model.num_params() * 4;
+        assert!(
+            ctx.approx_bytes() * 10 < model_bytes,
+            "EST context ({}) must be far smaller than parameters ({})",
+            ctx.approx_bytes(),
+            model_bytes
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let implicit = build_proxy(Workload::ResNet18, 1).implicit_state();
+        let ctx = EstContext::fresh(9, 3, implicit);
+        let json = serde_json::to_string(&ctx).unwrap();
+        let back: EstContext = serde_json::from_str(&json).unwrap();
+        assert_eq!(ctx, back);
+    }
+}

@@ -1,0 +1,211 @@
+//! Durable checkpoint storage.
+//!
+//! The production system writes on-demand checkpoints to shared storage so
+//! a job can resume on *different machines* after a preemption. This module
+//! provides the same contract on the local filesystem: versioned, atomic
+//! (write-to-temp + rename) checkpoint files, with a keep-last-N retention
+//! policy so a crashed write never destroys the previous good checkpoint.
+
+use crate::checkpoint::JobCheckpoint;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// On-disk format version (bump on incompatible `JobCheckpoint` changes).
+pub const FORMAT_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    version: u32,
+    job_name: String,
+    checkpoint: JobCheckpoint,
+}
+
+/// A directory of checkpoints for one job.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    job_name: String,
+    keep_last: usize,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a store under `dir` for `job_name`.
+    pub fn open(dir: impl AsRef<Path>, job_name: &str) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir, job_name: job_name.to_string(), keep_last: 3 })
+    }
+
+    /// Override the retention count (default 3).
+    pub fn with_keep_last(mut self, n: usize) -> Self {
+        self.keep_last = n.max(1);
+        self
+    }
+
+    fn path_for(&self, step: u64) -> PathBuf {
+        self.dir.join(format!("{}.step{step:012}.ckpt.json", self.job_name))
+    }
+
+    /// Persist a checkpoint atomically; prunes old checkpoints beyond the
+    /// retention count.
+    pub fn save(&self, ckpt: &JobCheckpoint) -> io::Result<PathBuf> {
+        let envelope = Envelope {
+            version: FORMAT_VERSION,
+            job_name: self.job_name.clone(),
+            checkpoint: ckpt.clone(),
+        };
+        let bytes = serde_json::to_vec(&envelope)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let final_path = self.path_for(ckpt.global_step);
+        let tmp_path = final_path.with_extension("tmp");
+        fs::write(&tmp_path, &bytes)?;
+        fs::rename(&tmp_path, &final_path)?;
+        self.prune()?;
+        Ok(final_path)
+    }
+
+    /// List available checkpoint steps, ascending.
+    pub fn list_steps(&self) -> io::Result<Vec<u64>> {
+        let prefix = format!("{}.step", self.job_name);
+        let mut steps = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                if let Some(step_str) = rest.strip_suffix(".ckpt.json") {
+                    if let Ok(step) = step_str.parse::<u64>() {
+                        steps.push(step);
+                    }
+                }
+            }
+        }
+        steps.sort_unstable();
+        Ok(steps)
+    }
+
+    /// Load the checkpoint at a specific step.
+    pub fn load(&self, step: u64) -> io::Result<JobCheckpoint> {
+        let bytes = fs::read(self.path_for(step))?;
+        let envelope: Envelope = serde_json::from_slice(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if envelope.version != FORMAT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint version {} != {}", envelope.version, FORMAT_VERSION),
+            ));
+        }
+        if envelope.job_name != self.job_name {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint belongs to job `{}`", envelope.job_name),
+            ));
+        }
+        Ok(envelope.checkpoint)
+    }
+
+    /// Load the most recent checkpoint, if any.
+    pub fn load_latest(&self) -> io::Result<Option<JobCheckpoint>> {
+        match self.list_steps()?.last() {
+            Some(&step) => Ok(Some(self.load(step)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        let steps = self.list_steps()?;
+        if steps.len() > self.keep_last {
+            for &step in &steps[..steps.len() - self.keep_last] {
+                fs::remove_file(self.path_for(step))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, JobConfig, Placement};
+    use device::GpuType;
+    use models::Workload;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "easyscale-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn engine() -> Engine {
+        let cfg = JobConfig::new(Workload::NeuMF, 5, 2).with_dataset_len(128);
+        Engine::new(cfg, Placement::homogeneous(2, 1, GpuType::V100))
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let store = CheckpointStore::open(&dir, "job-a").unwrap();
+        let mut e = engine();
+        e.run(3);
+        let ckpt = e.checkpoint();
+        store.save(&ckpt).unwrap();
+        let loaded = store.load(3).unwrap();
+        assert_eq!(ckpt, loaded);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_picks_newest() {
+        let dir = tmpdir("latest");
+        let store = CheckpointStore::open(&dir, "job-b").unwrap();
+        let mut e = engine();
+        for _ in 0..3 {
+            e.step();
+            store.save(&e.checkpoint()).unwrap();
+        }
+        let latest = store.load_latest().unwrap().unwrap();
+        assert_eq!(latest.global_step, 3);
+        assert_eq!(store.list_steps().unwrap(), vec![1, 2, 3]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_prunes_old_checkpoints() {
+        let dir = tmpdir("prune");
+        let store = CheckpointStore::open(&dir, "job-c").unwrap().with_keep_last(2);
+        let mut e = engine();
+        for _ in 0..5 {
+            e.step();
+            store.save(&e.checkpoint()).unwrap();
+        }
+        assert_eq!(store.list_steps().unwrap(), vec![4, 5]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_job_name_rejected() {
+        let dir = tmpdir("wrongname");
+        let store_a = CheckpointStore::open(&dir, "job-a").unwrap();
+        let mut e = engine();
+        e.step();
+        store_a.save(&e.checkpoint()).unwrap();
+        // Same file prefix collision is impossible; simulate by opening the
+        // same dir under a different job and checking load-by-step fails
+        // with NotFound (different prefix) rather than cross-loading.
+        let store_b = CheckpointStore::open(&dir, "job-b").unwrap();
+        assert!(store_b.load(1).is_err());
+        assert!(store_b.load_latest().unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_has_no_latest() {
+        let dir = tmpdir("empty");
+        let store = CheckpointStore::open(&dir, "job-d").unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

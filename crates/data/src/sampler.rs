@@ -1,0 +1,170 @@
+//! The distributed sampler: epoch permutation + per-virtual-rank sharding.
+//!
+//! Mirrors `torch.utils.data.DistributedSampler`: one global permutation per
+//! epoch (seeded by `seed + epoch`), padded so every replica gets the same
+//! number of samples, then sharded by *virtual* rank with stride `n`. The
+//! virtual rank — not the physical worker id — is the sharding key, which is
+//! the property that makes the data order placement-independent.
+
+use esrng::{EsRng, StreamKey, StreamKind};
+
+/// Per-epoch sharded index generator.
+#[derive(Debug, Clone)]
+pub struct DistributedSampler {
+    dataset_len: usize,
+    n_replicas: u32,
+    seed: u64,
+    shuffle: bool,
+}
+
+impl DistributedSampler {
+    /// Build a sampler for `n_replicas` logical workers (ESTs).
+    pub fn new(dataset_len: usize, n_replicas: u32, seed: u64, shuffle: bool) -> Self {
+        assert!(n_replicas > 0, "need at least one replica");
+        assert!(dataset_len > 0, "empty dataset");
+        DistributedSampler { dataset_len, n_replicas, seed, shuffle }
+    }
+
+    /// Number of logical replicas.
+    pub fn n_replicas(&self) -> u32 {
+        self.n_replicas
+    }
+
+    /// Samples each replica sees per epoch (dataset padded up to a multiple
+    /// of `n_replicas` by wrapping, as PyTorch does with `drop_last=False`).
+    pub fn samples_per_replica(&self) -> usize {
+        self.dataset_len.div_ceil(self.n_replicas as usize)
+    }
+
+    /// Mini-batches per replica per epoch for a given per-replica batch size
+    /// (partial trailing batches dropped, PyTorch `drop_last=True` style —
+    /// the common distributed-training configuration).
+    pub fn batches_per_epoch(&self, batch_size: usize) -> usize {
+        self.samples_per_replica() / batch_size
+    }
+
+    /// The global permutation for an epoch (identity when shuffling is off).
+    pub fn epoch_permutation(&self, epoch: u64) -> Vec<u32> {
+        let padded = self.samples_per_replica() * self.n_replicas as usize;
+        let mut base: Vec<u32> = if self.shuffle {
+            let mut rng = EsRng::for_stream(
+                self.seed,
+                StreamKey::indexed(StreamKind::Sampler, 0, epoch),
+            );
+            rng.permutation(self.dataset_len)
+        } else {
+            (0..self.dataset_len as u32).collect()
+        };
+        // Pad by wrapping from the front, like DistributedSampler.
+        for i in 0..(padded - self.dataset_len) {
+            let v = base[i % self.dataset_len];
+            base.push(v);
+        }
+        base
+    }
+
+    /// The indices of mini-batch `batch` for replica `vrank` in `epoch`.
+    ///
+    /// Sharding is strided: replica r takes positions r, r+n, r+2n, … of the
+    /// padded permutation.
+    pub fn batch_indices(&self, epoch: u64, vrank: u32, batch: usize, batch_size: usize) -> Vec<u32> {
+        self.batch_indices_in(&self.epoch_permutation(epoch), vrank, batch, batch_size)
+    }
+
+    /// Like [`DistributedSampler::batch_indices`], against a permutation the
+    /// caller already computed with [`DistributedSampler::epoch_permutation`]
+    /// — avoids regenerating the O(dataset) permutation per batch (callers
+    /// that iterate a whole epoch should cache it).
+    pub fn batch_indices_in(
+        &self,
+        perm: &[u32],
+        vrank: u32,
+        batch: usize,
+        batch_size: usize,
+    ) -> Vec<u32> {
+        assert!(vrank < self.n_replicas, "vrank {vrank} out of range");
+        assert!(
+            batch * batch_size + batch_size <= self.samples_per_replica(),
+            "batch {batch} (size {batch_size}) exceeds the {}-sample shard",
+            self.samples_per_replica()
+        );
+        assert_eq!(
+            perm.len(),
+            self.samples_per_replica() * self.n_replicas as usize,
+            "permutation length mismatch"
+        );
+        let n = self.n_replicas as usize;
+        (0..batch_size)
+            .map(|i| {
+                let shard_pos = batch * batch_size + i;
+                perm[shard_pos * n + vrank as usize]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_partition_the_padded_permutation() {
+        let s = DistributedSampler::new(103, 4, 9, true);
+        let per = s.samples_per_replica();
+        assert_eq!(per, 26);
+        let mut all: Vec<u32> = Vec::new();
+        for r in 0..4 {
+            for b in 0..per {
+                all.extend(s.batch_indices(0, r, b, 1));
+            }
+        }
+        assert_eq!(all.len(), 104);
+        // Every dataset index appears at least once; padding duplicates one.
+        let mut seen = vec![0u32; 103];
+        for &i in &all {
+            seen[i as usize] += 1;
+        }
+        assert!(seen.iter().all(|&c| c >= 1));
+        assert_eq!(seen.iter().sum::<u32>(), 104);
+    }
+
+    #[test]
+    fn epochs_reshuffle_deterministically() {
+        let s = DistributedSampler::new(100, 2, 5, true);
+        let e0 = s.epoch_permutation(0);
+        let e1 = s.epoch_permutation(1);
+        assert_ne!(e0, e1, "different epochs shuffle differently");
+        assert_eq!(e0, s.epoch_permutation(0), "same epoch always identical");
+    }
+
+    #[test]
+    fn no_shuffle_is_identity_order() {
+        let s = DistributedSampler::new(8, 2, 5, false);
+        assert_eq!(s.batch_indices(0, 0, 0, 2), vec![0, 2]);
+        assert_eq!(s.batch_indices(0, 1, 0, 2), vec![1, 3]);
+        assert_eq!(s.batch_indices(3, 1, 1, 2), vec![5, 7], "epoch doesn't matter without shuffle");
+    }
+
+    #[test]
+    fn vrank_sharding_is_placement_independent() {
+        // The same (epoch, vrank, batch) triple yields the same indices no
+        // matter how the sampler object was created or used before.
+        let s1 = DistributedSampler::new(1000, 8, 77, true);
+        let s2 = DistributedSampler::new(1000, 8, 77, true);
+        let _ = s2.epoch_permutation(5); // unrelated use
+        assert_eq!(s1.batch_indices(2, 3, 6, 16), s2.batch_indices(2, 3, 6, 16));
+    }
+
+    #[test]
+    fn batches_per_epoch_drops_partial() {
+        let s = DistributedSampler::new(100, 4, 0, false);
+        // 25 per replica; batch 8 → 3 full batches.
+        assert_eq!(s.batches_per_epoch(8), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "vrank")]
+    fn vrank_bounds_checked() {
+        DistributedSampler::new(10, 2, 0, false).batch_indices(0, 2, 0, 1);
+    }
+}

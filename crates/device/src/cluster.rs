@@ -1,0 +1,131 @@
+//! Cluster inventory: servers and GPUs.
+
+use crate::GpuType;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique GPU identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GpuId(pub u32);
+
+/// Globally unique server identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+/// One physical GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gpu {
+    /// Unique id.
+    pub id: GpuId,
+    /// Hosting server.
+    pub server: ServerId,
+    /// Device generation.
+    pub gpu_type: GpuType,
+}
+
+/// One server with homogeneous GPUs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Server {
+    /// Unique id.
+    pub id: ServerId,
+    /// GPUs installed in this server.
+    pub gpus: Vec<Gpu>,
+}
+
+/// A cluster: the unit the inter-job scheduler allocates from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// All servers.
+    pub servers: Vec<Server>,
+}
+
+impl ClusterSpec {
+    /// Build a cluster from `(gpu_type, servers, gpus_per_server)` groups.
+    pub fn build(groups: &[(GpuType, u32, u32)]) -> Self {
+        let mut servers = Vec::new();
+        let mut next_gpu = 0u32;
+        let mut next_server = 0u32;
+        for &(ty, nservers, per) in groups {
+            for _ in 0..nservers {
+                let sid = ServerId(next_server);
+                next_server += 1;
+                let gpus = (0..per)
+                    .map(|_| {
+                        let g = Gpu { id: GpuId(next_gpu), server: sid, gpu_type: ty };
+                        next_gpu += 1;
+                        g
+                    })
+                    .collect();
+                servers.push(Server { id: sid, gpus });
+            }
+        }
+        ClusterSpec { servers }
+    }
+
+    /// The paper's 64-GPU trace-experiment cluster (§5.2): 4 servers × 8
+    /// V100, 8 servers × 2 P100, 4 servers × 4 T4.
+    pub fn paper_trace_cluster() -> Self {
+        Self::build(&[(GpuType::V100, 4, 8), (GpuType::P100, 8, 2), (GpuType::T4, 4, 4)])
+    }
+
+    /// A production-scale cluster in the spirit of §5.3 (3,000+ GPUs).
+    pub fn production_cluster() -> Self {
+        Self::build(&[
+            (GpuType::V100, 200, 8),
+            (GpuType::P100, 300, 2),
+            (GpuType::T4, 250, 4),
+        ])
+    }
+
+    /// Iterate over every GPU.
+    pub fn gpus(&self) -> impl Iterator<Item = &Gpu> {
+        self.servers.iter().flat_map(|s| s.gpus.iter())
+    }
+
+    /// Total GPU count.
+    pub fn gpu_count(&self) -> usize {
+        self.servers.iter().map(|s| s.gpus.len()).sum()
+    }
+
+    /// GPU count of one type.
+    pub fn count_of(&self, ty: GpuType) -> usize {
+        self.gpus().filter(|g| g.gpu_type == ty).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_has_64_gpus() {
+        let c = ClusterSpec::paper_trace_cluster();
+        assert_eq!(c.gpu_count(), 64);
+        assert_eq!(c.count_of(GpuType::V100), 32);
+        assert_eq!(c.count_of(GpuType::P100), 16);
+        assert_eq!(c.count_of(GpuType::T4), 16);
+    }
+
+    #[test]
+    fn production_cluster_has_3000_plus() {
+        let c = ClusterSpec::production_cluster();
+        assert!(c.gpu_count() >= 3000, "got {}", c.gpu_count());
+    }
+
+    #[test]
+    fn gpu_ids_are_unique_and_dense() {
+        let c = ClusterSpec::paper_trace_cluster();
+        let mut ids: Vec<u32> = c.gpus().map(|g| g.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn servers_are_homogeneous() {
+        let c = ClusterSpec::paper_trace_cluster();
+        for s in &c.servers {
+            let t0 = s.gpus[0].gpu_type;
+            assert!(s.gpus.iter().all(|g| g.gpu_type == t0));
+            assert!(s.gpus.iter().all(|g| g.server == s.id));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Simulated GPU devices, servers, and clusters.
+//!
+//! The paper's testbeds are (a) a 64-GPU cloud cluster — 4 servers × 8 V100,
+//! 8 servers × 2 P100, 4 servers × 4 T4 — and (b) a 3,000+ GPU production
+//! cluster. This crate provides the device catalog those experiments need:
+//! per-type compute capability, memory capacity and the CUDA-context cost
+//! that makes naive worker packing blow up (Fig 10), and cluster inventories
+//! for the scheduling experiments (Figs 14–16).
+
+#![deny(missing_docs)]
+
+pub mod cluster;
+pub mod memory;
+pub mod perf;
+
+pub use cluster::{ClusterSpec, Gpu, GpuId, Server, ServerId};
+pub use memory::{MemoryModel, OomError, CUDA_CONTEXT_BYTES};
+pub use perf::PerfModel;
+
+use serde::{Deserialize, Serialize};
+
+/// The GPU generations in the paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GpuType {
+    /// NVIDIA V100 (Volta, 80 SMs) — 32 GB variant as in §5.1.2.
+    V100,
+    /// NVIDIA P100 (Pascal, 56 SMs), 16 GB.
+    P100,
+    /// NVIDIA T4 (Turing, 40 SMs), 16 GB.
+    T4,
+}
+
+impl GpuType {
+    /// All catalogued types, fastest first.
+    pub const ALL: [GpuType; 3] = [GpuType::V100, GpuType::P100, GpuType::T4];
+
+    /// Streaming-multiprocessor count — feeds `KernelProfile::vendor_optimized`,
+    /// making the heterogeneity-determinism problem physically real.
+    pub fn sm_count(self) -> u32 {
+        match self {
+            GpuType::V100 => 80,
+            GpuType::P100 => 56,
+            GpuType::T4 => 40,
+        }
+    }
+
+    /// Device memory in bytes.
+    pub fn memory_bytes(self) -> u64 {
+        match self {
+            GpuType::V100 => 32 * GIB,
+            GpuType::P100 => 16 * GIB,
+            GpuType::T4 => 16 * GIB,
+        }
+    }
+
+    /// Relative training compute capability (V100 ≡ 1.0). Calibrated to the
+    /// rough fp32 training throughput ratios of the three parts.
+    pub fn relative_capability(self) -> f64 {
+        match self {
+            GpuType::V100 => 1.0,
+            GpuType::P100 => 0.55,
+            GpuType::T4 => 0.40,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuType::V100 => "V100",
+            GpuType::P100 => "P100",
+            GpuType::T4 => "T4",
+        }
+    }
+}
+
+impl std::fmt::Display for GpuType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One GiB in bytes.
+pub const GIB: u64 = 1024 * 1024 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_ordered_by_capability() {
+        let caps: Vec<f64> = GpuType::ALL.iter().map(|g| g.relative_capability()).collect();
+        assert!(caps.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn sm_counts_are_distinct() {
+        let sms: std::collections::HashSet<u32> =
+            GpuType::ALL.iter().map(|g| g.sm_count()).collect();
+        assert_eq!(sms.len(), 3, "distinct SM counts are what makes D2 non-trivial");
+    }
+
+    #[test]
+    fn v100_has_32_gib() {
+        assert_eq!(GpuType::V100.memory_bytes(), 32 * GIB);
+    }
+}

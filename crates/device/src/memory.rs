@@ -1,0 +1,210 @@
+//! GPU memory accounting.
+//!
+//! The Fig 10 experiment contrasts two ways of putting N logical workers on
+//! one GPU: *worker packing* (N independent processes, each paying a CUDA
+//! context, parameters, optimizer state, activations, and gradients) versus
+//! *EasyScale* (one context, shared parameters/optimizer, one activation
+//! working set, gradients swapped to host between local steps). This module
+//! is the ledger both sides are measured against.
+
+use crate::GpuType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Memory consumed by one CUDA context (framework + CUDA runtime); the paper
+/// measures ~750 MB per context (§3.1: 16 contexts cost 12 GB).
+pub const CUDA_CONTEXT_BYTES: u64 = 750 * 1024 * 1024;
+
+/// Error returned when an allocation exceeds device capacity — the OOM the
+/// paper's worker packing runs into at 8 workers (ResNet50) / 2 workers
+/// (ShuffleNetV2 at batch 512).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OomError {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes already in use.
+    pub in_use: u64,
+    /// Device capacity.
+    pub capacity: u64,
+    /// Label of the failing allocation.
+    pub what: String,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CUDA out of memory: tried to allocate {} MiB for `{}` ({} MiB in use, {} MiB capacity)",
+            self.requested / (1024 * 1024),
+            self.what,
+            self.in_use / (1024 * 1024),
+            self.capacity / (1024 * 1024)
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// A simulated device memory arena with named allocations.
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    capacity: u64,
+    allocations: HashMap<String, u64>,
+    in_use: u64,
+    peak: u64,
+}
+
+impl MemoryModel {
+    /// Arena sized for a GPU type.
+    pub fn for_gpu(gpu: GpuType) -> Self {
+        Self::with_capacity(gpu.memory_bytes())
+    }
+
+    /// Arena with an explicit capacity.
+    pub fn with_capacity(capacity: u64) -> Self {
+        MemoryModel { capacity, allocations: HashMap::new(), in_use: 0, peak: 0 }
+    }
+
+    /// Allocate `bytes` under `name`; the same name may be allocated several
+    /// times (sizes accumulate), matching how a process allocates per-batch.
+    pub fn alloc(&mut self, name: &str, bytes: u64) -> Result<(), OomError> {
+        if self.in_use + bytes > self.capacity {
+            return Err(OomError {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+                what: name.to_string(),
+            });
+        }
+        *self.allocations.entry(name.to_string()).or_insert(0) += bytes;
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        Ok(())
+    }
+
+    /// Free everything allocated under `name`; freeing an absent name is a
+    /// no-op (mirrors caching allocators that already released).
+    pub fn free(&mut self, name: &str) {
+        if let Some(bytes) = self.allocations.remove(name) {
+            self.in_use -= bytes;
+        }
+    }
+
+    /// Bytes currently in use.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// High-water mark since construction — the "peak GPU memory" curve of
+    /// Fig 10.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Device capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes held by one named allocation (0 if absent).
+    pub fn allocated(&self, name: &str) -> u64 {
+        self.allocations.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Per-worker memory footprint of a training workload, in bytes. The four
+/// categories follow the paper's working-set taxonomy (§3.2): parameters +
+/// optimizer state (shared by ESTs), activations/temporaries (freed at
+/// mini-batch boundaries), gradients (the only per-EST state swapped to
+/// host), plus the per-process CUDA context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadFootprint {
+    /// Model parameters + optimizer state bytes.
+    pub params_and_opt: u64,
+    /// Peak activation/temporary bytes for one mini-batch.
+    pub activations: u64,
+    /// Gradient buffer bytes (≈ parameter bytes).
+    pub gradients: u64,
+}
+
+impl WorkloadFootprint {
+    /// Peak device memory for `n` packed workers (independent processes):
+    /// every category plus a CUDA context is replicated n times.
+    pub fn packed_peak(&self, n: u64) -> u64 {
+        n * (CUDA_CONTEXT_BYTES + self.params_and_opt + self.activations + self.gradients)
+    }
+
+    /// Peak device memory for `n` ESTs in one EasyScale worker: one context,
+    /// one parameter/optimizer replica, one activation working set, and at
+    /// most two gradient buffers resident at once (current EST's being
+    /// produced while the previous EST's overlaps its copy-out to host).
+    pub fn easyscale_peak(&self, n: u64) -> u64 {
+        let grad_buffers = if n > 1 { 2 } else { 1 };
+        CUDA_CONTEXT_BYTES + self.params_and_opt + self.activations + grad_buffers * self.gradients
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = MemoryModel::with_capacity(1000);
+        m.alloc("a", 400).unwrap();
+        m.alloc("b", 500).unwrap();
+        assert_eq!(m.in_use(), 900);
+        m.free("a");
+        assert_eq!(m.in_use(), 500);
+        assert_eq!(m.peak(), 900);
+    }
+
+    #[test]
+    fn oom_is_reported_not_silently_clamped() {
+        let mut m = MemoryModel::with_capacity(1000);
+        m.alloc("a", 800).unwrap();
+        let err = m.alloc("b", 300).unwrap_err();
+        assert_eq!(err.requested, 300);
+        assert_eq!(err.in_use, 800);
+        assert!(err.to_string().contains("out of memory"));
+        // Failed allocation must not be recorded.
+        assert_eq!(m.in_use(), 800);
+    }
+
+    #[test]
+    fn repeated_alloc_same_name_accumulates() {
+        let mut m = MemoryModel::with_capacity(1000);
+        m.alloc("acts", 100).unwrap();
+        m.alloc("acts", 100).unwrap();
+        assert_eq!(m.allocated("acts"), 200);
+        m.free("acts");
+        assert_eq!(m.in_use(), 0);
+    }
+
+    #[test]
+    fn packing_grows_linearly_easyscale_stays_flat() {
+        let fp = WorkloadFootprint {
+            params_and_opt: 1_000_000_000,
+            activations: 4_000_000_000,
+            gradients: 500_000_000,
+        };
+        let packed_1 = fp.packed_peak(1);
+        let packed_8 = fp.packed_peak(8);
+        assert_eq!(packed_8, 8 * packed_1);
+        let es_1 = fp.easyscale_peak(1);
+        let es_16 = fp.easyscale_peak(16);
+        // EasyScale pays at most one extra gradient buffer, independent of n.
+        assert_eq!(es_16 - es_1, fp.gradients);
+        assert_eq!(fp.easyscale_peak(2), fp.easyscale_peak(16));
+    }
+
+    #[test]
+    fn sixteen_contexts_cost_about_12gb() {
+        // Sanity anchor from the paper: "16 workers on a 16GB V100 GPU costs
+        // 12GB GPU memory for CUDA contexts (around 750MB per context)".
+        let total = 16 * CUDA_CONTEXT_BYTES;
+        let twelve_gib = 12 * 1024 * 1024 * 1024u64;
+        let rel = (total as f64 - twelve_gib as f64).abs() / twelve_gib as f64;
+        assert!(rel < 0.03, "16 contexts should cost ≈12 GiB, got {total}");
+    }
+}

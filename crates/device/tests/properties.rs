@@ -1,0 +1,87 @@
+//! Property-based tests for the device models: memory-ledger invariants and
+//! performance-model monotonicity.
+
+use device::memory::WorkloadFootprint;
+use device::{GpuType, MemoryModel, PerfModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// The memory ledger never goes negative, never exceeds capacity, and
+    /// alloc/free sequences balance exactly.
+    #[test]
+    fn ledger_invariants(ops in prop::collection::vec((0u8..2, 0u64..2000), 1..64)) {
+        let mut m = MemoryModel::with_capacity(10_000);
+        let mut live: Vec<(String, u64)> = Vec::new();
+        for (i, (kind, bytes)) in ops.into_iter().enumerate() {
+            if kind == 0 {
+                let name = format!("a{i}");
+                if m.alloc(&name, bytes).is_ok() {
+                    live.push((name, bytes));
+                }
+            } else if let Some((name, _)) = live.pop() {
+                m.free(&name);
+            }
+            let expect: u64 = live.iter().map(|(_, b)| b).sum();
+            prop_assert_eq!(m.in_use(), expect);
+            prop_assert!(m.in_use() <= m.capacity());
+            prop_assert!(m.peak() >= m.in_use());
+        }
+    }
+
+    /// Failed allocations change nothing.
+    #[test]
+    fn failed_alloc_is_a_noop(cap in 1u64..1000, req in 0u64..5000) {
+        let mut m = MemoryModel::with_capacity(cap);
+        m.alloc("base", cap / 2).unwrap();
+        let before = m.in_use();
+        if req > cap - cap / 2 {
+            prop_assert!(m.alloc("big", req).is_err());
+            prop_assert_eq!(m.in_use(), before);
+        }
+    }
+
+    /// Packing memory is exactly linear in worker count; EasyScale memory
+    /// is constant beyond 2 workers.
+    #[test]
+    fn footprint_shapes(
+        params in 1u64..10_000_000_000,
+        acts in 1u64..10_000_000_000,
+        grads in 1u64..1_000_000_000,
+        n in 2u64..32,
+    ) {
+        let fp = WorkloadFootprint { params_and_opt: params, activations: acts, gradients: grads };
+        prop_assert_eq!(fp.packed_peak(n), n * fp.packed_peak(1));
+        prop_assert_eq!(fp.easyscale_peak(n), fp.easyscale_peak(2));
+        prop_assert!(fp.easyscale_peak(n) <= fp.packed_peak(2));
+    }
+
+    /// Mini-batch time is monotone in GPU slowness and kernel overhead.
+    #[test]
+    fn perf_monotonicity(base in 1e-3f64..2.0, overhead in 1.0f64..6.0) {
+        let m = PerfModel::default();
+        let v = m.minibatch_time(base, GpuType::V100, overhead);
+        let p = m.minibatch_time(base, GpuType::P100, overhead);
+        let t = m.minibatch_time(base, GpuType::T4, overhead);
+        prop_assert!(v < p && p < t);
+        prop_assert!(m.minibatch_time(base, GpuType::V100, 1.0) <= v);
+    }
+
+    /// EasyScale per-logical-worker throughput never varies more than the
+    /// context-switch fraction across EST counts.
+    #[test]
+    fn easyscale_throughput_flatness(base in 1e-3f64..2.0, n in 2u32..64) {
+        let m = PerfModel::default();
+        let t1 = m.easyscale_throughput(base, 1);
+        let tn = m.easyscale_throughput(base, n);
+        prop_assert!((t1 / tn - 1.0).abs() < 0.02);
+    }
+
+    /// Packing throughput is bounded by the configured peak speedup.
+    #[test]
+    fn packing_speedup_bounded(base in 1e-3f64..2.0, n in 1u32..64) {
+        let m = PerfModel::default();
+        let ratio = m.packing_throughput(base, n) / m.packing_throughput(base, 1);
+        prop_assert!(ratio <= m.packing_peak_speedup + 1e-9);
+        prop_assert!(ratio >= 1.0 - 1e-9);
+    }
+}

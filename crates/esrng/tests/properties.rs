@@ -1,0 +1,77 @@
+//! Property-based tests for the counter-based RNG: the capture/restore and
+//! skip laws that EST checkpointing depends on must hold for *every*
+//! generator position, not just the ones the unit tests picked.
+
+use esrng::{EsRng, StreamKey, StreamKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// Capture → restore resumes the exact sequence from any position.
+    #[test]
+    fn capture_restore_from_any_position(key in any::<u64>(), advance in 0usize..200, tail in 1usize..64) {
+        let mut a = EsRng::from_key(key);
+        for _ in 0..advance {
+            a.next_u32();
+        }
+        let snap = a.state();
+        let expect: Vec<u32> = (0..tail).map(|_| a.next_u32()).collect();
+        let mut b = EsRng::restore(snap);
+        let got: Vec<u32> = (0..tail).map(|_| b.next_u32()).collect();
+        prop_assert_eq!(expect, got);
+    }
+
+    /// skip(n) ≡ n draws, from any starting offset.
+    #[test]
+    fn skip_equals_draws(key in any::<u64>(), offset in 0usize..10, n in 0u64..500) {
+        let mut a = EsRng::from_key(key);
+        let mut b = EsRng::from_key(key);
+        for _ in 0..offset {
+            a.next_u32();
+            b.next_u32();
+        }
+        for _ in 0..n {
+            a.next_u32();
+        }
+        b.skip(n);
+        prop_assert_eq!(a.state(), b.state());
+        prop_assert_eq!(a.next_u32(), b.next_u32());
+    }
+
+    /// Uniform draws always land in [0, 1).
+    #[test]
+    fn uniform_in_range(key in any::<u64>(), n in 1usize..200) {
+        let mut rng = EsRng::from_key(key);
+        for _ in 0..n {
+            let u = rng.uniform_f32();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    /// next_below respects its bound for every bound.
+    #[test]
+    fn next_below_in_range(key in any::<u64>(), bound in 1u32..10_000) {
+        let mut rng = EsRng::from_key(key);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Permutations are permutations, always.
+    #[test]
+    fn permutation_property(key in any::<u64>(), n in 1usize..300) {
+        let mut rng = EsRng::from_key(key);
+        let mut p = rng.permutation(n);
+        p.sort_unstable();
+        prop_assert_eq!(p, (0..n as u32).collect::<Vec<u32>>());
+    }
+
+    /// Stream keys that differ in any field derive different Philox keys
+    /// (no accidental stream collisions).
+    #[test]
+    fn stream_keys_decorrelate(seed in any::<u64>(), r1 in 0u32..64, r2 in 0u32..64, i1 in 0u64..1000, i2 in 0u64..1000) {
+        prop_assume!(r1 != r2 || i1 != i2);
+        let a = StreamKey::indexed(StreamKind::Augmentation, r1, i1).derive_key(seed);
+        let b = StreamKey::indexed(StreamKind::Augmentation, r2, i2).derive_key(seed);
+        prop_assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,286 @@
+//! 2-D convolution layer (im2col + matmul formulation).
+//!
+//! This is the layer whose vendor-optimized kernels the paper's D2 analysis
+//! is about: its forward/backward matmuls inherit their accumulation order
+//! from the `KernelProfile`, so the same weights on "different GPUs"
+//! (different vendor profiles) produce different bits unless the hardware-
+//! agnostic profile is pinned.
+
+use crate::model::{ExecCtx, Layer};
+use esrng::EsRng;
+use tensor::ops::{self, ConvGeom};
+use tensor::Tensor;
+
+/// Conv2d: input `[B, cin, h, w]` → output `[B, cout, oh, ow]`.
+pub struct Conv2d {
+    /// `[cout, cin*k*k]` (pre-flattened for the im2col matmul).
+    weight: Tensor,
+    bias: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    cin: usize,
+    cout: usize,
+    geom: ConvGeom,
+    cached: Option<Cached>,
+}
+
+struct Cached {
+    cols: Vec<Tensor>,
+    in_h: usize,
+    in_w: usize,
+    batch: usize,
+}
+
+impl Conv2d {
+    /// Kaiming-uniform initialized convolution.
+    pub fn init(cin: usize, cout: usize, kernel: usize, stride: usize, pad: usize, rng: &mut EsRng) -> Self {
+        let fan_in = cin * kernel * kernel;
+        let bound = (6.0 / fan_in as f32).sqrt();
+        let weight = Tensor::from_vec(
+            (0..cout * fan_in).map(|_| rng.uniform_range_f32(-bound, bound)).collect(),
+            &[cout, fan_in],
+        );
+        Conv2d {
+            gw: Tensor::zeros(&[cout, fan_in]),
+            gb: Tensor::zeros(&[cout]),
+            bias: Tensor::zeros(&[cout]),
+            weight,
+            cin,
+            cout,
+            geom: ConvGeom { kernel, stride, pad },
+            cached: None,
+        }
+    }
+
+    /// Output spatial dims for an input of `(h, w)`.
+    pub fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        (self.geom.out_size(h), self.geom.out_size(w))
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, ctx: &mut ExecCtx) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "Conv2d expects [B,cin,h,w], got {s:?}");
+        assert_eq!(s[1], self.cin, "channel mismatch");
+        let (b, h, w) = (s[0], s[2], s[3]);
+        let (oh, ow) = self.out_dims(h, w);
+        let plane = self.cin * h * w;
+        let mut out = Tensor::zeros(&[b, self.cout, oh, ow]);
+        let mut cols = Vec::with_capacity(b);
+        {
+            let od = out.data_mut();
+            let out_plane = self.cout * oh * ow;
+            for i in 0..b {
+                let sample = Tensor::from_vec(
+                    x.data()[i * plane..(i + 1) * plane].to_vec(),
+                    &[self.cin, h, w],
+                );
+                let col = ops::im2col(&sample, self.geom);
+                let y = ops::matmul(&self.weight, &col, &ctx.profile);
+                let yd = y.data();
+                let dst = &mut od[i * out_plane..(i + 1) * out_plane];
+                let spatial = oh * ow;
+                for c in 0..self.cout {
+                    let bias = self.bias.data()[c];
+                    for p in 0..spatial {
+                        dst[c * spatial + p] = yd[c * spatial + p] + bias;
+                    }
+                }
+                cols.push(col);
+            }
+        }
+        self.cached = Some(Cached { cols, in_h: h, in_w: w, batch: b });
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor, ctx: &mut ExecCtx) -> Tensor {
+        let cached = self.cached.take().expect("backward before forward");
+        let (b, h, w) = (cached.batch, cached.in_h, cached.in_w);
+        let (oh, ow) = self.out_dims(h, w);
+        let spatial = oh * ow;
+        let out_plane = self.cout * spatial;
+        let in_plane = self.cin * h * w;
+        assert_eq!(grad.shape(), &[b, self.cout, oh, ow], "grad shape mismatch");
+
+        let mut gx = Tensor::zeros(&[b, self.cin, h, w]);
+        for i in 0..b {
+            let g = Tensor::from_vec(
+                grad.data()[i * out_plane..(i + 1) * out_plane].to_vec(),
+                &[self.cout, spatial],
+            );
+            // dW += g · colᵀ   ([cout, spatial]·[spatial, cin·k²]).
+            let dw = ops::matmul_a_bt(&g, &cached.cols[i], &ctx.profile);
+            self.gw.axpy_(1.0, &dw);
+            // db += row sums of g.
+            {
+                let gbd = self.gb.data_mut();
+                let gd = g.data();
+                for c in 0..self.cout {
+                    gbd[c] += ops::blocked_sum(&gd[c * spatial..(c + 1) * spatial], &ctx.profile);
+                }
+            }
+            // dcol = Wᵀ · g, then fold back with col2im.
+            let dcol = ops::matmul_at_b(&self.weight, &g, &ctx.profile);
+            let dx = ops::col2im(&dcol, self.cin, h, w, self.geom);
+            gx.data_mut()[i * in_plane..(i + 1) * in_plane].copy_from_slice(dx.data());
+        }
+        gx
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.gw, &self.gb]
+    }
+
+    fn zero_grads(&mut self) {
+        self.gw.zero_();
+        self.gb.zero_();
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn uses_conv(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esrng::{StreamKey, StreamKind};
+    use tensor::KernelProfile;
+
+    fn init_rng() -> EsRng {
+        EsRng::for_stream(2, StreamKey::global(StreamKind::ModelInit))
+    }
+
+    fn mk_ctx(rng: &mut EsRng) -> ExecCtx<'_> {
+        ExecCtx { profile: KernelProfile::default(), training: true, dropout: rng }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = init_rng();
+        let mut conv = Conv2d::init(3, 8, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let mut drng = init_rng();
+        let mut ctx = mk_ctx(&mut drng);
+        let y = conv.forward(&x, &mut ctx);
+        assert_eq!(y.shape(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn strided_forward_shrinks() {
+        let mut rng = init_rng();
+        let mut conv = Conv2d::init(1, 2, 3, 2, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        let mut drng = init_rng();
+        let mut ctx = mk_ctx(&mut drng);
+        let y = conv.forward(&x, &mut ctx);
+        assert_eq!(y.shape(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = init_rng();
+        let mut conv = Conv2d::init(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::from_vec((0..2 * 2 * 4 * 4).map(|i| ((i * 7) % 13) as f32 * 0.1 - 0.6).collect(), &[2, 2, 4, 4]);
+
+        let loss = |conv: &mut Conv2d, x: &Tensor| -> f32 {
+            let mut drng = init_rng();
+            let mut ctx = mk_ctx(&mut drng);
+            let y = conv.forward(x, &mut ctx);
+            y.data().iter().sum()
+        };
+
+        let base = loss(&mut conv, &x);
+        {
+            let mut drng = init_rng();
+            let mut ctx = mk_ctx(&mut drng);
+            let y = conv.forward(&x, &mut ctx);
+            conv.backward(&Tensor::full(y.shape(), 1.0), &mut ctx);
+        }
+        let eps = 1e-2f32;
+
+        // Check a few weight entries.
+        for &wi in &[0usize, 5, 17] {
+            let analytic = conv.grads()[0].data()[wi];
+            conv.params_mut()[0].data_mut()[wi] += eps;
+            let bumped = loss(&mut conv, &x);
+            conv.params_mut()[0].data_mut()[wi] -= eps;
+            let fd = (bumped - base) / eps;
+            assert!((fd - analytic).abs() < 0.05, "dW[{wi}] fd {fd} vs {analytic}");
+        }
+
+        // Bias gradient: dL/db_c = number of output positions = B*oh*ow.
+        let expected = (2 * 4 * 4) as f32;
+        for c in 0..3 {
+            let got = conv.grads()[1].data()[c];
+            assert!((got - expected).abs() < 1e-3, "db[{c}] = {got}, want {expected}");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = init_rng();
+        let mut conv = Conv2d::init(1, 2, 3, 1, 0, &mut rng);
+        let x = Tensor::from_vec((0..16).map(|i| i as f32 * 0.1).collect(), &[1, 1, 4, 4]);
+        let mut drng = init_rng();
+        let mut ctx = mk_ctx(&mut drng);
+        let y = conv.forward(&x, &mut ctx);
+        let gx = conv.backward(&Tensor::full(y.shape(), 1.0), &mut ctx);
+
+        let loss = |conv: &mut Conv2d, x: &Tensor| -> f32 {
+            let mut drng = init_rng();
+            let mut ctx = mk_ctx(&mut drng);
+            conv.forward(x, &mut ctx).data().iter().sum()
+        };
+        let base = loss(&mut conv, &x);
+        let eps = 1e-2f32;
+        for &xi in &[0usize, 5, 10, 15] {
+            let mut x2 = x.clone();
+            x2.data_mut()[xi] += eps;
+            let fd = (loss(&mut conv, &x2) - base) / eps;
+            assert!((fd - gx.data()[xi]).abs() < 0.05, "dx[{xi}] fd {fd} vs {}", gx.data()[xi]);
+        }
+    }
+
+    #[test]
+    fn profile_changes_conv_bits() {
+        let mut rng = init_rng();
+        let mut conv = Conv2d::init(3, 16, 3, 1, 1, &mut rng);
+        let x = Tensor::from_vec(
+            (0..3 * 64).map(|i| (i as f32).sin() * 10f32.powi((i % 5) - 2)).collect(),
+            &[1, 3, 8, 8],
+        );
+        let run = |conv: &mut Conv2d, profile: KernelProfile| {
+            let mut drng = init_rng();
+            let mut ctx = ExecCtx { profile, training: true, dropout: &mut drng };
+            conv.forward(&x, &mut ctx)
+        };
+        let y_v100 = run(&mut conv, KernelProfile::vendor_optimized(80));
+        let y_t4 = run(&mut conv, KernelProfile::vendor_optimized(40));
+        assert!(!y_v100.bitwise_eq(&y_t4), "vendor kernels must differ across GPU types");
+        assert!(y_v100.max_abs_diff(&y_t4) < 1e-3, "but only in low-order bits");
+        let y_agn1 = run(&mut conv, KernelProfile::hardware_agnostic());
+        let y_agn2 = run(&mut conv, KernelProfile::hardware_agnostic());
+        assert!(y_agn1.bitwise_eq(&y_agn2));
+    }
+
+    #[test]
+    fn conv_reports_conv_usage() {
+        let mut rng = init_rng();
+        let conv = Conv2d::init(1, 1, 3, 1, 1, &mut rng);
+        assert!(conv.uses_conv());
+    }
+}

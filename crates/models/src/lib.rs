@@ -1,0 +1,31 @@
+//! Trainable miniature networks and the paper's workload catalog.
+//!
+//! Two audiences share this crate:
+//!
+//! * The **micro determinism experiments** (Figs 2–4, 9–13) need *real
+//!   numerics*: actual forward/backward passes whose f32 bits respond to
+//!   kernel profiles, RNG streams, and gradient-aggregation order. The
+//!   [`model`] / [`layers`] / [`conv`] / [`norm`] / [`attention`] modules
+//!   provide that: a small layer library with hand-derived backward passes,
+//!   every reduction routed through a [`tensor::KernelProfile`].
+//!
+//! * The **scheduling experiments** (Figs 14–16) need *cost models*, not
+//!   numerics: per-GPU-type throughput, memory footprints, D2 kernel
+//!   overheads. [`workloads`] carries the Table 1 catalog with that
+//!   metadata, plus a proxy-model constructor for each entry so micro and
+//!   macro experiments stay linked.
+
+#![deny(missing_docs)]
+
+pub mod attention;
+pub mod blocks;
+pub mod conv;
+pub mod layers;
+pub mod model;
+pub mod norm;
+pub mod pool;
+pub mod workloads;
+pub mod zoo;
+
+pub use model::{ExecCtx, ImplicitState, Layer, Model};
+pub use workloads::{Workload, WorkloadSpec, WORKLOADS};

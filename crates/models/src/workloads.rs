@@ -1,0 +1,319 @@
+//! The Table 1 workload catalog, with the cost/memory/D2 metadata the
+//! scheduling and overhead experiments consume.
+//!
+//! Absolute numbers are calibrated to reproduce the paper's *shapes*:
+//! Fig 10's OOM points (worker packing dies past 8 ResNet50 workers / past 2
+//! ShuffleNetV2 workers on a 32 GB V100), Fig 12's D2 overhead split (~236%
+//! average on the four conv models, <1% on the four attention/embedding
+//! models), and the Eq 1 throughput model's per-GPU-type capabilities.
+
+use device::memory::WorkloadFootprint;
+use device::{GpuType, PerfModel};
+use serde::{Deserialize, Serialize};
+
+/// The DL workloads of Table 1 (plus ResNet18, used by the motivation
+/// experiments in Figs 2–4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// ShuffleNetv2 / ImageNet.
+    ShuffleNetV2,
+    /// ResNet50 / ImageNet.
+    ResNet50,
+    /// VGG19 / ImageNet.
+    Vgg19,
+    /// YOLOv3 / PASCAL VOC.
+    YoloV3,
+    /// NeuMF / MovieLens.
+    NeuMF,
+    /// BERT / SQuAD.
+    Bert,
+    /// ELECTRA / SQuAD.
+    Electra,
+    /// SwinTransformer / ImageNet.
+    SwinTransformer,
+    /// ResNet18 / CIFAR10 (motivation experiments, Figs 2–4).
+    ResNet18,
+}
+
+/// The eight Table 1 workloads, in the paper's order.
+pub const WORKLOADS: [Workload; 8] = [
+    Workload::ShuffleNetV2,
+    Workload::ResNet50,
+    Workload::Vgg19,
+    Workload::YoloV3,
+    Workload::NeuMF,
+    Workload::Bert,
+    Workload::Electra,
+    Workload::SwinTransformer,
+];
+
+/// Static metadata for one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Which workload.
+    pub workload: Workload,
+    /// Task column of Table 1.
+    pub task: &'static str,
+    /// Dataset column of Table 1.
+    pub dataset: &'static str,
+    /// Whether the model leans on vendor-optimized convolution kernels
+    /// (EasyScale's model scan; decides D2 overhead and hetero-eligibility).
+    pub conv_dependent: bool,
+    /// Per-iteration time multiplier when D2 hardware-agnostic kernels
+    /// replace vendor kernels (Fig 12).
+    pub d2_overhead: f64,
+    /// Reference mini-batch time on a V100 with vendor kernels, seconds.
+    pub base_v100_secs: f64,
+    /// Default per-worker batch size.
+    pub batch_size: usize,
+    /// Default maximum number of ESTs (maxP) declared at model design time.
+    pub max_p: u32,
+    /// Device memory footprint per worker.
+    pub footprint: WorkloadFootprint,
+}
+
+const MIB: u64 = 1024 * 1024;
+
+impl Workload {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::ShuffleNetV2 => "ShuffleNetv2",
+            Workload::ResNet50 => "ResNet50",
+            Workload::Vgg19 => "VGG19",
+            Workload::YoloV3 => "YOLOv3",
+            Workload::NeuMF => "NeuMF",
+            Workload::Bert => "Bert",
+            Workload::Electra => "Electra",
+            Workload::SwinTransformer => "SwinTransformer",
+            Workload::ResNet18 => "ResNet18",
+        }
+    }
+
+    /// The catalog entry.
+    pub fn spec(self) -> WorkloadSpec {
+        match self {
+            Workload::ShuffleNetV2 => WorkloadSpec {
+                workload: self,
+                task: "Image Classification",
+                dataset: "ImageNet",
+                conv_dependent: true,
+                d2_overhead: 2.8,
+                base_v100_secs: 0.35,
+                batch_size: 512,
+                max_p: 16,
+                // Batch 512 "fully utilizes" a 32 GB V100 with one worker:
+                // huge activations, tiny parameters.
+                footprint: WorkloadFootprint {
+                    params_and_opt: 60 * MIB,
+                    activations: 12 * 1024 * MIB,
+                    gradients: 20 * MIB,
+                },
+            },
+            Workload::ResNet50 => WorkloadSpec {
+                workload: self,
+                task: "Image Classification",
+                dataset: "ImageNet",
+                conv_dependent: true,
+                d2_overhead: 3.4,
+                base_v100_secs: 0.12,
+                batch_size: 32,
+                max_p: 16,
+                footprint: WorkloadFootprint {
+                    params_and_opt: 300 * MIB,
+                    activations: 2600 * MIB,
+                    gradients: 100 * MIB,
+                },
+            },
+            Workload::Vgg19 => WorkloadSpec {
+                workload: self,
+                task: "Image Classification",
+                dataset: "ImageNet",
+                conv_dependent: true,
+                d2_overhead: 4.5,
+                base_v100_secs: 0.30,
+                batch_size: 32,
+                max_p: 8,
+                footprint: WorkloadFootprint {
+                    params_and_opt: 1600 * MIB,
+                    activations: 3200 * MIB,
+                    gradients: 550 * MIB,
+                },
+            },
+            Workload::YoloV3 => WorkloadSpec {
+                workload: self,
+                task: "Object Detection",
+                dataset: "PASCAL",
+                conv_dependent: true,
+                d2_overhead: 2.7,
+                base_v100_secs: 0.25,
+                batch_size: 16,
+                max_p: 8,
+                footprint: WorkloadFootprint {
+                    params_and_opt: 700 * MIB,
+                    activations: 4000 * MIB,
+                    gradients: 240 * MIB,
+                },
+            },
+            Workload::NeuMF => WorkloadSpec {
+                workload: self,
+                task: "Recommendation",
+                dataset: "MovieLens",
+                conv_dependent: false,
+                d2_overhead: 1.005,
+                base_v100_secs: 0.02,
+                batch_size: 256,
+                max_p: 16,
+                footprint: WorkloadFootprint {
+                    params_and_opt: 250 * MIB,
+                    activations: 500 * MIB,
+                    gradients: 80 * MIB,
+                },
+            },
+            Workload::Bert => WorkloadSpec {
+                workload: self,
+                task: "Question Answering",
+                dataset: "SQuAD",
+                conv_dependent: false,
+                d2_overhead: 1.008,
+                base_v100_secs: 0.15,
+                batch_size: 16,
+                max_p: 8,
+                footprint: WorkloadFootprint {
+                    params_and_opt: 1300 * MIB,
+                    activations: 5000 * MIB,
+                    gradients: 420 * MIB,
+                },
+            },
+            Workload::Electra => WorkloadSpec {
+                workload: self,
+                task: "Question Answering",
+                dataset: "SQuAD",
+                conv_dependent: false,
+                d2_overhead: 1.01,
+                base_v100_secs: 0.16,
+                batch_size: 16,
+                max_p: 8,
+                footprint: WorkloadFootprint {
+                    params_and_opt: 1300 * MIB,
+                    activations: 5200 * MIB,
+                    gradients: 420 * MIB,
+                },
+            },
+            Workload::SwinTransformer => WorkloadSpec {
+                workload: self,
+                task: "Image Classification",
+                dataset: "ImageNet",
+                conv_dependent: false,
+                d2_overhead: 1.006,
+                base_v100_secs: 0.20,
+                batch_size: 32,
+                max_p: 8,
+                footprint: WorkloadFootprint {
+                    params_and_opt: 900 * MIB,
+                    activations: 6000 * MIB,
+                    gradients: 300 * MIB,
+                },
+            },
+            Workload::ResNet18 => WorkloadSpec {
+                workload: self,
+                task: "Image Classification",
+                dataset: "CIFAR10",
+                conv_dependent: true,
+                d2_overhead: 3.0,
+                base_v100_secs: 0.06,
+                batch_size: 32,
+                max_p: 16,
+                footprint: WorkloadFootprint {
+                    params_and_opt: 140 * MIB,
+                    activations: 900 * MIB,
+                    gradients: 45 * MIB,
+                },
+            },
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Mini-batches per second one worker achieves on `gpu` — the `C_i` of
+    /// the companion module's Eq 1 throughput model.
+    pub fn capability(&self, gpu: GpuType, d2_kernels: bool) -> f64 {
+        let overhead = if d2_kernels && self.conv_dependent { self.d2_overhead } else { 1.0 };
+        1.0 / PerfModel::default().minibatch_time(self.base_v100_secs, gpu, overhead)
+    }
+
+    /// Whether EasyScale's model scan allows this job on heterogeneous GPUs
+    /// without a conv-kernel slowdown: attention/embedding models yes, conv
+    /// models only at a price (§3.3's auto-analysis).
+    pub fn hetero_friendly(&self) -> bool {
+        !self.conv_dependent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_eight_table1_entries() {
+        assert_eq!(WORKLOADS.len(), 8);
+        let names: std::collections::HashSet<_> = WORKLOADS.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn conv_split_matches_fig12() {
+        // Conv models: ShuffleNetv2, ResNet50, VGG19, YOLOv3. Others ~free.
+        let conv: Vec<_> = WORKLOADS.iter().filter(|w| w.spec().conv_dependent).collect();
+        assert_eq!(conv.len(), 4);
+        let avg: f64 =
+            conv.iter().map(|w| w.spec().d2_overhead).sum::<f64>() / conv.len() as f64;
+        assert!((avg - 3.36).abs() < 0.3, "average conv D2 overhead ≈236%: {avg}");
+        for w in WORKLOADS.iter().filter(|w| !w.spec().conv_dependent) {
+            assert!(w.spec().d2_overhead < 1.02, "{} should be <1% overhead", w.name());
+        }
+    }
+
+    #[test]
+    fn fig10_oom_points() {
+        use device::GIB;
+        let v100 = GpuType::V100.memory_bytes();
+        let r50 = Workload::ResNet50.spec().footprint;
+        assert!(r50.packed_peak(8) <= v100, "8 packed ResNet50 workers fit");
+        assert!(r50.packed_peak(9) > v100, "9 packed ResNet50 workers OOM");
+        assert!(r50.easyscale_peak(16) <= v100, "16 ESTs always fit");
+
+        let shfl = Workload::ShuffleNetV2.spec().footprint;
+        assert!(shfl.packed_peak(2) <= v100, "2 packed ShuffleNet workers fit");
+        assert!(shfl.packed_peak(3) > v100, "3 packed ShuffleNet workers OOM");
+        assert!(shfl.easyscale_peak(16) <= v100);
+        // One ShuffleNet worker "fully utilizes" the V100: > 1/3 of memory.
+        assert!(shfl.packed_peak(1) > 10 * GIB);
+    }
+
+    #[test]
+    fn capability_ordering_follows_gpu_speed() {
+        for w in WORKLOADS {
+            let s = w.spec();
+            let v = s.capability(GpuType::V100, false);
+            let p = s.capability(GpuType::P100, false);
+            let t = s.capability(GpuType::T4, false);
+            assert!(v > p && p > t, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn d2_kernels_only_hurt_conv_models() {
+        let r50 = Workload::ResNet50.spec();
+        assert!(r50.capability(GpuType::V100, true) < r50.capability(GpuType::V100, false) / 3.0);
+        let bert = Workload::Bert.spec();
+        let ratio = bert.capability(GpuType::V100, false) / bert.capability(GpuType::V100, true);
+        assert!(ratio < 1.02);
+    }
+
+    #[test]
+    fn hetero_friendliness_matches_conv_scan() {
+        assert!(!Workload::ResNet50.spec().hetero_friendly());
+        assert!(Workload::Bert.spec().hetero_friendly());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the model layer: gradient correctness by finite
+//! differences over random shapes/values, and bit-purity of forward passes.
+
+use esrng::{EsRng, StreamKey, StreamKind};
+use models::layers::Dense;
+use models::model::{ExecCtx, Layer};
+use models::zoo::{self, build_proxy};
+
+use proptest::prelude::*;
+use tensor::{KernelProfile, Tensor};
+
+fn rng(seed: u64) -> EsRng {
+    EsRng::for_stream(seed, StreamKey::global(StreamKind::ModelInit))
+}
+
+proptest! {
+    /// Dense gradients match finite differences for arbitrary shapes,
+    /// inputs, and weight entries.
+    #[test]
+    fn dense_fd_check(
+        n in 1usize..4,
+        inp in 1usize..6,
+        out in 1usize..5,
+        seed in any::<u64>(),
+        probe in any::<u32>(),
+    ) {
+        let mut init = rng(seed);
+        let mut layer = Dense::init(inp, out, &mut init);
+        let x = Tensor::from_vec(
+            (0..n * inp).map(|i| ((i as f32) * 0.73 + seed as f32 * 1e-9).sin()).collect(),
+            &[n, inp],
+        );
+        let loss = |layer: &mut Dense, x: &Tensor| -> f32 {
+            let mut d = rng(0);
+            let mut ctx = ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut d };
+            layer.forward(x, &mut ctx).data().iter().sum()
+        };
+        let base = loss(&mut layer, &x);
+        let gx = {
+            let mut d = rng(0);
+            let mut ctx = ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut d };
+            let y = layer.forward(&x, &mut ctx);
+            layer.backward(&Tensor::full(y.shape(), 1.0), &mut ctx)
+        };
+        // Probe one random weight and one random input element.
+        let wi = (probe as usize) % (inp * out);
+        let eps = 1e-2f32;
+        let analytic_w = layer.grads()[0].data()[wi];
+        layer.params_mut()[0].data_mut()[wi] += eps;
+        let fd_w = (loss(&mut layer, &x) - base) / eps;
+        layer.params_mut()[0].data_mut()[wi] -= eps;
+        prop_assert!((fd_w - analytic_w).abs() < 0.05, "dW[{wi}]: fd {fd_w} vs {analytic_w}");
+
+        let xi = (probe as usize) % (n * inp);
+        let mut x2 = x.clone();
+        x2.data_mut()[xi] += eps;
+        let fd_x = (loss(&mut layer, &x2) - base) / eps;
+        prop_assert!((fd_x - gx.data()[xi]).abs() < 0.05, "dx[{xi}]: fd {fd_x} vs {}", gx.data()[xi]);
+    }
+
+    /// Every proxy's forward pass is a pure function of (seed, input, RNG
+    /// position) — two evaluations agree bitwise.
+    #[test]
+    fn proxy_forward_is_pure(widx in 0usize..8, seed in any::<u64>()) {
+        let w = models::WORKLOADS[widx];
+        let mut m1 = build_proxy(w, seed);
+        let mut m2 = build_proxy(w, seed);
+        let x = match zoo::input_kind(w) {
+            zoo::InputKind::Image => Tensor::from_vec(
+                (0..2 * 3 * 8 * 8).map(|i| (i as f32 * 0.31).sin()).collect(),
+                &[2, 3, 8, 8],
+            ),
+            zoo::InputKind::Sequence => Tensor::from_vec(
+                (0..2 * zoo::SEQ_LEN).map(|i| (i % zoo::VOCAB) as f32).collect(),
+                &[2, zoo::SEQ_LEN],
+            ),
+        };
+        let run = |m: &mut models::Model| {
+            let mut d = EsRng::for_stream(seed, StreamKey::ranked(StreamKind::Dropout, 0));
+            let mut ctx = ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut d };
+            m.forward(&x, &mut ctx)
+        };
+        let a = run(&mut m1);
+        let b = run(&mut m2);
+        prop_assert!(a.bitwise_eq(&b));
+    }
+
+    /// flat_params / load_flat_params round-trips on every proxy.
+    #[test]
+    fn flat_param_roundtrip(widx in 0usize..8, seed in any::<u64>()) {
+        let w = models::WORKLOADS[widx];
+        let mut m = build_proxy(w, seed);
+        let flat = m.flat_params();
+        prop_assert_eq!(flat.len(), m.num_params());
+        let perturbed: Vec<f32> = flat.iter().map(|v| v * 1.5 + 0.01).collect();
+        m.load_flat_params(&perturbed);
+        prop_assert_eq!(m.flat_params(), perturbed);
+    }
+
+    /// Implicit-state capture/restore round-trips on every proxy.
+    #[test]
+    fn implicit_state_roundtrip(widx in 0usize..8) {
+        let w = models::WORKLOADS[widx];
+        let mut m = build_proxy(w, 3);
+        // Run a training step so BN stats move off their init values.
+        let x = match zoo::input_kind(w) {
+            zoo::InputKind::Image => Tensor::from_vec((0..3 * 64).map(|i| (i as f32).cos()).collect(), &[1, 3, 8, 8]),
+            zoo::InputKind::Sequence => Tensor::from_vec(vec![5.0; zoo::SEQ_LEN], &[1, zoo::SEQ_LEN]),
+        };
+        let mut d = EsRng::for_stream(0, StreamKey::ranked(StreamKind::Dropout, 0));
+        let mut ctx = ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut d };
+        m.forward(&x, &mut ctx);
+        let state = m.implicit_state();
+        let mut fresh = build_proxy(w, 3);
+        fresh.set_implicit_state(&state);
+        prop_assert_eq!(fresh.implicit_state(), state);
+    }
+}

@@ -1,0 +1,202 @@
+//! Optimizers and learning-rate schedulers.
+//!
+//! The optimizer operates on *flat* parameter/gradient vectors (the order
+//! [`models`]' `Model::flat_params` defines) because in the EasyScale
+//! execution model exactly one optimizer-state replica exists per worker,
+//! updated once per global step from the all-reduced gradient. Updates are
+//! elementwise, hence order-free, hence trivially deterministic; all the
+//! interesting non-determinism lives upstream (kernels, communication).
+//!
+//! The [`StepLr`] scheduler carries the `gamma` hyper-parameter the Fig 4
+//! experiment sweeps.
+
+#![deny(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// SGD with momentum and decoupled-style L2 weight decay, matching PyTorch's
+/// `torch.optim.SGD` semantics: `g ← g + wd·p`, `v ← μ·v + g`, `p ← p − lr·v`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Momentum coefficient μ.
+    pub momentum: f32,
+    /// L2 weight-decay coefficient.
+    pub weight_decay: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Optimizer for `n_params` parameters.
+    pub fn new(n_params: usize, momentum: f32, weight_decay: f32) -> Self {
+        Sgd { momentum, weight_decay, velocity: vec![0.0; n_params] }
+    }
+
+    /// Number of parameters this optimizer tracks.
+    pub fn n_params(&self) -> usize {
+        self.velocity.len()
+    }
+
+    /// Compute the parameter delta for one step: `Δp = −lr·v'` where
+    /// `v' = μ·v + (g + wd·p)`. Mutates the velocity. `params` and `grad`
+    /// must be in the same flat order as the velocity.
+    pub fn step(&mut self, params: &[f32], grad: &[f32], lr: f32) -> Vec<f32> {
+        assert_eq!(params.len(), self.velocity.len(), "params length mismatch");
+        assert_eq!(grad.len(), self.velocity.len(), "grad length mismatch");
+        let mut delta = vec![0.0f32; grad.len()];
+        for i in 0..grad.len() {
+            let g = grad[i] + self.weight_decay * params[i];
+            let v = self.momentum * self.velocity[i] + g;
+            self.velocity[i] = v;
+            delta[i] = -lr * v;
+        }
+        delta
+    }
+
+    /// Optimizer state for checkpointing (one replica per job, shared by all
+    /// ESTs — part of the on-demand checkpoint's "parameters" section).
+    pub fn state(&self) -> &[f32] {
+        &self.velocity
+    }
+
+    /// Restore optimizer state.
+    pub fn restore_state(&mut self, velocity: &[f32]) {
+        assert_eq!(velocity.len(), self.velocity.len(), "state length mismatch");
+        self.velocity.copy_from_slice(velocity);
+    }
+}
+
+/// A learning-rate schedule as a pure function of the epoch.
+pub trait LrSchedule: Send + Sync {
+    /// Learning rate for `epoch`.
+    fn lr(&self, epoch: u64) -> f32;
+}
+
+/// Constant learning rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantLr(
+    /// The rate.
+    pub f32,
+);
+
+impl LrSchedule for ConstantLr {
+    fn lr(&self, _epoch: u64) -> f32 {
+        self.0
+    }
+}
+
+/// Step decay: `lr = base · gamma^(epoch / step_epochs)` — the schedule
+/// whose `gamma` the Fig 4 experiment varies (0.1 / 0.3 / 0.5 with decay
+/// every 20 epochs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepLr {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Decay factor applied every `step_epochs`.
+    pub gamma: f32,
+    /// Epochs between decays.
+    pub step_epochs: u64,
+}
+
+impl LrSchedule for StepLr {
+    fn lr(&self, epoch: u64) -> f32 {
+        let decays = (epoch / self.step_epochs) as i32;
+        self.base_lr * self.gamma.powi(decays)
+    }
+}
+
+/// The linear scaling rule (Goyal et al.) TorchElastic applies when the
+/// worker count changes: `lr = base · (workers / base_workers)`. This is one
+/// of the accuracy-inconsistency sources the baselines exhibit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearScaledLr {
+    /// The underlying schedule at the reference worker count.
+    pub inner: StepLr,
+    /// Worker count the base LR was tuned for.
+    pub base_workers: u32,
+    /// Current worker count.
+    pub current_workers: u32,
+}
+
+impl LrSchedule for LinearScaledLr {
+    fn lr(&self, epoch: u64) -> f32 {
+        self.inner.lr(epoch) * self.current_workers as f32 / self.base_workers as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_without_momentum_is_plain_descent() {
+        let mut opt = Sgd::new(3, 0.0, 0.0);
+        let delta = opt.step(&[1.0, 2.0, 3.0], &[0.5, -0.5, 1.0], 0.1);
+        assert_eq!(delta, vec![-0.05, 0.05, -0.1]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Sgd::new(1, 0.9, 0.0);
+        let d1 = opt.step(&[0.0], &[1.0], 1.0);
+        assert_eq!(d1, vec![-1.0]);
+        let d2 = opt.step(&[0.0], &[1.0], 1.0);
+        assert!((d2[0] - (-1.9)).abs() < 1e-6, "v = 0.9·1 + 1 = 1.9, got {}", d2[0]);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut opt = Sgd::new(1, 0.0, 0.1);
+        let delta = opt.step(&[10.0], &[0.0], 1.0);
+        assert!((delta[0] - (-1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_identically() {
+        let mut a = Sgd::new(4, 0.9, 0.01);
+        let params = [1.0, -1.0, 0.5, 2.0];
+        let grad = [0.1, 0.2, -0.3, 0.4];
+        a.step(&params, &grad, 0.05);
+        let saved = a.state().to_vec();
+
+        let mut b = Sgd::new(4, 0.9, 0.01);
+        b.restore_state(&saved);
+        let da = a.step(&params, &grad, 0.05);
+        let db = b.step(&params, &grad, 0.05);
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn step_lr_decays_at_boundaries() {
+        let s = StepLr { base_lr: 0.1, gamma: 0.1, step_epochs: 20 };
+        assert_eq!(s.lr(0), 0.1);
+        assert_eq!(s.lr(19), 0.1);
+        assert!((s.lr(20) - 0.01).abs() < 1e-9);
+        assert!((s.lr(40) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_orders_late_epoch_lr() {
+        // Larger gamma ⇒ slower decay ⇒ larger late-epoch LR (the visible
+        // trend DDP runs show in Fig 4).
+        let lrs: Vec<f32> = [0.1f32, 0.3, 0.5]
+            .iter()
+            .map(|&g| StepLr { base_lr: 0.1, gamma: g, step_epochs: 20 }.lr(30))
+            .collect();
+        assert!(lrs[0] < lrs[1] && lrs[1] < lrs[2]);
+    }
+
+    #[test]
+    fn linear_scaling_multiplies_lr() {
+        let base = StepLr { base_lr: 0.1, gamma: 0.1, step_epochs: 20 };
+        let scaled = LinearScaledLr { inner: base, base_workers: 4, current_workers: 8 };
+        assert!((scaled.lr(0) - 0.2).abs() < 1e-9);
+        let down = LinearScaledLr { inner: base, base_workers: 4, current_workers: 1 };
+        assert!((down.lr(0) - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sgd_checks_lengths() {
+        Sgd::new(2, 0.0, 0.0).step(&[1.0], &[1.0], 0.1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the optimizer: state round-trips, descent
+//! direction, and schedule algebra.
+
+use optim::{ConstantLr, LinearScaledLr, LrSchedule, Sgd, StepLr};
+use proptest::prelude::*;
+
+proptest! {
+    /// A single SGD step without momentum moves opposite the gradient,
+    /// scaled exactly by lr.
+    #[test]
+    fn plain_sgd_is_scaled_negative_gradient(
+        grads in prop::collection::vec(-10.0f32..10.0, 1..64),
+        lr in 1e-4f32..1.0,
+    ) {
+        let n = grads.len();
+        let params = vec![0.0f32; n];
+        let mut opt = Sgd::new(n, 0.0, 0.0);
+        let delta = opt.step(&params, &grads, lr);
+        for (d, g) in delta.iter().zip(&grads) {
+            prop_assert!((d + lr * g).abs() <= 1e-6 * (1.0 + g.abs()));
+        }
+    }
+
+    /// Momentum state restore resumes the exact update sequence from any
+    /// point.
+    #[test]
+    fn state_restore_is_exact(
+        steps_before in 0usize..10,
+        grads in prop::collection::vec(-5.0f32..5.0, 4..16),
+        momentum in 0.0f32..0.99,
+        wd in 0.0f32..0.01,
+    ) {
+        let n = grads.len();
+        let params = vec![0.5f32; n];
+        let mut a = Sgd::new(n, momentum, wd);
+        for _ in 0..steps_before {
+            a.step(&params, &grads, 0.1);
+        }
+        let saved = a.state().to_vec();
+        let mut b = Sgd::new(n, momentum, wd);
+        b.restore_state(&saved);
+        let da = a.step(&params, &grads, 0.1);
+        let db = b.step(&params, &grads, 0.1);
+        prop_assert!(da.iter().zip(&db).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    /// StepLr is non-increasing in the epoch for gamma ≤ 1, and decays by
+    /// exactly gamma at each boundary.
+    #[test]
+    fn step_lr_monotone(base in 1e-4f32..1.0, gamma in 0.05f32..1.0, step in 1u64..50, epochs in 1u64..200) {
+        let s = StepLr { base_lr: base, gamma, step_epochs: step };
+        let mut last = f32::INFINITY;
+        for e in 0..epochs {
+            let lr = s.lr(e);
+            prop_assert!(lr <= last + 1e-9);
+            last = lr;
+        }
+        // Exactly gamma across one boundary.
+        let before = s.lr(step - 1);
+        let after = s.lr(step);
+        prop_assert!((after - before * gamma).abs() <= 1e-6 * base);
+    }
+
+    /// Linear scaling is exactly proportional to the worker ratio.
+    #[test]
+    fn linear_scaling_proportionality(base in 1e-4f32..1.0, bw in 1u32..16, cw in 1u32..64, epoch in 0u64..100) {
+        let inner = StepLr { base_lr: base, gamma: 0.5, step_epochs: 10 };
+        let scaled = LinearScaledLr { inner, base_workers: bw, current_workers: cw };
+        let expect = inner.lr(epoch) * cw as f32 / bw as f32;
+        prop_assert!((scaled.lr(epoch) - expect).abs() <= 1e-6 * expect.max(1e-6));
+    }
+
+    /// Constant schedule really is constant.
+    #[test]
+    fn constant_is_constant(lr in 0.0f32..10.0, e1 in 0u64..1000, e2 in 0u64..1000) {
+        let c = ConstantLr(lr);
+        prop_assert_eq!(c.lr(e1).to_bits(), c.lr(e2).to_bits());
+    }
+}

@@ -1,0 +1,239 @@
+//! AIMaster (paper §4): the per-job control loop that connects the
+//! intra-job scheduler to a *live* training engine.
+//!
+//! The production AIMaster collects performance profiles from the EasyScale
+//! runtime over RPC, submits resource proposals, watches allocation
+//! timeouts, and drives scale in/out through on-demand checkpoints. This
+//! in-process version does the same against `easyscale::Engine`: it owns
+//! the engine, maps granted allocations to EST placements via the
+//! companion, reports *measured* throughput back into the plan database,
+//! and applies the Role-3 slowdown fallback with real numbers.
+
+use crate::companion::{Alloc, Companion};
+use crate::intra::{IntraJobScheduler, ResourceProposal};
+use device::GpuType;
+use easyscale::{Engine, JobConfig};
+use models::zoo;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The per-job master: engine + intra-job scheduler + throughput monitor.
+pub struct AiMaster {
+    config: JobConfig,
+    engine: Option<Engine>,
+    intra: IntraJobScheduler,
+    /// Measured local mini-batches per second over the last window.
+    last_measured: Option<f64>,
+    /// Global steps executed per measurement window.
+    window: u64,
+    /// Checkpoint held while the job is scaled to zero GPUs.
+    parked: Option<easyscale::JobCheckpoint>,
+}
+
+impl AiMaster {
+    /// Create a master for a job; it starts with no resources (elastic jobs
+    /// may queue at zero GPUs without failing).
+    ///
+    /// Applies the paper's automatic model scan (§3.3): a job whose model
+    /// does not rely on vendor conv kernels may be placed on heterogeneous
+    /// GPUs — and then MUST run D2 hardware-agnostic kernels, or the mixed
+    /// types would break bitwise consistency. The scan upgrades the config's
+    /// determinism accordingly.
+    pub fn new(job_id: u64, mut config: JobConfig) -> Self {
+        let spec = config.workload.spec();
+        let hetero = spec.hetero_friendly() || config.determinism.hardware_agnostic;
+        if hetero {
+            config.determinism.hardware_agnostic = true;
+        }
+        let companion = Companion::for_workload(&spec, config.n_ests, hetero);
+        AiMaster {
+            config,
+            engine: None,
+            intra: IntraJobScheduler::new(job_id, companion, hetero),
+            last_measured: None,
+            window: 8,
+            parked: None,
+        }
+    }
+
+    /// The effective job configuration (after the model scan possibly
+    /// upgraded determinism to D2).
+    pub fn config(&self) -> &JobConfig {
+        &self.config
+    }
+
+    /// Whether the job currently holds resources.
+    pub fn is_running(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// The live engine, if any.
+    pub fn engine(&self) -> Option<&Engine> {
+        self.engine.as_ref()
+    }
+
+    /// Current allocation.
+    pub fn allocation(&self) -> &Alloc {
+        self.intra.current()
+    }
+
+    /// Measured throughput of the last window (mini-batches/s), if any.
+    pub fn measured_throughput(&self) -> Option<f64> {
+        self.last_measured
+    }
+
+    /// Role 2: resource proposals against the free table.
+    pub fn proposals(&self, free: &HashMap<GpuType, u32>, top_k: usize) -> Vec<ResourceProposal> {
+        self.intra.proposals(free, top_k)
+    }
+
+    /// Role 3: adopt a new allocation. Goes through an on-demand checkpoint
+    /// when a job was already running; cold-starts otherwise. An empty
+    /// allocation parks the job (checkpoint retained implicitly by the
+    /// engine being dropped after `checkpoint()` — here we keep the
+    /// checkpoint in memory via `parked`).
+    pub fn apply_allocation(&mut self, alloc: Alloc) {
+        let prev_measured = self.last_measured;
+        self.intra.apply_allocation(alloc.clone());
+        // Fallback comparisons must be measured-vs-measured: the estimate
+        // snapshotted by apply_allocation is in catalog units, while
+        // run_window reports wall-clock units. Overwrite with the last
+        // measurement of the previous allocation when we have one; without
+        // one the fallback stays disarmed (prev estimate ≪ any measurement).
+        if let Some(m) = prev_measured {
+            self.intra.set_previous_throughput(m);
+        }
+        let placement = self.intra.current_placement();
+        match (self.engine.take(), placement) {
+            (Some(engine), Some(p)) => {
+                self.engine = Some(engine.rescale(p));
+            }
+            (Some(engine), None) => {
+                // Scale to zero: park at a checkpoint.
+                let ckpt = engine.checkpoint();
+                self.parked = Some(ckpt);
+                self.engine = None;
+            }
+            (None, Some(p)) => {
+                self.engine = Some(match self.parked.take() {
+                    Some(ckpt) => Engine::from_checkpoint(self.config.clone(), p, &ckpt),
+                    None => Engine::new(self.config.clone(), p),
+                });
+            }
+            (None, None) => {}
+        }
+        self.last_measured = None;
+    }
+
+    /// Run one measurement window: execute `window` global steps, time them,
+    /// convert to local mini-batches/s, report to the companion (which
+    /// corrects its estimates on significant bias), and fall back to the
+    /// previous allocation if the new one measured slower (Role 3 fallback).
+    /// Returns the released GPUs if a fallback happened.
+    pub fn run_window(&mut self) -> Option<Alloc> {
+        let engine = self.engine.as_mut()?;
+        let start = Instant::now();
+        for _ in 0..self.window {
+            engine.step();
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let local_minibatches = (self.window * self.config.n_ests as u64) as f64;
+        let measured = local_minibatches / secs;
+        self.last_measured = Some(measured);
+        let alloc = self.intra.current().clone();
+        self.intra.companion_mut().observe(&alloc, measured);
+        let released = self.intra.fallback_if_slower(measured);
+        if released.is_some() {
+            // Re-apply the reverted allocation to the engine.
+            let placement = self.intra.current_placement().expect("reverted alloc is nonempty");
+            let engine = self.engine.take().expect("engine exists in run_window");
+            self.engine = Some(engine.rescale(placement));
+        }
+        released
+    }
+
+    /// Total parameters of the proxy (diagnostics).
+    pub fn n_params(&self) -> usize {
+        zoo::build_proxy(self.config.workload, self.config.seed).num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::Workload;
+
+    fn master() -> AiMaster {
+        AiMaster::new(1, JobConfig::new(Workload::NeuMF, 3, 4).with_dataset_len(256))
+    }
+
+    fn free(v: u32, p: u32, t: u32) -> HashMap<GpuType, u32> {
+        [(GpuType::V100, v), (GpuType::P100, p), (GpuType::T4, t)].into_iter().collect()
+    }
+
+    #[test]
+    fn starts_parked_and_proposes() {
+        let m = master();
+        assert!(!m.is_running());
+        let props = m.proposals(&free(4, 0, 0), 3);
+        assert!(!props.is_empty());
+    }
+
+    #[test]
+    fn allocation_starts_the_engine() {
+        let mut m = master();
+        m.apply_allocation(vec![(GpuType::V100, 2)]);
+        assert!(m.is_running());
+        assert_eq!(m.engine().unwrap().placement().n_workers(), 2);
+    }
+
+    #[test]
+    fn window_reports_throughput() {
+        let mut m = master();
+        m.apply_allocation(vec![(GpuType::V100, 1)]);
+        let released = m.run_window();
+        assert!(released.is_none() || released.unwrap().is_empty());
+        assert!(m.measured_throughput().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn park_and_resume_preserves_progress_bitwise() {
+        let mut m = master();
+        m.apply_allocation(vec![(GpuType::V100, 2)]);
+        m.run_window();
+        let step_before = m.engine().unwrap().global_step();
+        let params_before = m.engine().unwrap().flat_params();
+        // Scale to zero (full preemption), then come back on different GPUs.
+        m.apply_allocation(vec![]);
+        assert!(!m.is_running());
+        m.apply_allocation(vec![(GpuType::V100, 4)]);
+        assert!(m.is_running());
+        assert_eq!(m.engine().unwrap().global_step(), step_before);
+        assert_eq!(m.engine().unwrap().flat_params(), params_before);
+    }
+
+    #[test]
+    fn rescale_through_master_is_deterministic() {
+        // Engine driven by the master across scale events matches a
+        // fixed-resource reference bitwise.
+        let cfg = JobConfig::new(Workload::NeuMF, 3, 4).with_dataset_len(256);
+        let mut m = AiMaster::new(2, cfg);
+        // The reference must use the EFFECTIVE config: the model scan
+        // enabled D2 for this hetero-friendly job.
+        let mut reference = Engine::new(
+            m.config().clone(),
+            easyscale::Placement::one_est_per_gpu(4, GpuType::V100),
+        );
+        m.apply_allocation(vec![(GpuType::V100, 4)]);
+        for _ in 0..8 {
+            reference.step();
+        }
+        m.run_window();
+        m.apply_allocation(vec![(GpuType::V100, 1)]);
+        for _ in 0..8 {
+            reference.step();
+        }
+        m.run_window();
+        assert_eq!(reference.flat_params(), m.engine().unwrap().flat_params());
+    }
+}

@@ -1,0 +1,315 @@
+//! The companion module: plan database + the Eq 1 analytical model.
+//!
+//! Equation 1 of the paper, as implemented (the per-type waste term carries
+//! the GPU count `N_i`, which makes the algebra close — see
+//! [`Plan::throughput`]'s invariant `throughput = maxP / f_overload`):
+//!
+//! ```text
+//! nEST       = Σ_i N_i·A_i                      with nEST ≥ maxP       (1a)
+//! f_overload = max_{i: N_i>0} A_i / C_i                                 (1b)
+//! waste      = Σ_{i: N_i>0} N_i·(C_i − A_i/f_overload)
+//!            + (nEST − maxP)/f_overload                                 (1c)
+//! throughput = Σ_i N_i·C_i − waste                                      (1d)
+//! ```
+//!
+//! Intuition: Sync-SGD paces every global step by the slowest GPU
+//! (`f_overload` seconds per global step); a GPU of type i that hosts `A_i`
+//! ESTs contributes `A_i` mini-batches per global step, so capability beyond
+//! `A_i / f_overload` is wasted; over-provisioned EST slots (the integer
+//! slack above `maxP`) are waste too.
+
+use device::GpuType;
+use easyscale::{Placement, Slot};
+use models::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An allocation: GPU count per type (types with zero count omitted).
+pub type Alloc = Vec<(GpuType, u32)>;
+
+/// One scheduling plan: an allocation plus its EST assignment and estimated
+/// throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// GPU counts per type.
+    pub alloc: Alloc,
+    /// Max ESTs per GPU of each type (aligned with `alloc`).
+    pub a: Vec<u32>,
+    /// Total EST slots (≥ maxP).
+    pub n_est: u32,
+    /// Seconds per global step (Eq 1b).
+    pub f_overload: f64,
+    /// Wasted capability, mini-batches/s (Eq 1c).
+    pub waste: f64,
+    /// Estimated throughput, local mini-batches/s (Eq 1d).
+    pub throughput: f64,
+}
+
+/// The per-job companion module: capabilities, maxP, and the plan DB with
+/// observed-throughput corrections.
+#[derive(Debug, Clone)]
+pub struct Companion {
+    caps: HashMap<GpuType, f64>,
+    max_p: u32,
+    /// Multiplicative correction per allocation, updated from observed
+    /// throughput reports (starts at 1.0).
+    corrections: HashMap<Alloc, f64>,
+}
+
+impl Companion {
+    /// Companion for a workload: capabilities from the catalog.
+    /// `hetero_d2` selects D2 (hardware-agnostic) kernel capabilities — used
+    /// when the job will mix GPU types.
+    pub fn for_workload(spec: &WorkloadSpec, max_p: u32, hetero_d2: bool) -> Self {
+        let caps = GpuType::ALL
+            .iter()
+            .map(|&g| (g, spec.capability(g, hetero_d2)))
+            .collect();
+        Companion { caps, max_p, corrections: HashMap::new() }
+    }
+
+    /// Companion from explicit capabilities.
+    pub fn from_caps(caps: HashMap<GpuType, f64>, max_p: u32) -> Self {
+        Companion { caps, max_p, corrections: HashMap::new() }
+    }
+
+    /// The job's maxP.
+    pub fn max_p(&self) -> u32 {
+        self.max_p
+    }
+
+    /// Capability of one GPU of `ty` (mini-batches/s).
+    pub fn capability(&self, ty: GpuType) -> f64 {
+        self.caps.get(&ty).copied().unwrap_or(0.0)
+    }
+
+    /// The greedy balanced per-GPU assignment both [`Companion::plan`] and
+    /// [`Companion::placement_for`] derive from: each of the maxP virtual
+    /// ranks goes to the GPU whose resulting load/capability is smallest.
+    /// One implementation, so scored plans and executed placements can
+    /// never drift apart.
+    fn balanced_gpu_assignment(&self, alloc: &Alloc) -> Option<Vec<(GpuType, Vec<u32>)>> {
+        let total_gpus: u32 = alloc.iter().map(|&(_, n)| n).sum();
+        if total_gpus == 0 {
+            return None;
+        }
+        let mut gpus: Vec<(GpuType, Vec<u32>)> = Vec::new();
+        for &(ty, n) in alloc {
+            for _ in 0..n {
+                gpus.push((ty, Vec::new()));
+            }
+        }
+        for r in 0..self.max_p {
+            let (best, _) = gpus
+                .iter()
+                .enumerate()
+                .map(|(i, (ty, v))| (i, (v.len() + 1) as f64 / self.capability(*ty).max(1e-12)))
+                .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+                .expect("nonempty gpu list");
+            gpus[best].1.push(r);
+        }
+        Some(gpus)
+    }
+
+    /// The load-balanced plan for an allocation: ESTs distributed greedily
+    /// to equalize per-GPU load, then evaluated with Eq 1. Returns `None`
+    /// for an empty allocation.
+    pub fn plan(&self, alloc: &Alloc) -> Option<Plan> {
+        let gpus = self.balanced_gpu_assignment(alloc)?;
+        // A_i = max assignment over GPUs of type i.
+        let mut a = Vec::with_capacity(alloc.len());
+        for &(ty, _) in alloc {
+            let max_a =
+                gpus.iter().filter(|g| g.0 == ty).map(|g| g.1.len() as u32).max().unwrap_or(0);
+            a.push(max_a);
+        }
+        Some(self.evaluate(alloc, &a))
+    }
+
+    /// Evaluate Eq 1 for an explicit per-type assignment `a`.
+    pub fn evaluate(&self, alloc: &Alloc, a: &[u32]) -> Plan {
+        assert_eq!(alloc.len(), a.len(), "assignment/alloc length mismatch");
+        let n_est: u32 = alloc.iter().zip(a).map(|(&(_, n), &ai)| n * ai).sum();
+        let f_overload = alloc
+            .iter()
+            .zip(a)
+            .filter(|(&(_, n), &ai)| n > 0 && ai > 0)
+            .map(|(&(ty, _), &ai)| ai as f64 / self.capability(ty).max(1e-12))
+            .fold(0.0f64, f64::max);
+        let total_cap: f64 =
+            alloc.iter().map(|&(ty, n)| n as f64 * self.capability(ty)).sum();
+        let (waste, throughput) = if f_overload > 0.0 {
+            let per_type: f64 = alloc
+                .iter()
+                .zip(a)
+                .filter(|(&(_, n), _)| n > 0)
+                .map(|(&(ty, n), &ai)| n as f64 * (self.capability(ty) - ai as f64 / f_overload))
+                .sum();
+            let over = (n_est.saturating_sub(self.max_p)) as f64 / f_overload;
+            let waste = per_type + over;
+            (waste, total_cap - waste)
+        } else {
+            (total_cap, 0.0)
+        };
+        let correction = self.corrections.get(alloc).copied().unwrap_or(1.0);
+        Plan {
+            alloc: alloc.clone(),
+            a: a.to_vec(),
+            n_est,
+            f_overload,
+            waste,
+            throughput: throughput * correction,
+        }
+    }
+
+    /// Report an observed throughput for an allocation; the companion
+    /// updates its correction when the bias is significant (>10%), as the
+    /// paper's companion "actively updates the database once it has
+    /// monitored significant biases".
+    pub fn observe(&mut self, alloc: &Alloc, observed: f64) {
+        if let Some(plan) = self.plan(alloc) {
+            if plan.throughput > 0.0 {
+                let bias = observed / plan.throughput;
+                if (bias - 1.0).abs() > 0.10 {
+                    let c = self.corrections.entry(alloc.clone()).or_insert(1.0);
+                    *c *= bias;
+                }
+            }
+        }
+    }
+
+    /// Materialize a plan as an engine [`Placement`]: virtual ranks 0..maxP
+    /// distributed with the exact greedy balance the plan was scored with
+    /// (both derive from [`Companion::balanced_gpu_assignment`]).
+    pub fn placement_for(&self, alloc: &Alloc) -> Option<Placement> {
+        let gpus = self.balanced_gpu_assignment(alloc)?;
+        let slots: Vec<Slot> = gpus
+            .into_iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(gpu, vranks)| Slot { gpu, vranks })
+            .collect();
+        Some(Placement { slots })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> HashMap<GpuType, f64> {
+        // V100: 10 mb/s, P100: 5, T4: 4.
+        [(GpuType::V100, 10.0), (GpuType::P100, 5.0), (GpuType::T4, 4.0)].into_iter().collect()
+    }
+
+    #[test]
+    fn throughput_equals_maxp_over_overload() {
+        // The Eq 1 algebraic identity.
+        let c = Companion::from_caps(caps(), 8);
+        for alloc in [
+            vec![(GpuType::V100, 2)],
+            vec![(GpuType::V100, 1), (GpuType::P100, 2)],
+            vec![(GpuType::V100, 2), (GpuType::P100, 1), (GpuType::T4, 1)],
+        ] {
+            let p = c.plan(&alloc).unwrap();
+            assert!(
+                (p.throughput - c.max_p() as f64 / p.f_overload).abs() < 1e-9,
+                "identity violated for {alloc:?}: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_fast_gpu_runs_at_capability() {
+        let c = Companion::from_caps(caps(), 8);
+        let p = c.plan(&vec![(GpuType::V100, 1)]).unwrap();
+        assert_eq!(p.a, vec![8]);
+        assert!((p.throughput - 10.0).abs() < 1e-9, "1 GPU, no sync waste: {p:?}");
+        assert!((p.waste - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_heterogeneous_assignment() {
+        // maxP=8 on 1 V100 (10) + 2 P100 (5): balance gives V100 4 ESTs,
+        // P100s 2 each → f = 0.4, throughput = 20.
+        let c = Companion::from_caps(caps(), 8);
+        let p = c.plan(&vec![(GpuType::V100, 1), (GpuType::P100, 2)]).unwrap();
+        assert_eq!(p.a, vec![4, 2]);
+        assert!((p.throughput - 20.0).abs() < 1e-9, "{p:?}");
+        assert_eq!(p.n_est, 8);
+    }
+
+    #[test]
+    fn slow_gpu_is_left_idle_when_it_would_bottleneck() {
+        // maxP=2 on 1 V100 (10 mb/s) + 1 T4 (4 mb/s): splitting 1/1 would
+        // pace the step at the T4 (thr 8); stacking both on the V100 yields
+        // thr 10 — the balancer prefers it, and the idle T4 is pure waste.
+        let c = Companion::from_caps(caps(), 2);
+        let p = c.plan(&vec![(GpuType::V100, 1), (GpuType::T4, 1)]).unwrap();
+        assert_eq!(p.a, vec![2, 0]);
+        assert!((p.f_overload - 0.2).abs() < 1e-12, "V100 with 2 ESTs paces the step");
+        assert!((p.throughput - 10.0).abs() < 1e-9, "{p:?}");
+        assert!((p.waste - 4.0).abs() < 1e-9, "the idle T4's full capability is wasted: {p:?}");
+        // Cross-check against the explicit 1/1 split the balancer rejected.
+        let split = c.evaluate(&vec![(GpuType::V100, 1), (GpuType::T4, 1)], &[1, 1]);
+        assert!((split.throughput - 8.0).abs() < 1e-9);
+        assert!(split.throughput < p.throughput);
+    }
+
+    #[test]
+    fn overprovision_counts_as_waste() {
+        // maxP=3 on 2 V100s: balance gives a=[2] on one GPU → nEST=4 > 3.
+        let c = Companion::from_caps(caps(), 3);
+        let p = c.plan(&vec![(GpuType::V100, 2)]).unwrap();
+        assert_eq!(p.n_est, 4);
+        assert!(p.waste > 0.0);
+        assert!((p.throughput - 3.0 / p.f_overload).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_gpus_never_hurt_up_to_maxp() {
+        let c = Companion::from_caps(caps(), 8);
+        let mut last = 0.0;
+        for n in 1..=8 {
+            let p = c.plan(&vec![(GpuType::V100, n)]).unwrap();
+            assert!(p.throughput >= last - 1e-9, "throughput must be monotone: {n} GPUs");
+            last = p.throughput;
+        }
+        // Beyond maxP GPUs, no further gain.
+        let p8 = c.plan(&vec![(GpuType::V100, 8)]).unwrap();
+        let p12 = c.plan(&vec![(GpuType::V100, 12)]).unwrap();
+        assert!(p12.throughput <= p8.throughput + 1e-9);
+    }
+
+    #[test]
+    fn empty_allocation_has_no_plan() {
+        let c = Companion::from_caps(caps(), 4);
+        assert!(c.plan(&vec![]).is_none());
+        assert!(c.plan(&vec![(GpuType::V100, 0)]).is_none());
+    }
+
+    #[test]
+    fn observation_corrects_future_estimates() {
+        let mut c = Companion::from_caps(caps(), 8);
+        let alloc = vec![(GpuType::V100, 2)];
+        let before = c.plan(&alloc).unwrap().throughput;
+        c.observe(&alloc, before * 0.5); // real job runs at half the estimate
+        let after = c.plan(&alloc).unwrap().throughput;
+        assert!((after - before * 0.5).abs() / before < 0.01);
+        // Small biases are ignored.
+        let alloc2 = vec![(GpuType::P100, 1)];
+        let b2 = c.plan(&alloc2).unwrap().throughput;
+        c.observe(&alloc2, b2 * 1.05);
+        assert_eq!(c.plan(&alloc2).unwrap().throughput, b2);
+    }
+
+    #[test]
+    fn placement_matches_plan_assignment() {
+        let c = Companion::from_caps(caps(), 8);
+        let alloc = vec![(GpuType::V100, 1), (GpuType::P100, 2)];
+        let placement = c.placement_for(&alloc).unwrap();
+        placement.validate(8).unwrap();
+        // V100 slot gets 4 ranks, P100 slots 2 each.
+        let sizes: Vec<usize> = placement.slots.iter().map(|s| s.vranks.len()).collect();
+        assert_eq!(sizes, vec![4, 2, 2]);
+    }
+}

@@ -1,0 +1,136 @@
+//! The inter-job (cluster) scheduler: greedy proposal acceptance.
+//!
+//! Evaluates submitted resource proposals against the free-resource table,
+//! accepting the highest speedup-per-GPU first; among equal speedups it
+//! prefers the proposal with more GPUs (the paper's tie-break). Co-location
+//! with non-elastic (serving) jobs happens by keeping the free-resource
+//! table in sync with whatever the serving side currently occupies.
+
+use crate::intra::ResourceProposal;
+use device::GpuType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One accepted grant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Winning job.
+    pub job: u64,
+    /// Granted GPU type.
+    pub gpu: GpuType,
+    /// Granted count.
+    pub count: u32,
+}
+
+/// The greedy inter-job scheduler.
+#[derive(Debug, Default)]
+pub struct InterJobScheduler;
+
+impl InterJobScheduler {
+    /// Evaluate proposals against `free`, consuming granted resources.
+    /// At most one grant per job per round (a job resubmits next round after
+    /// rescheduling its ESTs).
+    pub fn decide(
+        &self,
+        mut proposals: Vec<ResourceProposal>,
+        free: &mut HashMap<GpuType, u32>,
+    ) -> Vec<Decision> {
+        proposals.sort_by(|a, b| {
+            b.speedup_per_gpu
+                .partial_cmp(&a.speedup_per_gpu)
+                .unwrap()
+                .then(b.add_count.cmp(&a.add_count))
+        });
+        let mut granted_jobs = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for p in proposals {
+            if granted_jobs.contains(&p.job) {
+                continue;
+            }
+            let avail = free.get(&p.add_type).copied().unwrap_or(0);
+            if avail >= p.add_count {
+                *free.get_mut(&p.add_type).unwrap() -= p.add_count;
+                granted_jobs.insert(p.job);
+                out.push(Decision { job: p.job, gpu: p.add_type, count: p.add_count });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prop(job: u64, ty: GpuType, count: u32, spg: f64) -> ResourceProposal {
+        ResourceProposal {
+            job,
+            add_type: ty,
+            add_count: count,
+            new_throughput: 0.0,
+            speedup_total: spg * count as f64,
+            speedup_per_gpu: spg,
+        }
+    }
+
+    fn free(v: u32) -> HashMap<GpuType, u32> {
+        [(GpuType::V100, v), (GpuType::P100, 0), (GpuType::T4, 0)].into_iter().collect()
+    }
+
+    #[test]
+    fn highest_speedup_per_gpu_wins() {
+        let s = InterJobScheduler;
+        let mut f = free(2);
+        let d = s.decide(
+            vec![prop(1, GpuType::V100, 2, 1.0), prop(2, GpuType::V100, 2, 3.0)],
+            &mut f,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].job, 2);
+        assert_eq!(f[&GpuType::V100], 0);
+    }
+
+    #[test]
+    fn equal_speedup_prefers_more_gpus() {
+        let s = InterJobScheduler;
+        let mut f = free(4);
+        let d = s.decide(
+            vec![prop(1, GpuType::V100, 1, 2.0), prop(2, GpuType::V100, 4, 2.0)],
+            &mut f,
+        );
+        assert_eq!(d[0].job, 2);
+        assert_eq!(d[0].count, 4);
+    }
+
+    #[test]
+    fn one_grant_per_job_per_round() {
+        let s = InterJobScheduler;
+        let mut f = free(8);
+        let d = s.decide(
+            vec![prop(1, GpuType::V100, 2, 3.0), prop(1, GpuType::V100, 4, 2.0)],
+            &mut f,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(f[&GpuType::V100], 6);
+    }
+
+    #[test]
+    fn insufficient_resources_skip_to_next() {
+        let s = InterJobScheduler;
+        let mut f = free(2);
+        let d = s.decide(
+            vec![prop(1, GpuType::V100, 4, 5.0), prop(2, GpuType::V100, 2, 1.0)],
+            &mut f,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].job, 2, "big proposal can't fit; smaller one is served");
+    }
+
+    #[test]
+    fn empty_proposals_grant_nothing() {
+        let s = InterJobScheduler;
+        let mut f = free(4);
+        assert!(s.decide(vec![], &mut f).is_empty());
+        assert_eq!(f[&GpuType::V100], 4);
+    }
+}

@@ -1,0 +1,595 @@
+//! Discrete-event cluster simulator for the trace (§5.2) and co-location
+//! (§5.3) experiments.
+//!
+//! Jobs arrive over time and carry a total amount of work (local
+//! mini-batches). Under **YARN-CS** a job gang-waits, FIFO, for its full
+//! requested GPU set and holds it to completion. Under **EasyScale** every
+//! job is elastic from 0 GPUs up to its maxP-bounded useful maximum;
+//! allocation is negotiated at every event through the intra-job schedulers'
+//! resource proposals and the inter-job scheduler's greedy grants, and
+//! serving-side occupancy (the co-location experiment) preempts training
+//! GPUs, which EasyScale jobs release by scaling in (paying a restart
+//! penalty, never failing).
+
+use crate::companion::Companion;
+use crate::inter::InterJobScheduler;
+use crate::intra::IntraJobScheduler;
+use device::{ClusterSpec, GpuType};
+use models::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One job of the trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique id.
+    pub id: u64,
+    /// Workload (decides capabilities and hetero-friendliness).
+    pub workload: Workload,
+    /// Arrival time, seconds.
+    pub arrival: f64,
+    /// Work to complete, in local mini-batches.
+    pub work: f64,
+    /// Logical worker count (maxP) the job was designed for.
+    pub max_p: u32,
+    /// Gang size requested under YARN-CS.
+    pub requested_gpus: u32,
+    /// GPU type requested under YARN-CS.
+    pub requested_type: GpuType,
+}
+
+/// Scheduling policy under simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Apache YARN capacity scheduler, FIFO gang scheduling (Philly).
+    YarnCapacity,
+    /// EasyScale restricted to homogeneous allocations per job.
+    EasyScaleHomo,
+    /// EasyScale with heterogeneous allocations (hetero-friendly jobs mix
+    /// types; conv-kernel jobs stay homogeneous per the §3.3 model scan).
+    EasyScaleHeter,
+}
+
+/// Per-job outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: u64,
+    /// Arrival time.
+    pub arrival: f64,
+    /// First time the job held any GPU.
+    pub first_run: Option<f64>,
+    /// Completion time.
+    pub finish: f64,
+}
+
+impl JobRecord {
+    /// Job completion time (queueing + running).
+    pub fn jct(&self) -> f64 {
+        self.finish - self.arrival
+    }
+
+    /// Queueing delay before first GPU.
+    pub fn queueing(&self) -> f64 {
+        self.first_run.unwrap_or(self.finish) - self.arrival
+    }
+}
+
+/// One point of the allocation timeline.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// Time, seconds.
+    pub t: f64,
+    /// GPUs held by training jobs.
+    pub training_gpus: u32,
+    /// GPUs held by serving jobs (co-location).
+    pub serving_gpus: u32,
+}
+
+/// Simulation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Per-job records.
+    pub records: Vec<JobRecord>,
+    /// Max finish time.
+    pub makespan: f64,
+    /// Mean JCT.
+    pub avg_jct: f64,
+    /// Allocation timeline (sampled at events).
+    pub timeline: Vec<TimePoint>,
+    /// Scale-in (preemption) events: (time, GPUs released to serving).
+    pub preemptions: Vec<(f64, u32)>,
+    /// Number of training-job failures (always 0 for EasyScale; YARN jobs
+    /// never fail in this simulator either — revocation is out of scope).
+    pub failures: u64,
+}
+
+impl SimOutcome {
+    /// Time-averaged training GPUs held.
+    pub fn avg_training_gpus(&self) -> f64 {
+        time_weighted_avg(&self.timeline, self.makespan, |p| p.training_gpus as f64)
+    }
+
+    /// Time-averaged total allocation (training + serving).
+    pub fn avg_total_allocated(&self) -> f64 {
+        time_weighted_avg(&self.timeline, self.makespan, |p| {
+            (p.training_gpus + p.serving_gpus) as f64
+        })
+    }
+}
+
+fn time_weighted_avg(tl: &[TimePoint], end: f64, f: impl Fn(&TimePoint) -> f64) -> f64 {
+    if tl.is_empty() || end <= 0.0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (i, p) in tl.iter().enumerate() {
+        let next_t = tl.get(i + 1).map(|q| q.t).unwrap_or(end);
+        acc += f(p) * (next_t - p.t).max(0.0);
+    }
+    acc / end
+}
+
+/// Time-varying serving occupancy by GPU type.
+pub type ServingCurve = Box<dyn Fn(f64) -> HashMap<GpuType, u32>>;
+
+/// The simulator.
+pub struct ClusterSim {
+    capacity: HashMap<GpuType, u32>,
+    jobs: Vec<JobSpec>,
+    policy: Policy,
+    /// Seconds a job makes no progress after its allocation changes
+    /// (checkpoint + restore + data-worker restart).
+    pub restart_penalty: f64,
+    /// Serving occupancy as a function of time (co-location). None = the
+    /// whole cluster belongs to training.
+    serving: Option<ServingCurve>,
+    /// Interval at which the serving curve is re-sampled.
+    pub serving_tick: f64,
+}
+
+struct JobState {
+    spec: JobSpec,
+    intra: IntraJobScheduler,
+    remaining: f64,
+    stall_until: f64,
+    first_run: Option<f64>,
+    finish: Option<f64>,
+}
+
+impl ClusterSim {
+    /// Simulator over a cluster and a trace.
+    pub fn new(cluster: &ClusterSpec, jobs: Vec<JobSpec>, policy: Policy) -> Self {
+        let mut capacity = HashMap::new();
+        for g in cluster.gpus() {
+            *capacity.entry(g.gpu_type).or_insert(0) += 1;
+        }
+        ClusterSim {
+            capacity,
+            jobs,
+            policy,
+            restart_penalty: 10.0,
+            serving: None,
+            serving_tick: 300.0,
+        }
+    }
+
+    /// Attach a serving-occupancy curve (co-location experiment).
+    pub fn with_serving(mut self, f: impl Fn(f64) -> HashMap<GpuType, u32> + 'static) -> Self {
+        self.serving = Some(Box::new(f));
+        self
+    }
+
+    fn hetero_allowed(&self, w: Workload) -> bool {
+        match self.policy {
+            Policy::EasyScaleHeter => w.spec().hetero_friendly(),
+            _ => false,
+        }
+    }
+
+    /// Run to completion.
+    pub fn run(&self) -> SimOutcome {
+        let mut states: Vec<JobState> = self
+            .jobs
+            .iter()
+            .map(|spec| {
+                let hetero = self.hetero_allowed(spec.workload);
+                // Heterogeneous mixing implies D2 kernels; homogeneous jobs
+                // use vendor kernels. (For hetero-friendly workloads the D2
+                // overhead is ≈1 anyway.)
+                let companion =
+                    Companion::for_workload(&spec.workload.spec(), spec.max_p, hetero);
+                JobState {
+                    intra: IntraJobScheduler::new(spec.id, companion, hetero),
+                    remaining: spec.work,
+                    stall_until: 0.0,
+                    first_run: None,
+                    finish: None,
+                    spec: spec.clone(),
+                }
+            })
+            .collect();
+        states.sort_by(|a, b| a.spec.arrival.partial_cmp(&b.spec.arrival).unwrap());
+
+        let inter = InterJobScheduler;
+        let mut t = 0.0f64;
+        let mut timeline: Vec<TimePoint> = Vec::new();
+        let mut preemptions: Vec<(f64, u32)> = Vec::new();
+        let mut prev_serving_total = 0u32;
+        let mut guard = 0u64;
+
+        loop {
+            guard += 1;
+            assert!(guard < 2_000_000, "simulation failed to converge");
+            let serving_now = self.serving.as_ref().map(|f| f(t)).unwrap_or_default();
+            let serving_total: u32 = serving_now.values().sum();
+
+            // Free capacity after serving occupancy.
+            let mut free: HashMap<GpuType, u32> = self
+                .capacity
+                .iter()
+                .map(|(&ty, &n)| {
+                    (ty, n.saturating_sub(serving_now.get(&ty).copied().unwrap_or(0)))
+                })
+                .collect();
+
+            // Allocate to arrived, unfinished jobs.
+            match self.policy {
+                Policy::YarnCapacity => {
+                    // Subtract current gang holdings; preempt where serving
+                    // pushed capacity below the held amount.
+                    let mut released_now = 0u32;
+                    for s in states.iter_mut() {
+                        if s.finish.is_some() {
+                            if !s.intra.current().is_empty() {
+                                s.intra.apply_allocation(Vec::new());
+                            }
+                            continue;
+                        }
+                        let mut alloc = s.intra.current().clone();
+                        let mut changed = false;
+                        for (ty, n) in alloc.iter_mut() {
+                            let avail = free.get_mut(ty).expect("known type");
+                            if *n > *avail {
+                                released_now += *n - *avail;
+                                *n = *avail;
+                                changed = true;
+                            }
+                            *avail -= *n;
+                        }
+                        if changed {
+                            alloc.retain(|&(_, n)| n > 0);
+                            s.intra.apply_allocation(alloc);
+                            s.stall_until = t + self.restart_penalty;
+                        }
+                    }
+                    if released_now > 0 {
+                        preemptions.push((t, released_now));
+                    }
+                    // FIFO gang scheduling with head-of-line blocking.
+                    for s in states.iter_mut() {
+                        if s.finish.is_some() || s.spec.arrival > t {
+                            continue;
+                        }
+                        if !s.intra.current().is_empty() {
+                            continue; // running with its gang
+                        }
+                        let need = s.spec.requested_gpus;
+                        let ty = s.spec.requested_type;
+                        let avail = free.get(&ty).copied().unwrap_or(0);
+                        if avail >= need {
+                            *free.get_mut(&ty).unwrap() -= need;
+                            s.intra.apply_allocation(vec![(ty, need)]);
+                            s.stall_until = t; // gang jobs start immediately
+                            s.first_run.get_or_insert(t);
+                        } else {
+                            break; // strict FIFO: head of line blocks
+                        }
+                    }
+                }
+                Policy::EasyScaleHomo | Policy::EasyScaleHeter => {
+                    // Re-plan the whole training allocation from scratch at
+                    // every event (arrival / completion / serving change):
+                    // jobs are elastic, so the intra-job schedulers rebuild
+                    // their plans against current capacity and the inter-job
+                    // scheduler grants greedily. Jobs whose allocation comes
+                    // out unchanged keep running; changed jobs pay the
+                    // restart penalty (checkpoint + reschedule, seconds).
+                    let prev: Vec<crate::companion::Alloc> =
+                        states.iter().map(|s| s.intra.current().clone()).collect();
+                    let mut prev_by_type: HashMap<GpuType, u32> = HashMap::new();
+                    for a in &prev {
+                        for &(ty, n) in a {
+                            *prev_by_type.entry(ty).or_insert(0) += n;
+                        }
+                    }
+                    for s in states.iter_mut() {
+                        if !s.intra.current().is_empty() {
+                            s.intra.apply_allocation(Vec::new());
+                        }
+                    }
+
+                    // Seed every arrived job with one GPU (arrival order):
+                    // a job's first GPU outranks anyone's marginal growth —
+                    // this is why EasyScale queueing is ~zero.
+                    for s in states.iter_mut() {
+                        if s.finish.is_some() || s.spec.arrival > t {
+                            continue;
+                        }
+                        let best_ty = GpuType::ALL
+                            .iter()
+                            .filter(|&&ty| free.get(&ty).copied().unwrap_or(0) > 0)
+                            // A non-D2 job that has ever run is pinned to its
+                            // type; seeding must respect that or bits change.
+                            .filter(|&&ty| s.intra.pinned_type().is_none_or(|p| p == ty))
+                            .max_by(|a, b| {
+                                s.intra
+                                    .companion()
+                                    .capability(**a)
+                                    .partial_cmp(&s.intra.companion().capability(**b))
+                                    .unwrap()
+                            })
+                            .copied();
+                        if let Some(ty) = best_ty {
+                            *free.get_mut(&ty).unwrap() -= 1;
+                            s.intra.apply_allocation(vec![(ty, 1)]);
+                        }
+                    }
+                    // Proposal/grant rounds until a fixpoint.
+                    for _round in 0..64 {
+                        let mut proposals = Vec::new();
+                        for s in states.iter() {
+                            if s.finish.is_some() || s.spec.arrival > t {
+                                continue;
+                            }
+                            proposals.extend(s.intra.proposals(&free, 3));
+                        }
+                        let grants = inter.decide(proposals, &mut free);
+                        if grants.is_empty() {
+                            break;
+                        }
+                        for g in grants {
+                            let s = states
+                                .iter_mut()
+                                .find(|s| s.spec.id == g.job)
+                                .expect("granted job exists");
+                            let mut alloc = s.intra.current().clone();
+                            match alloc.iter_mut().find(|(ty, _)| *ty == g.gpu) {
+                                Some(slot) => slot.1 += g.count,
+                                None => alloc.push((g.gpu, g.count)),
+                            }
+                            s.intra.apply_allocation(alloc);
+                        }
+                    }
+                    // Charge the scale penalty only to jobs whose allocation
+                    // actually changed; stamp first_run.
+                    let mut new_training = 0u32;
+                    for (s, old) in states.iter_mut().zip(&prev) {
+                        let new = s.intra.current().clone();
+                        new_training += new.iter().map(|&(_, n)| n).sum::<u32>();
+                        if !new.is_empty() {
+                            s.first_run.get_or_insert(t);
+                        }
+                        if new != *old && !(new.is_empty() && old.is_empty()) {
+                            s.stall_until = s.stall_until.max(t + self.restart_penalty);
+                        }
+                    }
+                    let _ = new_training;
+                    // A serving spike that pushed training off a GPU type is
+                    // a preemption (GPUs released to serving within one
+                    // tick) — even if the jobs migrated to other types.
+                    if serving_total > prev_serving_total {
+                        let mut new_by_type: HashMap<GpuType, u32> = HashMap::new();
+                        for st in states.iter() {
+                            for &(ty, n) in st.intra.current() {
+                                *new_by_type.entry(ty).or_insert(0) += n;
+                            }
+                        }
+                        let released: u32 = prev_by_type
+                            .iter()
+                            .map(|(ty, &p)| {
+                                p.saturating_sub(new_by_type.get(ty).copied().unwrap_or(0))
+                            })
+                            .sum();
+                        if released > 0 {
+                            preemptions.push((t, released));
+                        }
+                    }
+                }
+            }
+            prev_serving_total = serving_total;
+
+            // Record the timeline point.
+            let training_gpus: u32 = states
+                .iter()
+                .filter(|s| s.finish.is_none())
+                .flat_map(|s| s.intra.current().iter().map(|&(_, n)| n))
+                .sum();
+            timeline.push(TimePoint { t, training_gpus, serving_gpus: serving_total });
+
+            // Compute rates and the next event horizon.
+            let mut next = f64::INFINITY;
+            // Next arrival.
+            for s in &states {
+                if s.spec.arrival > t {
+                    next = next.min(s.spec.arrival);
+                }
+            }
+            // Serving curve tick.
+            if self.serving.is_some() {
+                let tick = (t / self.serving_tick).floor() * self.serving_tick + self.serving_tick;
+                next = next.min(tick);
+            }
+            // Stall expiry and completions.
+            for s in &states {
+                if s.finish.is_some() || s.spec.arrival > t {
+                    continue;
+                }
+                if s.stall_until > t {
+                    next = next.min(s.stall_until);
+                    continue;
+                }
+                if let Some(plan) = s.intra.current_plan() {
+                    if plan.throughput > 0.0 {
+                        next = next.min(t + s.remaining / plan.throughput);
+                    }
+                }
+            }
+
+            if next.is_infinite() {
+                // Nothing can make progress and nothing will arrive: done
+                // (or deadlocked, which the assert below catches).
+                let unfinished = states.iter().filter(|s| s.finish.is_none()).count();
+                assert_eq!(unfinished, 0, "{unfinished} jobs can never finish (cluster too small?)");
+                break;
+            }
+
+            // Integrate progress to `next`.
+            let dt_total = next - t;
+            for s in states.iter_mut() {
+                if s.finish.is_some() || s.spec.arrival > t {
+                    continue;
+                }
+                let run_start = s.stall_until.max(t);
+                if run_start >= next {
+                    continue;
+                }
+                let dt = next - run_start;
+                if let Some(plan) = s.intra.current_plan() {
+                    s.remaining -= plan.throughput * dt;
+                    if s.remaining <= 1e-6 {
+                        s.remaining = 0.0;
+                        s.finish = Some(next);
+                    }
+                }
+            }
+            let _ = dt_total;
+            t = next;
+
+            if states.iter().all(|s| s.finish.is_some()) {
+                // Final timeline point with everything released.
+                timeline.push(TimePoint {
+                    t,
+                    training_gpus: 0,
+                    serving_gpus: self
+                        .serving
+                        .as_ref()
+                        .map(|f| f(t).values().sum())
+                        .unwrap_or(0),
+                });
+                break;
+            }
+        }
+
+        let records: Vec<JobRecord> = states
+            .iter()
+            .map(|s| JobRecord {
+                id: s.spec.id,
+                arrival: s.spec.arrival,
+                first_run: s.first_run,
+                finish: s.finish.expect("all jobs finished"),
+            })
+            .collect();
+        let makespan = records.iter().map(|r| r.finish).fold(0.0, f64::max);
+        let avg_jct = records.iter().map(|r| r.jct()).sum::<f64>() / records.len().max(1) as f64;
+        SimOutcome { records, makespan, avg_jct, timeline, preemptions, failures: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::paper_trace_cluster()
+    }
+
+    fn job(id: u64, arrival: f64, work: f64, gpus: u32) -> JobSpec {
+        JobSpec {
+            id,
+            workload: Workload::ResNet50,
+            arrival,
+            work,
+            max_p: gpus,
+            requested_gpus: gpus,
+            requested_type: GpuType::V100,
+        }
+    }
+
+    #[test]
+    fn single_job_same_finish_order_both_policies() {
+        let jobs = vec![job(1, 0.0, 10_000.0, 4)];
+        let yarn = ClusterSim::new(&cluster(), jobs.clone(), Policy::YarnCapacity).run();
+        let es = ClusterSim::new(&cluster(), jobs, Policy::EasyScaleHomo).run();
+        assert_eq!(yarn.records.len(), 1);
+        assert_eq!(es.records.len(), 1);
+        assert!(yarn.records[0].finish > 0.0 && es.records[0].finish > 0.0);
+    }
+
+    #[test]
+    fn yarn_fifo_blocks_small_jobs_behind_big_ones() {
+        // Big job takes all 32 V100s; small job arrives right after and must
+        // queue under YARN but runs immediately under EasyScale.
+        let jobs = vec![job(1, 0.0, 200_000.0, 32), job(2, 10.0, 1_000.0, 1)];
+        let yarn = ClusterSim::new(&cluster(), jobs.clone(), Policy::YarnCapacity).run();
+        let es = ClusterSim::new(&cluster(), jobs, Policy::EasyScaleHomo).run();
+        let yarn_small = yarn.records.iter().find(|r| r.id == 2).unwrap();
+        let es_small = es.records.iter().find(|r| r.id == 2).unwrap();
+        assert!(
+            yarn_small.queueing() > 100.0,
+            "YARN small job queues: {}",
+            yarn_small.queueing()
+        );
+        assert!(es_small.queueing() < 60.0, "EasyScale starts fast: {}", es_small.queueing());
+        assert!(es_small.jct() < yarn_small.jct());
+    }
+
+    #[test]
+    fn easyscale_heter_uses_more_gpus_for_friendly_jobs() {
+        let mk = |id| JobSpec {
+            id,
+            workload: Workload::Bert, // hetero-friendly
+            arrival: 0.0,
+            work: 50_000.0,
+            max_p: 16,
+            requested_gpus: 8,
+            requested_type: GpuType::V100,
+        };
+        let jobs: Vec<JobSpec> = (0..6).map(mk).collect();
+        let homo = ClusterSim::new(&cluster(), jobs.clone(), Policy::EasyScaleHomo).run();
+        let heter = ClusterSim::new(&cluster(), jobs, Policy::EasyScaleHeter).run();
+        assert!(
+            heter.avg_training_gpus() > homo.avg_training_gpus(),
+            "heter {} vs homo {}",
+            heter.avg_training_gpus(),
+            homo.avg_training_gpus()
+        );
+        assert!(heter.makespan <= homo.makespan * 1.05);
+    }
+
+    #[test]
+    fn serving_occupancy_preempts_training() {
+        let jobs = vec![job(1, 0.0, 400_000.0, 8)];
+        // Serving grabs all V100s from t=600 to t=1200.
+        let sim = ClusterSim::new(&cluster(), jobs, Policy::EasyScaleHomo).with_serving(|t| {
+            if (600.0..1200.0).contains(&t) {
+                [(GpuType::V100, 32)].into_iter().collect()
+            } else {
+                HashMap::new()
+            }
+        });
+        let out = sim.run();
+        assert!(!out.preemptions.is_empty(), "serving spike must preempt training");
+        assert_eq!(out.failures, 0, "EasyScale jobs never fail on preemption");
+        assert_eq!(out.records.len(), 1);
+    }
+
+    #[test]
+    fn timeline_is_monotone_in_time() {
+        let jobs = vec![job(1, 0.0, 10_000.0, 4), job(2, 50.0, 5_000.0, 2)];
+        let out = ClusterSim::new(&cluster(), jobs, Policy::EasyScaleHomo).run();
+        assert!(out.timeline.windows(2).all(|w| w[0].t <= w[1].t));
+        assert!(out.makespan > 0.0);
+        assert!(out.avg_jct > 0.0);
+    }
+}

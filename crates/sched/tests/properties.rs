@@ -1,0 +1,124 @@
+//! Property-based tests for the Eq 1 plan model and the schedulers.
+
+use device::GpuType;
+use proptest::prelude::*;
+use sched::{Companion, InterJobScheduler, IntraJobScheduler};
+use std::collections::HashMap;
+
+fn caps_strategy() -> impl Strategy<Value = HashMap<GpuType, f64>> {
+    (1.0f64..20.0, 0.5f64..10.0, 0.2f64..8.0).prop_map(|(v, p, t)| {
+        [(GpuType::V100, v), (GpuType::P100, p), (GpuType::T4, t)].into_iter().collect()
+    })
+}
+
+fn alloc_strategy() -> impl Strategy<Value = Vec<(GpuType, u32)>> {
+    (0u32..6, 0u32..6, 0u32..6).prop_map(|(v, p, t)| {
+        let mut a = Vec::new();
+        if v > 0 {
+            a.push((GpuType::V100, v));
+        }
+        if p > 0 {
+            a.push((GpuType::P100, p));
+        }
+        if t > 0 {
+            a.push((GpuType::T4, t));
+        }
+        a
+    })
+}
+
+proptest! {
+    /// The Eq 1 identity `throughput = maxP / f_overload` holds for every
+    /// balanced plan over every capability vector and allocation.
+    #[test]
+    fn eq1_identity(caps in caps_strategy(), alloc in alloc_strategy(), max_p in 1u32..32) {
+        prop_assume!(!alloc.is_empty());
+        let c = Companion::from_caps(caps, max_p);
+        let plan = c.plan(&alloc).unwrap();
+        prop_assert!((plan.throughput - max_p as f64 / plan.f_overload).abs() < 1e-6,
+            "identity broken: {plan:?}");
+    }
+
+    /// Waste is never negative, and throughput never exceeds aggregate
+    /// capability.
+    #[test]
+    fn waste_and_throughput_bounds(caps in caps_strategy(), alloc in alloc_strategy(), max_p in 1u32..32) {
+        prop_assume!(!alloc.is_empty());
+        let c = Companion::from_caps(caps.clone(), max_p);
+        let plan = c.plan(&alloc).unwrap();
+        let total_cap: f64 = alloc.iter().map(|&(ty, n)| n as f64 * caps[&ty]).sum();
+        prop_assert!(plan.waste >= -1e-9, "negative waste: {plan:?}");
+        prop_assert!(plan.throughput <= total_cap + 1e-9, "thr beyond capability: {plan:?}");
+        prop_assert!(plan.throughput > 0.0);
+    }
+
+    /// The balanced plan is at least as good as any uniform per-type
+    /// assignment (the balancer is not worse than naive splitting).
+    #[test]
+    fn balanced_plan_dominates_uniform(caps in caps_strategy(), alloc in alloc_strategy(), max_p in 1u32..16) {
+        prop_assume!(!alloc.is_empty());
+        let c = Companion::from_caps(caps, max_p);
+        let plan = c.plan(&alloc).unwrap();
+        let total_gpus: u32 = alloc.iter().map(|&(_, n)| n).sum();
+        let uniform_a: Vec<u32> = alloc.iter().map(|_| max_p.div_ceil(total_gpus)).collect();
+        let uniform = c.evaluate(&alloc, &uniform_a);
+        prop_assert!(plan.throughput >= uniform.throughput - 1e-9,
+            "balanced {} < uniform {}", plan.throughput, uniform.throughput);
+    }
+
+    /// placement_for always yields a valid placement covering exactly maxP
+    /// virtual ranks.
+    #[test]
+    fn placements_are_valid(caps in caps_strategy(), alloc in alloc_strategy(), max_p in 1u32..24) {
+        prop_assume!(!alloc.is_empty());
+        let c = Companion::from_caps(caps, max_p);
+        let placement = c.placement_for(&alloc).unwrap();
+        prop_assert!(placement.validate(max_p).is_ok());
+        let total_gpus: u32 = alloc.iter().map(|&(_, n)| n).sum();
+        prop_assert!(placement.n_workers() as u32 <= total_gpus);
+    }
+
+    /// The inter-job scheduler never over-grants: granted resources are
+    /// always within the free table.
+    #[test]
+    fn grants_never_exceed_free(
+        free_v in 0u32..16,
+        props in prop::collection::vec((0u64..8, 1u32..8, 0.1f64..10.0), 0..12),
+    ) {
+        let mut free: HashMap<GpuType, u32> = [(GpuType::V100, free_v)].into_iter().collect();
+        let proposals = props
+            .into_iter()
+            .map(|(job, count, spg)| sched::ResourceProposal {
+                job,
+                add_type: GpuType::V100,
+                add_count: count,
+                new_throughput: 0.0,
+                speedup_total: spg * count as f64,
+                speedup_per_gpu: spg,
+            })
+            .collect();
+        let grants = InterJobScheduler.decide(proposals, &mut free);
+        let granted: u32 = grants.iter().map(|g| g.count).sum();
+        prop_assert!(granted + free[&GpuType::V100] == free_v);
+        // At most one grant per job.
+        let mut jobs: Vec<u64> = grants.iter().map(|g| g.job).collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        prop_assert_eq!(jobs.len(), grants.len());
+    }
+
+    /// Proposals never suggest more than maxP GPUs in one increment and are
+    /// always strictly beneficial.
+    #[test]
+    fn proposals_are_bounded_and_beneficial(caps in caps_strategy(), max_p in 1u32..16, avail in 1u32..64) {
+        let c = Companion::from_caps(caps, max_p);
+        let s = IntraJobScheduler::new(0, c, true);
+        let free: HashMap<GpuType, u32> =
+            [(GpuType::V100, avail), (GpuType::P100, avail), (GpuType::T4, avail)].into_iter().collect();
+        for p in s.proposals(&free, 10) {
+            prop_assert!(p.add_count <= max_p.max(1));
+            prop_assert!(p.speedup_total > 0.0);
+            prop_assert!(p.speedup_per_gpu > 0.0);
+        }
+    }
+}

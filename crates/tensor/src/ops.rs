@@ -1,0 +1,443 @@
+//! Tensor operations whose floating-point accumulation order is controlled by
+//! a [`KernelProfile`].
+//!
+//! Everything reduction-shaped (matmul, conv, sums, softmax denominators)
+//! routes its additions through the profile's tree shape; everything
+//! elementwise (relu, scaling) is order-free and therefore trivially
+//! deterministic. Convolution is implemented as im2col + matmul so its
+//! profile sensitivity is exactly the matmul's, and its backward scatter
+//! (col2im) uses a fixed loop order.
+
+use crate::kernels::{combine_partials, KernelProfile};
+use crate::Tensor;
+
+pub use crate::kernels::blocked_sum;
+
+/// Reduce `f(0) + f(1) + … + f(len-1)` using the profile's K-tiling: each
+/// tile of `tile_k` consecutive terms is summed left-to-right, and tile
+/// partials are combined in the profile's traversal order.
+#[inline]
+pub fn tiled_reduce(len: usize, profile: &KernelProfile, mut f: impl FnMut(usize) -> f32) -> f32 {
+    let tile = profile.tile_k.max(1);
+    if len <= tile {
+        let mut acc = 0.0;
+        for i in 0..len {
+            acc += f(i);
+        }
+        return acc;
+    }
+    let ntiles = len.div_ceil(tile);
+    let mut partials = Vec::with_capacity(ntiles);
+    let mut i = 0;
+    while i < len {
+        let end = (i + tile).min(len);
+        let mut acc = 0.0;
+        for j in i..end {
+            acc += f(j);
+        }
+        partials.push(acc);
+        i = end;
+    }
+    combine_partials(&partials, profile)
+}
+
+/// Dot product with profile-controlled accumulation.
+pub fn dot(a: &[f32], b: &[f32], profile: &KernelProfile) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    tiled_reduce(a.len(), profile, |i| a[i] * b[i])
+}
+
+/// Sum of all elements.
+pub fn sum(t: &Tensor, profile: &KernelProfile) -> f32 {
+    blocked_sum(t.data(), profile)
+}
+
+/// Mean of all elements.
+pub fn mean(t: &Tensor, profile: &KernelProfile) -> f32 {
+    if t.is_empty() {
+        return 0.0;
+    }
+    sum(t, profile) / t.len() as f32
+}
+
+/// `C = A · B` for `A: [m,k]`, `B: [k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor, profile: &KernelProfile) -> Tensor {
+    let (m, k) = mat_dims(a);
+    let (k2, n) = mat_dims(b);
+    assert_eq!(k, k2, "matmul inner-dimension mismatch: {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            od[i * n + j] = tiled_reduce(k, profile, |p| arow[p] * bd[p * n + j]);
+        }
+    }
+    out
+}
+
+/// `C = Aᵀ · B` for `A: [k,m]`, `B: [k,n]` (weight-gradient shape).
+pub fn matmul_at_b(a: &Tensor, b: &Tensor, profile: &KernelProfile) -> Tensor {
+    let (k, m) = mat_dims(a);
+    let (k2, n) = mat_dims(b);
+    assert_eq!(k, k2, "matmul_at_b inner-dimension mismatch");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        for j in 0..n {
+            od[i * n + j] = tiled_reduce(k, profile, |p| ad[p * m + i] * bd[p * n + j]);
+        }
+    }
+    out
+}
+
+/// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` (input-gradient shape).
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor, profile: &KernelProfile) -> Tensor {
+    let (m, k) = mat_dims(a);
+    let (n, k2) = mat_dims(b);
+    assert_eq!(k, k2, "matmul_a_bt inner-dimension mismatch");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            od[i * n + j] = tiled_reduce(k, profile, |p| arow[p] * brow[p]);
+        }
+    }
+    out
+}
+
+fn mat_dims(t: &Tensor) -> (usize, usize) {
+    let s = t.shape();
+    assert_eq!(s.len(), 2, "expected a 2-D tensor, got shape {s:?}");
+    (s[0], s[1])
+}
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Kernel height/width (square kernels only).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output spatial size for an input of `h` pixels.
+    pub fn out_size(&self, h: usize) -> usize {
+        (h + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+}
+
+/// im2col: unfold `input: [cin, h, w]` into a `[cin*k*k, oh*ow]` matrix.
+/// Pure gather — no reductions, so no profile needed.
+pub fn im2col(input: &Tensor, geom: ConvGeom) -> Tensor {
+    let s = input.shape();
+    assert_eq!(s.len(), 3, "im2col expects [cin,h,w]");
+    let (cin, h, w) = (s[0], s[1], s[2]);
+    let (oh, ow) = (geom.out_size(h), geom.out_size(w));
+    let rows = cin * geom.kernel * geom.kernel;
+    let cols = oh * ow;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let id = input.data();
+    let od = out.data_mut();
+    for c in 0..cin {
+        for ky in 0..geom.kernel {
+            for kx in 0..geom.kernel {
+                let row = (c * geom.kernel + ky) * geom.kernel + kx;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        let v = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            id[(c * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        od[row * cols + oy * ow + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// col2im: fold a `[cin*k*k, oh*ow]` gradient back onto `[cin, h, w]`,
+/// accumulating overlaps in a fixed loop order (the deterministic-scatter
+/// alternative to atomic col2im kernels).
+pub fn col2im(cols: &Tensor, cin: usize, h: usize, w: usize, geom: ConvGeom) -> Tensor {
+    let (oh, ow) = (geom.out_size(h), geom.out_size(w));
+    let ncols = oh * ow;
+    assert_eq!(cols.shape(), &[cin * geom.kernel * geom.kernel, ncols], "col2im shape mismatch");
+    let mut out = Tensor::zeros(&[cin, h, w]);
+    let cd = cols.data();
+    let od = out.data_mut();
+    for c in 0..cin {
+        for ky in 0..geom.kernel {
+            for kx in 0..geom.kernel {
+                let row = (c * geom.kernel + ky) * geom.kernel + kx;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        od[(c * h + iy as usize) * w + ix as usize] += cd[row * ncols + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// 2-D convolution of one sample: `input: [cin,h,w]`, `weight:
+/// [cout, cin*k*k]` (pre-flattened), producing `[cout, oh, ow]`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, geom: ConvGeom, profile: &KernelProfile) -> Tensor {
+    let cols = im2col(input, geom);
+    let out = matmul(weight, &cols, profile);
+    let s = input.shape();
+    let (oh, ow) = (geom.out_size(s[1]), geom.out_size(s[2]));
+    let cout = weight.shape()[0];
+    out.reshape(&[cout, oh, ow])
+}
+
+/// ReLU into a fresh tensor.
+pub fn relu(t: &Tensor) -> Tensor {
+    let data = t.data().iter().map(|&x| if x > 0.0 { x } else { 0.0 }).collect();
+    Tensor::from_vec(data, t.shape())
+}
+
+/// ReLU gradient: `grad * (pre > 0)`.
+pub fn relu_backward(grad: &Tensor, pre: &Tensor) -> Tensor {
+    assert_eq!(grad.shape(), pre.shape());
+    let data = grad
+        .data()
+        .iter()
+        .zip(pre.data())
+        .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(data, grad.shape())
+}
+
+/// Row-wise softmax of a `[n, c]` tensor; denominator sums go through the
+/// profile (they are reductions too).
+pub fn softmax_rows(t: &Tensor, profile: &KernelProfile) -> Tensor {
+    let (n, c) = mat_dims(t);
+    let mut out = Tensor::zeros(&[n, c]);
+    let id = t.data();
+    let od = out.data_mut();
+    let mut row_exp = vec![0.0f32; c];
+    for i in 0..n {
+        let row = &id[i * c..(i + 1) * c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        for (e, &x) in row_exp.iter_mut().zip(row) {
+            *e = (x - max).exp();
+        }
+        let denom = blocked_sum(&row_exp, profile);
+        for j in 0..c {
+            od[i * c + j] = row_exp[j] / denom;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of softmax probabilities `probs: [n, c]` against
+/// integer labels, plus the gradient w.r.t. the logits (`(p - onehot)/n`).
+pub fn cross_entropy(probs: &Tensor, labels: &[u32], profile: &KernelProfile) -> (f32, Tensor) {
+    let (n, c) = mat_dims(probs);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let pd = probs.data();
+    let losses: Vec<f32> = (0..n)
+        .map(|i| -(pd[i * c + labels[i] as usize].max(1e-12)).ln())
+        .collect();
+    let loss = blocked_sum(&losses, profile) / n as f32;
+    let mut grad = probs.clone();
+    {
+        let gd = grad.data_mut();
+        let inv_n = 1.0 / n as f32;
+        for i in 0..n {
+            gd[i * c + labels[i] as usize] -= 1.0;
+        }
+        for g in gd.iter_mut() {
+            *g *= inv_n;
+        }
+    }
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> KernelProfile {
+        KernelProfile::hardware_agnostic()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert!(matmul(&a, &eye, &profile()).bitwise_eq(&a));
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b, &profile());
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32 * 0.3).collect(), &[3, 4]);
+        let b = Tensor::from_vec((0..12).map(|x| (x as f32).sin()).collect(), &[3, 4]);
+        // Aᵀ·B via dedicated kernel vs manual transpose then matmul.
+        let mut at = Tensor::zeros(&[4, 3]);
+        for i in 0..3 {
+            for j in 0..4 {
+                at.data_mut()[j * 3 + i] = a.data()[i * 4 + j];
+            }
+        }
+        let expect = matmul(&at, &b, &profile());
+        let got = matmul_at_b(&a, &b, &profile());
+        assert!(got.bitwise_eq(&expect));
+
+        // A·Bᵀ with square inner dims.
+        let c = Tensor::from_vec((0..8).map(|x| x as f32).collect(), &[2, 4]);
+        let d = Tensor::from_vec((0..12).map(|x| x as f32 * 0.5).collect(), &[3, 4]);
+        let mut dt = Tensor::zeros(&[4, 3]);
+        for i in 0..3 {
+            for j in 0..4 {
+                dt.data_mut()[j * 3 + i] = d.data()[i * 4 + j];
+            }
+        }
+        let expect = matmul(&c, &dt, &profile());
+        let got = matmul_a_bt(&c, &d, &profile());
+        assert!(got.bitwise_eq(&expect));
+    }
+
+    #[test]
+    fn matmul_bits_depend_on_tile_k() {
+        // Larger K with rough values: tiling must change the bits.
+        let k = 257;
+        let a = Tensor::from_vec(
+            (0..k).map(|i| (i as f32).sin() * 10f32.powi((i % 7) as i32 - 3)).collect(),
+            &[1, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k).map(|i| (i as f32 * 0.7).cos() * 10f32.powi((i % 5) as i32 - 2)).collect(),
+            &[k, 1],
+        );
+        let results: Vec<f32> = [4usize, 8, 16, 32, 64]
+            .iter()
+            .map(|&t| matmul(&a, &b, &KernelProfile { tile_k: t, ..profile() }).data()[0])
+            .collect();
+        let distinct: std::collections::HashSet<u32> = results.iter().map(|r| r.to_bits()).collect();
+        assert!(distinct.len() > 1, "tile size must influence bits: {results:?}");
+        // But all are the same real number to high tolerance.
+        let spread = results.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+            - results.iter().fold(f32::INFINITY, |m, &x| m.min(x));
+        assert!(spread / results[0].abs() < 1e-4);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_on_ones() {
+        // col2im(im2col(x)) multiplies each pixel by its receptive-field
+        // multiplicity; with kernel=1 stride=1 pad=0 it is the identity.
+        let x = Tensor::from_vec((0..27).map(|i| i as f32).collect(), &[3, 3, 3]);
+        let geom = ConvGeom { kernel: 1, stride: 1, pad: 0 };
+        let cols = im2col(&x, geom);
+        let back = col2im(&cols, 3, 3, 3, geom);
+        assert!(back.bitwise_eq(&x));
+    }
+
+    #[test]
+    fn conv2d_matches_direct_computation() {
+        // 1 input channel, 4x4 image, 3x3 kernel of ones, no pad: each output
+        // is the sum of the 3x3 neighborhood.
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 4, 4]);
+        let w = Tensor::full(&[1, 9], 1.0);
+        let geom = ConvGeom { kernel: 3, stride: 1, pad: 0 };
+        let y = conv2d(&x, &w, geom, &profile());
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        // Neighborhood sums: top-left window covers indices {0,1,2,4,5,6,8,9,10} = 45.
+        assert_eq!(y.data()[0], 45.0);
+        assert_eq!(y.data()[3], 45.0 + 9.0 * 5.0);
+    }
+
+    #[test]
+    fn conv_padding_zero_extends() {
+        let x = Tensor::full(&[1, 2, 2], 1.0);
+        let w = Tensor::full(&[1, 9], 1.0);
+        let geom = ConvGeom { kernel: 3, stride: 1, pad: 1 };
+        let y = conv2d(&x, &w, geom, &profile());
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        // Every output sees exactly the 4 real pixels.
+        assert!(y.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = softmax_rows(&t, &profile());
+        for i in 0..2 {
+            let row: f32 = s.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((row - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]);
+        let sa = softmax_rows(&a, &profile());
+        let sb = softmax_rows(&b, &profile());
+        assert!(sa.max_abs_diff(&sb) < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![0.2, 0.5, -0.1, 1.0, 0.0, -1.0], &[2, 3]);
+        let probs = softmax_rows(&logits, &profile());
+        let (loss, grad) = cross_entropy(&probs, &[2, 0], &profile());
+        assert!(loss > 0.0);
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6, "softmax-CE grad rows sum to ~0, got {s}");
+        }
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let pre = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = relu(&pre);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let g = relu_backward(&Tensor::from_slice(&[5.0, 5.0, 5.0]), &pre);
+        assert_eq!(g.data(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn dot_matches_reference() {
+        let a: Vec<f32> = (0..100).map(|i| i as f32 * 0.01).collect();
+        let b: Vec<f32> = (0..100).map(|i| (i as f32).cos()).collect();
+        let reference: f64 = a.iter().zip(&b).map(|(&x, &y)| (x * y) as f64).sum();
+        let got = dot(&a, &b, &profile()) as f64;
+        assert!((got - reference).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,217 @@
+//! The dense tensor type: row-major `Vec<f32>` plus a shape.
+//!
+//! Deliberately minimal — no views, no broadcasting zoo. The training stack
+//! built on top only needs contiguous 1-D/2-D/4-D tensors, and keeping the
+//! representation flat keeps every kernel's accumulation order auditable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major, f32 tensor.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Zero-filled tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { data: vec![0.0; n], shape: shape.to_vec() }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { data: vec![value; n], shape: shape.to_vec() }
+    }
+
+    /// Build from existing data; panics if the element count mismatches.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "data length {} != shape product {}", data.len(), n);
+        Tensor { data, shape: shape.to_vec() }
+    }
+
+    /// 1-D tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor { data: data.to_vec(), shape: vec![data.len()] }
+    }
+
+    /// The shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the backing storage.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(self.data.len(), n, "reshape to incompatible size");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Set every element to zero without reallocating (hot-loop friendly).
+    pub fn zero_(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Element at a flat index.
+    #[inline]
+    pub fn at(&self, i: usize) -> f32 {
+        self.data[i]
+    }
+
+    /// Bitwise equality (exact f32 bit patterns) — the comparison that the
+    /// paper's consistency claims are stated in. `PartialEq` on f32 would
+    /// treat `-0.0 == 0.0` and `NaN != NaN`; bit equality does not.
+    pub fn bitwise_eq(&self, other: &Tensor) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Maximum absolute elementwise difference — used to *quantify* drift in
+    /// the loss-difference experiments (Fig 9).
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// In-place `self += alpha * other` (no allocation).
+    pub fn axpy_(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x += alpha * y;
+        }
+    }
+
+    /// In-place elementwise scale.
+    pub fn scale_(&mut self, alpha: f32) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+
+    /// Elementwise addition into a fresh tensor.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "add shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Tensor { data, shape: self.shape.clone() }
+    }
+
+    /// Elementwise product into a fresh tensor.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "mul shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Tensor { data, shape: self.shape.clone() }
+    }
+
+    /// Memory footprint in bytes (used by the device memory model).
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:.4}, {:.4}, …, {:.4}]", self.data[0], self.data[1], self.data[self.data.len() - 1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_checks_size() {
+        Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn bitwise_eq_distinguishes_signed_zero() {
+        let a = Tensor::from_slice(&[0.0]);
+        let b = Tensor::from_slice(&[-0.0]);
+        assert!(a == b, "PartialEq sees them equal");
+        assert!(!a.bitwise_eq(&b), "bitwise comparison must not");
+    }
+
+    #[test]
+    fn bitwise_eq_handles_nan() {
+        let a = Tensor::from_slice(&[f32::NAN]);
+        let b = Tensor::from_slice(&[f32::NAN]);
+        assert!(a.bitwise_eq(&b));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[10.0, 20.0]);
+        a.axpy_(0.5, &b);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).reshape(&[2, 2]);
+        assert_eq!(t.shape(), &[2, 2]);
+        assert_eq!(t.at(3), 4.0);
+    }
+
+    #[test]
+    fn max_abs_diff_is_symmetric_enough() {
+        let a = Tensor::from_slice(&[1.0, 5.0]);
+        let b = Tensor::from_slice(&[1.5, 4.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Job-trace generation: Poisson arrivals (Philly-style inter-arrival
+//! process) with log-normal runtimes (down-sampled production distribution),
+//! workloads drawn from the Table 1 catalog, and power-of-two gang sizes
+//! weighted toward small jobs as in the Philly analysis.
+
+use device::GpuType;
+use esrng::{EsRng, StreamKey, StreamKind};
+use models::{Workload, WORKLOADS};
+use sched::JobSpec;
+use serde::{Deserialize, Serialize};
+
+/// Trace parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of jobs.
+    pub n_jobs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Mean inter-arrival time, seconds.
+    pub mean_interarrival: f64,
+    /// Median job runtime at full gang, seconds.
+    pub median_runtime: f64,
+    /// Log-normal sigma of the runtime distribution.
+    pub runtime_sigma: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            n_jobs: 500,
+            seed: 2023,
+            mean_interarrival: 135.0,
+            median_runtime: 900.0,
+            runtime_sigma: 1.4,
+        }
+    }
+}
+
+/// Deterministic trace generator.
+pub struct TraceGenerator {
+    config: TraceConfig,
+}
+
+impl TraceGenerator {
+    /// Generator for a config.
+    pub fn new(config: TraceConfig) -> Self {
+        TraceGenerator { config }
+    }
+
+    /// Gang sizes follow the Philly observation: most jobs are small, a few
+    /// are large. Weights over {1, 2, 4, 8}.
+    fn sample_gang(rng: &mut EsRng) -> u32 {
+        let u = rng.uniform_f32();
+        if u < 0.40 {
+            1
+        } else if u < 0.65 {
+            2
+        } else if u < 0.88 {
+            4
+        } else {
+            8
+        }
+    }
+
+    fn sample_workload(rng: &mut EsRng) -> Workload {
+        WORKLOADS[rng.next_below(WORKLOADS.len() as u32) as usize]
+    }
+
+    /// Generate the job list (sorted by arrival).
+    pub fn generate(&self) -> Vec<JobSpec> {
+        let mut arr_rng = EsRng::for_stream(self.config.seed, StreamKey::indexed(StreamKind::User, 0, 10));
+        let mut job_rng = EsRng::for_stream(self.config.seed, StreamKey::indexed(StreamKind::User, 0, 11));
+        let mut t = 0.0f64;
+        let mu = self.config.median_runtime.ln();
+        (0..self.config.n_jobs)
+            .map(|i| {
+                // Exponential inter-arrival.
+                let u = arr_rng.uniform_f32().max(1e-7) as f64;
+                t += -self.config.mean_interarrival * u.ln();
+                let workload = Self::sample_workload(&mut job_rng);
+                let gang = Self::sample_gang(&mut job_rng);
+                // Log-normal runtime at the full requested gang.
+                let z = job_rng.normal_f32() as f64;
+                let runtime = (mu + self.config.runtime_sigma * z).exp().clamp(60.0, 86_400.0);
+                // Work in local mini-batches: at the full gang on the
+                // requested type, the job would take `runtime` seconds.
+                let spec = workload.spec();
+                let cap = spec.capability(GpuType::V100, false);
+                let work = runtime * gang as f64 * cap;
+                // maxP: DL developers leave elastic headroom beyond the
+                // nominal gang (EasyScale can scale the job OUT past its
+                // YARN-equivalent request when idle GPUs exist).
+                let max_p = (gang * 2).min(16);
+                JobSpec {
+                    id: i as u64,
+                    workload,
+                    arrival: t,
+                    work,
+                    max_p,
+                    requested_gpus: gang,
+                    requested_type: GpuType::V100,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = TraceGenerator::new(TraceConfig::default()).generate();
+        let b = TraceGenerator::new(TraceConfig::default()).generate();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.work, y.work);
+            assert_eq!(x.workload.name(), y.workload.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TraceGenerator::new(TraceConfig::default()).generate();
+        let b = TraceGenerator::new(TraceConfig { seed: 7, ..TraceConfig::default() }).generate();
+        assert!(a.iter().zip(&b).any(|(x, y)| x.arrival != y.arrival));
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_positive() {
+        let jobs = TraceGenerator::new(TraceConfig::default()).generate();
+        assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(jobs[0].arrival > 0.0);
+    }
+
+    #[test]
+    fn gang_sizes_are_powers_of_two_and_mostly_small() {
+        let jobs = TraceGenerator::new(TraceConfig { n_jobs: 400, ..Default::default() }).generate();
+        assert!(jobs.iter().all(|j| [1, 2, 4, 8].contains(&j.requested_gpus)));
+        let small = jobs.iter().filter(|j| j.requested_gpus <= 2).count();
+        assert!(small * 2 > jobs.len(), "most jobs are small: {small}/{}", jobs.len());
+    }
+
+    #[test]
+    fn workload_mix_covers_catalog() {
+        let jobs = TraceGenerator::new(TraceConfig { n_jobs: 400, ..Default::default() }).generate();
+        let distinct: std::collections::HashSet<&str> =
+            jobs.iter().map(|j| j.workload.name()).collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn runtimes_have_heavy_tail() {
+        let jobs = TraceGenerator::new(TraceConfig { n_jobs: 400, ..Default::default() }).generate();
+        let mut runtimes: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.work / (j.requested_gpus as f64 * j.workload.spec().capability(GpuType::V100, false)))
+            .collect();
+        runtimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = runtimes[runtimes.len() / 2];
+        let p95 = runtimes[runtimes.len() * 95 / 100];
+        assert!(p95 > 3.0 * median, "log-normal tail: median {median}, p95 {p95}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Workload traces for the scheduling experiments.
+//!
+//! §5.2 configures job arrivals "according to Microsoft" (the Philly trace)
+//! and down-samples job runtimes from production training jobs; §5.3 and
+//! Fig 1 use the diurnal GPU demand of an online model-serving cluster.
+//! This crate generates deterministic synthetic equivalents of all three.
+
+#![deny(missing_docs)]
+
+pub mod jobs;
+pub mod serving;
+
+pub use jobs::{TraceConfig, TraceGenerator};
+pub use serving::ServingLoad;

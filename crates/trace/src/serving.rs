@@ -1,0 +1,109 @@
+//! The online-serving cluster load curve (Fig 1): a diurnal pattern whose
+//! peak-to-trough swing leaves ~2,000 GPUs idle off-peak, plus short demand
+//! spikes — the elasticity opportunity EasyScale harvests in §5.3.
+
+use device::GpuType;
+use esrng::{EsRng, StreamKey, StreamKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Diurnal serving-load model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingLoad {
+    /// Total GPUs the serving side may occupy at peak.
+    pub peak_gpus: u32,
+    /// GPUs occupied at the quietest hour.
+    pub trough_gpus: u32,
+    /// Seed for the spike noise.
+    pub seed: u64,
+    /// Fraction of serving demand placed on V100s (rest splits P100/T4).
+    pub v100_share: f64,
+}
+
+impl ServingLoad {
+    /// The production-cluster curve of Fig 1: peak ≈ 3,000, trough ≈ 1,000
+    /// (a ~2,000-GPU idle window).
+    pub fn production(seed: u64) -> Self {
+        ServingLoad { peak_gpus: 3000, trough_gpus: 1000, seed, v100_share: 0.5 }
+    }
+
+    /// A small-cluster curve for tests/examples.
+    pub fn small(peak: u32, trough: u32, seed: u64) -> Self {
+        ServingLoad { peak_gpus: peak, trough_gpus: trough, seed, v100_share: 0.5 }
+    }
+
+    /// Total serving GPUs demanded at time `t` (seconds; day period 86,400):
+    /// a raised cosine peaking mid-day, plus deterministic pseudo-random
+    /// spikes of up to 10% of the swing.
+    pub fn demand(&self, t: f64) -> u32 {
+        let day = 86_400.0;
+        let phase = (t / day) * std::f64::consts::TAU;
+        // Peak at noon (phase π), trough at midnight.
+        let base = 0.5 * (1.0 - phase.cos());
+        let swing = (self.peak_gpus - self.trough_gpus) as f64;
+        // Spike noise: keyed by the 5-minute bucket so it is deterministic.
+        let bucket = (t / 300.0) as u64;
+        let mut rng = EsRng::for_stream(self.seed, StreamKey::indexed(StreamKind::User, 0, bucket));
+        let spike = if rng.bernoulli(0.08) { rng.uniform_f32() as f64 * 0.10 * swing } else { 0.0 };
+        (self.trough_gpus as f64 + base * swing + spike).round().min(self.peak_gpus as f64) as u32
+    }
+
+    /// Demand split by GPU type at time `t`.
+    pub fn demand_by_type(&self, t: f64) -> HashMap<GpuType, u32> {
+        let total = self.demand(t);
+        let v100 = (total as f64 * self.v100_share) as u32;
+        let rest = total - v100;
+        let p100 = rest / 2;
+        let t4 = rest - p100;
+        [(GpuType::V100, v100), (GpuType::P100, p100), (GpuType::T4, t4)]
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_stays_in_bounds() {
+        let s = ServingLoad::production(1);
+        for i in 0..288 {
+            let d = s.demand(i as f64 * 300.0);
+            assert!(d >= s.trough_gpus && d <= s.peak_gpus, "t={i}: {d}");
+        }
+    }
+
+    #[test]
+    fn peak_to_trough_swing_is_about_2000() {
+        let s = ServingLoad::production(1);
+        let (mut lo, mut hi) = (u32::MAX, 0);
+        for i in 0..288 {
+            let d = s.demand(i as f64 * 300.0);
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        assert!(hi - lo >= 1800, "Fig 1 swing ≈2000 GPUs, got {}", hi - lo);
+    }
+
+    #[test]
+    fn noon_is_busier_than_midnight() {
+        let s = ServingLoad::production(1);
+        assert!(s.demand(43_200.0) > s.demand(0.0) + 1000);
+    }
+
+    #[test]
+    fn demand_is_deterministic() {
+        let s = ServingLoad::production(9);
+        assert_eq!(s.demand(12_345.0), s.demand(12_345.0));
+    }
+
+    #[test]
+    fn by_type_sums_to_total() {
+        let s = ServingLoad::production(1);
+        for t in [0.0, 10_000.0, 50_000.0] {
+            let by = s.demand_by_type(t);
+            assert_eq!(by.values().sum::<u32>(), s.demand(t));
+        }
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure plus the ablations.
+# Output: printed tables + results/<name>.json for each experiment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  tab01_workloads fig01_serving_load fig02_accuracy_curves fig03_per_class
+  fig04_gamma fig09_loss_consistency fig10_packing fig11_ctx_switch
+  fig12_determinism_overhead fig13_grad_copy exp_data_sharing exp_plan_model
+  fig14_trace_jct fig15_alloc_timeline fig16_colocation
+  abl_bucket_cap abl_overlap abl_est_balance
+)
+
+cargo build --release -p bench
+for b in "${BINS[@]}"; do
+  echo
+  echo "################ $b ################"
+  cargo run --release -q -p bench --bin "$b"
+done
+echo
+echo "All experiments regenerated. JSON in results/."

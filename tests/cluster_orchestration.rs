@@ -1,0 +1,165 @@
+//! Integration: a miniature cluster manager driving *real training engines*
+//! through the full scheduling stack — AiMasters submit proposals, the
+//! inter-job scheduler grants greedily, jobs scale elastically through
+//! on-demand checkpoints, a serving spike preempts everyone — and every
+//! job's final model is still bitwise-identical to its dedicated-resource
+//! reference. This is the whole paper in one test.
+
+use device::GpuType;
+use easyscale::{Engine, JobConfig, Placement};
+use models::Workload;
+use sched::{AiMaster, InterJobScheduler};
+use std::collections::HashMap;
+
+fn free_table(v: u32, p: u32, t: u32) -> HashMap<GpuType, u32> {
+    [(GpuType::V100, v), (GpuType::P100, p), (GpuType::T4, t)].into_iter().collect()
+}
+
+#[test]
+fn multi_job_elastic_cluster_is_accuracy_consistent() {
+    // Three jobs with different workload families and nEST counts.
+    let configs = [
+        JobConfig::new(Workload::NeuMF, 10, 4).with_dataset_len(128),
+        JobConfig::new(Workload::ResNet18, 11, 2).with_dataset_len(128),
+        JobConfig::new(Workload::Bert, 12, 4).with_dataset_len(128),
+    ];
+
+    // The elastic cluster: 6 V100s + 4 P100s + 4 T4s, three AiMasters.
+    let mut masters: Vec<AiMaster> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| AiMaster::new(i as u64, c.clone()))
+        .collect();
+
+    // Dedicated-resource references (what each job was promised), using the
+    // *effective* configs — the model scan may have enabled D2 for
+    // hetero-friendly jobs, and the reference semantics include that.
+    let mut references: Vec<Engine> = masters
+        .iter()
+        .map(|m| {
+            let c = m.config().clone();
+            Engine::new(c.clone(), Placement::one_est_per_gpu(c.n_ests, GpuType::V100))
+        })
+        .collect();
+    let inter = InterJobScheduler;
+
+    // Rounds of cluster operation: capacity fluctuates as a "serving" side
+    // takes and returns GPUs.
+    let capacities = [
+        free_table(6, 4, 4),
+        free_table(2, 4, 4), // serving spike takes 4 V100s
+        free_table(1, 1, 2), // deep spike
+        free_table(6, 4, 4), // recovered
+    ];
+
+    for capacity in capacities {
+        // Reallocate: release everything, then proposal/grant rounds.
+        let mut free = capacity.clone();
+        for m in masters.iter_mut() {
+            m.apply_allocation(vec![]);
+        }
+        for _round in 0..16 {
+            let mut proposals = Vec::new();
+            for m in masters.iter() {
+                proposals.extend(m.proposals(&free, 2));
+            }
+            let grants = inter.decide(proposals, &mut free);
+            if grants.is_empty() {
+                break;
+            }
+            for g in grants {
+                let m = &mut masters[g.job as usize];
+                let mut alloc = m.allocation().clone();
+                match alloc.iter_mut().find(|(ty, _)| *ty == g.gpu) {
+                    Some(slot) => slot.1 += g.count,
+                    None => alloc.push((g.gpu, g.count)),
+                }
+                m.apply_allocation(alloc);
+            }
+        }
+        // Train one window on every RUNNING job; a job whose pinned GPU
+        // type is fully taken by the spike parks at a checkpoint instead of
+        // failing (the paper's zero-failure behavior). References advance
+        // only for the windows the job actually executed.
+        let mut any_ran = false;
+        for (m, r) in masters.iter_mut().zip(&mut references) {
+            if m.is_running() {
+                m.run_window();
+                for _ in 0..8 {
+                    r.step();
+                }
+                any_ran = true;
+            }
+        }
+        assert!(any_ran, "someone must make progress under {capacity:?}");
+    }
+
+    // Final capacity is generous: bring every job back so parked ones
+    // resume from their checkpoints.
+    for m in masters.iter_mut() {
+        if !m.is_running() {
+            m.apply_allocation(vec![(GpuType::V100, 1)]);
+            assert!(m.is_running());
+        }
+    }
+
+    // The paper's promise: elastic multi-tenant execution is bitwise
+    // invisible to every job, including ones that were parked.
+    for ((m, r), c) in masters.iter().zip(&references).zip(&configs) {
+        let live = m.engine().expect("running");
+        assert_eq!(live.global_step(), r.global_step(), "{}", c.workload.name());
+        assert_eq!(
+            live.flat_params(),
+            r.flat_params(),
+            "{} drifted under elastic multi-tenancy",
+            c.workload.name()
+        );
+    }
+}
+
+#[test]
+fn grants_respect_capacity_under_contention() {
+    // Many jobs, few GPUs: the inter-job scheduler must never over-grant,
+    // and the greedy must spread first GPUs before growing anyone far.
+    let mut masters: Vec<AiMaster> = (0..6)
+        .map(|i| {
+            AiMaster::new(i, JobConfig::new(Workload::NeuMF, 100 + i, 2).with_dataset_len(128))
+        })
+        .collect();
+    let inter = InterJobScheduler;
+    let mut free = free_table(4, 0, 0);
+    for _ in 0..16 {
+        let mut proposals = Vec::new();
+        for m in masters.iter() {
+            proposals.extend(m.proposals(&free, 2));
+        }
+        let grants = inter.decide(proposals, &mut free);
+        if grants.is_empty() {
+            break;
+        }
+        for g in grants {
+            let m = &mut masters[g.job as usize];
+            let mut alloc = m.allocation().clone();
+            match alloc.iter_mut().find(|(ty, _)| *ty == g.gpu) {
+                Some(slot) => slot.1 += g.count,
+                None => alloc.push((g.gpu, g.count)),
+            }
+            m.apply_allocation(alloc);
+        }
+    }
+    let total: u32 = masters
+        .iter()
+        .flat_map(|m| m.allocation().iter().map(|&(_, n)| n))
+        .sum();
+    assert_eq!(total, 4, "all capacity granted, never more");
+    // The paper's greedy tie-break "prefers the proposal with more GPUs":
+    // with nEST=2 jobs whose 1- and 2-GPU proposals tie on speedup-per-GPU,
+    // two jobs take 2 GPUs each and the rest wait. (Start-immediately
+    // fairness is the cluster simulator's seeding pass, layered on top.)
+    let running: Vec<u32> = masters
+        .iter()
+        .filter(|m| m.is_running())
+        .map(|m| m.allocation().iter().map(|&(_, n)| n).sum())
+        .collect();
+    assert_eq!(running, vec![2, 2], "two jobs run at their full nEST");
+}

@@ -1,0 +1,161 @@
+//! Integration: the full determinism matrix across workload families,
+//! placements, determinism levels, and scale events — the repository's
+//! strongest end-to-end guarantee tests.
+
+use device::GpuType;
+use easyscale::{Determinism, Engine, JobConfig, Placement};
+use models::Workload;
+
+fn bits(e: &Engine) -> Vec<u32> {
+    e.flat_params().iter().map(|p| p.to_bits()).collect()
+}
+
+fn cfg(w: Workload, det: Determinism) -> JobConfig {
+    JobConfig::new(w, 1234, 4).with_dataset_len(128).with_determinism(det)
+}
+
+/// Every workload family (conv+BN, MLP+dropout, embedding+attention) is
+/// placement-invariant under D1 on homogeneous GPUs.
+#[test]
+fn all_families_placement_invariant() {
+    for w in [Workload::ResNet18, Workload::NeuMF, Workload::Bert] {
+        let mut a = Engine::new(cfg(w, Determinism::d1()), Placement::one_est_per_gpu(4, GpuType::V100));
+        let mut b = Engine::new(cfg(w, Determinism::d1()), Placement::homogeneous(4, 2, GpuType::V100));
+        let mut c = Engine::new(cfg(w, Determinism::d1()), Placement::homogeneous(4, 1, GpuType::V100));
+        for _ in 0..3 {
+            a.step();
+            b.step();
+            c.step();
+        }
+        assert_eq!(bits(&a), bits(&b), "{}", w.name());
+        assert_eq!(bits(&a), bits(&c), "{}", w.name());
+    }
+}
+
+/// Uneven placements (3+1 split) are just as invisible as even ones.
+#[test]
+fn uneven_placements_are_equivalent() {
+    let det = Determinism::d1();
+    let mut even = Engine::new(cfg(Workload::ResNet18, det), Placement::homogeneous(4, 2, GpuType::V100));
+    let uneven = Placement {
+        slots: vec![
+            easyscale::Slot { gpu: GpuType::V100, vranks: vec![0, 1, 2] },
+            easyscale::Slot { gpu: GpuType::V100, vranks: vec![3] },
+        ],
+    };
+    let mut odd = Engine::new(cfg(Workload::ResNet18, det), uneven);
+    for _ in 0..3 {
+        even.step();
+        odd.step();
+    }
+    assert_eq!(bits(&even), bits(&odd));
+}
+
+/// EST execution order within a worker doesn't matter either (vrank order
+/// inside a slot is a scheduling detail, not a semantic one).
+#[test]
+fn est_order_within_worker_is_irrelevant() {
+    let det = Determinism::d1();
+    let forward = Placement {
+        slots: vec![easyscale::Slot { gpu: GpuType::V100, vranks: vec![0, 1, 2, 3] }],
+    };
+    let shuffled = Placement {
+        slots: vec![easyscale::Slot { gpu: GpuType::V100, vranks: vec![2, 0, 3, 1] }],
+    };
+    let mut a = Engine::new(cfg(Workload::ResNet18, det), forward);
+    let mut b = Engine::new(cfg(Workload::ResNet18, det), shuffled);
+    for _ in 0..3 {
+        a.step();
+        b.step();
+    }
+    assert_eq!(bits(&a), bits(&b));
+}
+
+/// Checkpoint/restore round-trips through JSON serialization without
+/// breaking bitwise continuity (the on-demand checkpoint really is a
+/// complete, serializable state capture).
+#[test]
+fn checkpoint_survives_serialization() {
+    let det = Determinism::d1();
+    let mut reference = Engine::new(cfg(Workload::ResNet18, det), Placement::one_est_per_gpu(4, GpuType::V100));
+    let mut live = Engine::new(cfg(Workload::ResNet18, det), Placement::one_est_per_gpu(4, GpuType::V100));
+    for _ in 0..2 {
+        reference.step();
+        live.step();
+    }
+    let json = serde_json::to_string(&live.checkpoint()).unwrap();
+    let restored: easyscale::JobCheckpoint = serde_json::from_str(&json).unwrap();
+    let mut resumed = Engine::from_checkpoint(
+        cfg(Workload::ResNet18, det),
+        Placement::homogeneous(4, 2, GpuType::V100),
+        &restored,
+    );
+    for _ in 0..3 {
+        reference.step();
+        resumed.step();
+    }
+    assert_eq!(bits(&reference), bits(&resumed));
+}
+
+/// Repeated rapid rescaling (a thrashing cluster) never perturbs a bit.
+#[test]
+fn rescale_thrash_is_bitwise_stable() {
+    let det = Determinism::d1_d2();
+    let mut reference = Engine::new(cfg(Workload::NeuMF, det), Placement::one_est_per_gpu(4, GpuType::V100));
+    let mut elastic = Engine::new(cfg(Workload::NeuMF, det), Placement::one_est_per_gpu(4, GpuType::V100));
+    let placements = [
+        Placement::homogeneous(4, 2, GpuType::V100),
+        Placement::heterogeneous(&[(GpuType::T4, 2), (GpuType::P100, 2)]),
+        Placement::homogeneous(4, 1, GpuType::P100),
+        Placement::one_est_per_gpu(4, GpuType::T4),
+        Placement::homogeneous(4, 3, GpuType::V100),
+    ];
+    for p in placements {
+        elastic = elastic.rescale(p);
+        reference.step();
+        elastic.step();
+    }
+    assert_eq!(bits(&reference), bits(&elastic));
+}
+
+/// Without any determinism measures, even two identical fresh runs differ
+/// (the D0 problem in isolation).
+#[test]
+fn no_determinism_is_run_to_run_unstable() {
+    let mut a = Engine::new(cfg(Workload::ResNet18, Determinism::none()), Placement::homogeneous(4, 1, GpuType::V100));
+    let mut b = Engine::new(cfg(Workload::ResNet18, Determinism::none()), Placement::homogeneous(4, 1, GpuType::V100));
+    for _ in 0..2 {
+        a.step();
+        b.step();
+    }
+    assert_ne!(bits(&a), bits(&b), "atomic-emulation kernels must differ run-to-run");
+}
+
+/// D0 fixes run-to-run stability (same process, same placement) even though
+/// it cannot survive restarts.
+#[test]
+fn d0_is_run_to_run_stable() {
+    let mut a = Engine::new(cfg(Workload::ResNet18, Determinism::d0()), Placement::homogeneous(4, 1, GpuType::V100));
+    let mut b = Engine::new(cfg(Workload::ResNet18, Determinism::d0()), Placement::homogeneous(4, 1, GpuType::V100));
+    for _ in 0..3 {
+        a.step();
+        b.step();
+    }
+    assert_eq!(bits(&a), bits(&b));
+}
+
+/// Different seeds give different models (determinism ≠ constancy).
+#[test]
+fn seeds_still_matter() {
+    let mut a = Engine::new(
+        JobConfig::new(Workload::ResNet18, 1, 4).with_dataset_len(128),
+        Placement::homogeneous(4, 1, GpuType::V100),
+    );
+    let mut b = Engine::new(
+        JobConfig::new(Workload::ResNet18, 2, 4).with_dataset_len(128),
+        Placement::homogeneous(4, 1, GpuType::V100),
+    );
+    a.step();
+    b.step();
+    assert_ne!(bits(&a), bits(&b));
+}

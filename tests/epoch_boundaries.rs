@@ -1,0 +1,93 @@
+//! Integration: epoch-boundary edge cases. Epoch rollovers reshuffle the
+//! sampler and re-key augmentation streams; scale events that land exactly
+//! on — or straddle — those boundaries must stay bitwise-invisible.
+
+use device::GpuType;
+use easyscale::{Engine, JobConfig, Placement};
+use models::Workload;
+
+fn cfg() -> JobConfig {
+    // Tiny epoch: dataset 64, nEST 2, batch 8 ⇒ 4 steps/epoch.
+    JobConfig::new(Workload::NeuMF, 31, 2).with_dataset_len(64)
+}
+
+#[test]
+fn tiny_epochs_have_expected_length() {
+    let e = Engine::new(cfg(), Placement::homogeneous(2, 1, GpuType::V100));
+    assert_eq!(e.steps_per_epoch(), 4);
+}
+
+#[test]
+fn rescale_exactly_at_epoch_boundary() {
+    let mut reference = Engine::new(cfg(), Placement::one_est_per_gpu(2, GpuType::V100));
+    let mut elastic = Engine::new(cfg(), Placement::one_est_per_gpu(2, GpuType::V100));
+    let spe = reference.steps_per_epoch();
+    for _ in 0..spe {
+        reference.step();
+        elastic.step();
+    }
+    assert_eq!(elastic.epoch(), 1, "exactly at the boundary");
+    let mut elastic = elastic.rescale(Placement::homogeneous(2, 1, GpuType::V100));
+    for _ in 0..spe {
+        reference.step();
+        elastic.step();
+    }
+    assert_eq!(reference.flat_params(), elastic.flat_params());
+}
+
+#[test]
+fn rescale_mid_epoch_straddling_boundary() {
+    let mut reference = Engine::new(cfg(), Placement::one_est_per_gpu(2, GpuType::V100));
+    let mut elastic = Engine::new(cfg(), Placement::one_est_per_gpu(2, GpuType::V100));
+    // Stop 1 step short of the boundary, rescale, run across it.
+    for _ in 0..3 {
+        reference.step();
+        elastic.step();
+    }
+    let mut elastic = elastic.rescale(Placement::homogeneous(2, 1, GpuType::V100));
+    for _ in 0..4 {
+        reference.step();
+        elastic.step();
+    }
+    assert_eq!(reference.epoch(), 1);
+    assert_eq!(reference.flat_params(), elastic.flat_params());
+}
+
+#[test]
+fn many_epochs_stay_bitwise_consistent() {
+    let mut reference = Engine::new(cfg(), Placement::one_est_per_gpu(2, GpuType::V100));
+    let mut elastic = Engine::new(cfg(), Placement::one_est_per_gpu(2, GpuType::V100));
+    // Rescale every 3 steps across 6 epochs (boundaries at multiples of 4,
+    // so events hit every phase of the epoch).
+    let placements = [
+        Placement::homogeneous(2, 1, GpuType::V100),
+        Placement::one_est_per_gpu(2, GpuType::V100),
+    ];
+    for i in 0..8 {
+        elastic = elastic.rescale(placements[i % 2].clone());
+        for _ in 0..3 {
+            reference.step();
+            elastic.step();
+        }
+    }
+    assert_eq!(reference.epoch(), 6);
+    assert_eq!(reference.flat_params(), elastic.flat_params());
+}
+
+#[test]
+fn lr_decay_boundary_is_respected_under_rescale() {
+    // gamma decay every 2 epochs; rescale right at the decay boundary.
+    let mut config = cfg();
+    config.lr = optim::StepLr { base_lr: 0.05, gamma: 0.1, step_epochs: 2 };
+    let mut e = Engine::new(config, Placement::homogeneous(2, 1, GpuType::V100));
+    let spe = e.steps_per_epoch();
+    let mut last_lr = 0.0;
+    for _ in 0..2 * spe {
+        last_lr = e.step().lr;
+    }
+    assert!((last_lr - 0.05).abs() < 1e-9, "epochs 0-1 at base LR");
+    let mut e = e.rescale(Placement::one_est_per_gpu(2, GpuType::V100));
+    let r = e.step();
+    assert_eq!(r.epoch, 2);
+    assert!((r.lr - 0.005).abs() < 1e-9, "decayed LR survives the rescale: {}", r.lr);
+}

@@ -1,0 +1,129 @@
+//! Integration: the scheduling stack end to end — companion plans feed the
+//! intra-job scheduler, the engine executes the exact placement the plan
+//! describes, and the cluster simulator consumes real Table-1 capabilities.
+
+use device::{ClusterSpec, GpuType};
+use easyscale::{Determinism, Engine, JobConfig, Placement};
+use models::Workload;
+use sched::{ClusterSim, Companion, JobSpec, Policy};
+use trace::{TraceConfig, TraceGenerator};
+
+/// A plan produced by the companion can always be executed by the engine,
+/// and the heterogeneous execution matches the homogeneous reference under
+/// D2 — plans are not just scores, they are runnable placements.
+#[test]
+fn companion_plans_are_executable_and_consistent() {
+    let max_p = 8;
+    let companion = Companion::for_workload(&Workload::Bert.spec(), max_p, true);
+    let alloc = vec![(GpuType::V100, 1), (GpuType::P100, 2), (GpuType::T4, 1)];
+    let placement = companion.placement_for(&alloc).unwrap();
+    placement.validate(max_p).unwrap();
+
+    let cfg = JobConfig::new(Workload::Bert, 3, max_p)
+        .with_dataset_len(256)
+        .with_determinism(Determinism::d1_d2());
+    let mut hetero = Engine::new(cfg.clone(), placement);
+    let mut homo = Engine::new(cfg, Placement::one_est_per_gpu(max_p, GpuType::V100));
+    for _ in 0..3 {
+        let a = homo.step();
+        let b = hetero.step();
+        assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+    }
+}
+
+/// The trace generator's jobs are directly consumable by the simulator
+/// under every policy, and all jobs finish.
+#[test]
+fn trace_to_sim_pipeline() {
+    let cluster = ClusterSpec::paper_trace_cluster();
+    let jobs = TraceGenerator::new(TraceConfig { n_jobs: 40, ..Default::default() }).generate();
+    for policy in [Policy::YarnCapacity, Policy::EasyScaleHomo, Policy::EasyScaleHeter] {
+        let out = ClusterSim::new(&cluster, jobs.clone(), policy).run();
+        assert_eq!(out.records.len(), 40);
+        assert!(out.records.iter().all(|r| r.finish >= r.arrival));
+        assert!(out.makespan >= out.records.iter().map(|r| r.finish).fold(0.0, f64::max) - 1e-6);
+    }
+}
+
+/// The ordering claim of Fig 14 holds for fresh seeds, not just the default
+/// trace (robustness of the headline scheduling result).
+#[test]
+fn easyscale_beats_yarn_across_seeds() {
+    let cluster = ClusterSpec::paper_trace_cluster();
+    for seed in [7u64, 99, 2024] {
+        let jobs = TraceGenerator::new(TraceConfig {
+            n_jobs: 80,
+            seed,
+            ..Default::default()
+        })
+        .generate();
+        let yarn = ClusterSim::new(&cluster, jobs.clone(), Policy::YarnCapacity).run();
+        let es = ClusterSim::new(&cluster, jobs, Policy::EasyScaleHeter).run();
+        assert!(
+            es.avg_jct < yarn.avg_jct,
+            "seed {seed}: EasyScale {} vs YARN {}",
+            es.avg_jct,
+            yarn.avg_jct
+        );
+    }
+}
+
+/// Under co-location, training yields to serving and reclaims afterwards.
+#[test]
+fn colocation_yields_and_reclaims() {
+    let cluster = ClusterSpec::paper_trace_cluster();
+    let job = JobSpec {
+        id: 0,
+        workload: Workload::Electra,
+        arrival: 0.0,
+        work: 1_000_000.0,
+        max_p: 16,
+        requested_gpus: 8,
+        requested_type: GpuType::V100,
+    };
+    let sim = ClusterSim::new(&cluster, vec![job], Policy::EasyScaleHeter).with_serving(|t| {
+        // Serving occupies the whole cluster in [3600, 7200).
+        if (3600.0..7200.0).contains(&t) {
+            [(GpuType::V100, 32), (GpuType::P100, 16), (GpuType::T4, 16)]
+                .into_iter()
+                .collect()
+        } else {
+            Default::default()
+        }
+    });
+    let out = sim.run();
+    assert!(!out.preemptions.is_empty(), "the spike preempts");
+    // During the spike training holds 0 GPUs; afterwards it reclaims.
+    let during: Vec<_> =
+        out.timeline.iter().filter(|p| (3700.0..7100.0).contains(&p.t)).collect();
+    assert!(during.iter().all(|p| p.training_gpus == 0), "training fully yields");
+    let after = out.timeline.iter().find(|p| p.t >= 7200.0).unwrap();
+    assert!(after.training_gpus > 0, "training reclaims after the spike");
+    assert_eq!(out.failures, 0);
+}
+
+/// YARN leaves non-requested GPU types idle; EasyScale-heter does not.
+#[test]
+fn heter_uses_the_whole_cluster() {
+    let cluster = ClusterSpec::paper_trace_cluster();
+    let jobs: Vec<JobSpec> = (0..8)
+        .map(|i| JobSpec {
+            id: i,
+            workload: Workload::SwinTransformer,
+            arrival: 0.0,
+            work: 100_000.0,
+            max_p: 16,
+            requested_gpus: 8,
+            requested_type: GpuType::V100,
+        })
+        .collect();
+    let yarn = ClusterSim::new(&cluster, jobs.clone(), Policy::YarnCapacity).run();
+    let heter = ClusterSim::new(&cluster, jobs, Policy::EasyScaleHeter).run();
+    assert!(yarn.avg_training_gpus() <= 32.0 + 1e-9, "YARN is V100-bound");
+    assert!(
+        heter.avg_training_gpus() > yarn.avg_training_gpus(),
+        "heter soaks P100/T4 capacity: {} vs {}",
+        heter.avg_training_gpus(),
+        yarn.avg_training_gpus()
+    );
+}
