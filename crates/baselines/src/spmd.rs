@@ -252,8 +252,7 @@ impl SpmdTrainer {
             }
             i = end;
         }
-        let overall =
-            correct.iter().sum::<u64>() as f64 / total.iter().sum::<u64>().max(1) as f64;
+        let overall = correct.iter().sum::<u64>() as f64 / total.iter().sum::<u64>().max(1) as f64;
         let per_class = correct
             .iter()
             .zip(&total)
@@ -269,7 +268,8 @@ mod tests {
 
     #[test]
     fn fixed_world_runs_are_reproducible() {
-        let mk = || SpmdTrainer::new(SpmdConfig::new(Workload::ResNet18, 5, 2).with_dataset_len(128));
+        let mk =
+            || SpmdTrainer::new(SpmdConfig::new(Workload::ResNet18, 5, 2).with_dataset_len(128));
         let mut a = mk();
         let mut b = mk();
         for _ in 0..3 {
@@ -282,8 +282,10 @@ mod tests {
 
     #[test]
     fn different_world_sizes_differ() {
-        let mut w2 = SpmdTrainer::new(SpmdConfig::new(Workload::ResNet18, 5, 2).with_dataset_len(128));
-        let mut w4 = SpmdTrainer::new(SpmdConfig::new(Workload::ResNet18, 5, 4).with_dataset_len(128));
+        let mut w2 =
+            SpmdTrainer::new(SpmdConfig::new(Workload::ResNet18, 5, 2).with_dataset_len(128));
+        let mut w4 =
+            SpmdTrainer::new(SpmdConfig::new(Workload::ResNet18, 5, 4).with_dataset_len(128));
         for _ in 0..2 {
             w2.step(0.05);
             w4.step(0.05);
@@ -297,7 +299,8 @@ mod tests {
 
     #[test]
     fn restart_carries_params_but_loses_progress_state() {
-        let mut t = SpmdTrainer::new(SpmdConfig::new(Workload::ResNet18, 5, 4).with_dataset_len(128));
+        let mut t =
+            SpmdTrainer::new(SpmdConfig::new(Workload::ResNet18, 5, 4).with_dataset_len(128));
         for _ in 0..3 {
             t.step(0.05);
         }

@@ -49,7 +49,14 @@ pub struct VirtualFlowJob {
 impl VirtualFlowJob {
     /// Start with `world` physical GPUs; `virtual_nodes` must be divisible
     /// by every world size used.
-    pub fn new(workload: Workload, seed: u64, virtual_nodes: u32, world: u32, dataset_len: usize, batch_size: usize) -> Self {
+    pub fn new(
+        workload: Workload,
+        seed: u64,
+        virtual_nodes: u32,
+        world: u32,
+        dataset_len: usize,
+        batch_size: usize,
+    ) -> Self {
         assert!(virtual_nodes.is_multiple_of(world), "virtual nodes must divide evenly");
         let j = JobConfig::new(workload, seed, virtual_nodes);
         let model = build_proxy(workload, seed);
@@ -74,7 +81,13 @@ impl VirtualFlowJob {
         }
     }
 
-    fn make_loader(workload: Workload, seed: u64, virtual_nodes: u32, dataset_len: usize, batch_size: usize) -> ShardedLoader {
+    fn make_loader(
+        workload: Workload,
+        seed: u64,
+        virtual_nodes: u32,
+        dataset_len: usize,
+        batch_size: usize,
+    ) -> ShardedLoader {
         // Same dataset constructor EasyScale uses (see spmd.rs).
         let dataset = easyscale::worker::make_dataset(
             &JobConfig::new(workload, seed, virtual_nodes).with_dataset_len(dataset_len),
@@ -113,8 +126,18 @@ impl VirtualFlowJob {
         self.world = world;
         self.rank_implicit = vec![keep; world as usize];
         let sizes = self.model.param_sizes();
-        self.ddp = ElasticDdp::new(&sizes, world, JobConfig::new(self.workload, self.seed, self.virtual_nodes).bucket_cap_bytes);
-        self.loader = Self::make_loader(self.workload, self.seed, self.virtual_nodes, self.dataset_len, self.batch_size);
+        self.ddp = ElasticDdp::new(
+            &sizes,
+            world,
+            JobConfig::new(self.workload, self.seed, self.virtual_nodes).bucket_cap_bytes,
+        );
+        self.loader = Self::make_loader(
+            self.workload,
+            self.seed,
+            self.virtual_nodes,
+            self.dataset_len,
+            self.batch_size,
+        );
     }
 
     /// One global step: each physical rank accumulates `accumulation_steps`
@@ -127,10 +150,8 @@ impl VirtualFlowJob {
             self.model.set_implicit_state(&self.rank_implicit[r as usize]);
             // Dropout keyed by PHYSICAL rank — virtual nodes share a stream,
             // one of the state-fidelity losses vs EasyScale.
-            let mut dropout = EsRng::for_stream(
-                self.seed ^ self.step,
-                StreamKey::ranked(StreamKind::Dropout, r),
-            );
+            let mut dropout =
+                EsRng::for_stream(self.seed ^ self.step, StreamKey::ranked(StreamKind::Dropout, r));
             let mut acc: Option<Vec<f32>> = None;
             for v in 0..accum {
                 let vnode = r * accum + v;

@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn grads(vworld: u32, n: usize) -> Vec<Vec<f32>> {
-    (0..vworld)
-        .map(|r| (0..n).map(|i| ((i + r as usize) as f32 * 0.7).sin()).collect())
-        .collect()
+    (0..vworld).map(|r| (0..n).map(|i| ((i + r as usize) as f32 * 0.7).sin()).collect()).collect()
 }
 
 fn bench_world_size(c: &mut Criterion) {

@@ -33,7 +33,8 @@ fn main() {
         // (a) elasticity consistency at this cap.
         let mut config = JobConfig::new(Workload::ResNet18, 5, 4).with_dataset_len(128);
         config.bucket_cap_bytes = cap;
-        let mut reference = Engine::new(config.clone(), Placement::one_est_per_gpu(4, GpuType::V100));
+        let mut reference =
+            Engine::new(config.clone(), Placement::one_est_per_gpu(4, GpuType::V100));
         let mut elastic = Engine::new(config.clone(), Placement::one_est_per_gpu(4, GpuType::V100));
         for _ in 0..2 {
             reference.step();
@@ -61,11 +62,18 @@ fn main() {
 
         println!("{:>10} {:>8} {:>14.1} {:>24}", cap, buckets, us, bitwise);
         final_params.push(reference.flat_params().iter().map(|p| p.to_bits()).collect());
-        rows.push(Row { cap_bytes: cap, buckets, allreduce_us: us, bitwise_after_rescale: bitwise });
+        rows.push(Row {
+            cap_bytes: cap,
+            buckets,
+            allreduce_us: us,
+            bitwise_after_rescale: bitwise,
+        });
     }
     assert!(rows.iter().all(|r| r.bitwise_after_rescale), "D1 must hold at every cap");
     let distinct: std::collections::HashSet<&Vec<u32>> = final_params.iter().collect();
     assert!(distinct.len() > 1, "different caps are different training runs (bits differ)");
-    println!("\nD1 holds at every cap; caps are mutually bit-distinct (the layout IS training state).");
+    println!(
+        "\nD1 holds at every cap; caps are mutually bit-distinct (the layout IS training state)."
+    );
     bench::write_json("abl_bucket_cap", &rows);
 }

@@ -41,13 +41,10 @@ fn main() {
         let uniform = companion.evaluate(&alloc, &vec![a_uni; alloc.len()]).throughput;
 
         // Proportional: A_i ∝ C_i, rounded up (classic static heuristic).
-        let total_cap: f64 =
-            alloc.iter().map(|&(ty, n)| n as f64 * companion.capability(ty)).sum();
+        let total_cap: f64 = alloc.iter().map(|&(ty, n)| n as f64 * companion.capability(ty)).sum();
         let a_prop: Vec<u32> = alloc
             .iter()
-            .map(|&(ty, _)| {
-                ((12.0 * companion.capability(ty) / total_cap).ceil() as u32).max(1)
-            })
+            .map(|&(ty, _)| ((12.0 * companion.capability(ty) / total_cap).ceil() as u32).max(1))
             .collect();
         let proportional = companion.evaluate(&alloc, &a_prop).throughput;
 

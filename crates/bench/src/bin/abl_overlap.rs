@@ -41,10 +41,7 @@ fn main() {
             m.easyscale_throughput(w.spec().base_v100_secs, 8)
         };
         for exposed in [0.0f64, 0.5, 1.0] {
-            let m = PerfModel {
-                grad_copy_exposed_frac: exposed * cf,
-                ..PerfModel::default()
-            };
+            let m = PerfModel { grad_copy_exposed_frac: exposed * cf, ..PerfModel::default() };
             let thr = m.easyscale_throughput(w.spec().base_v100_secs, 8);
             let rel = thr / full;
             line.push_str(&format!(" {:>12.3}", rel));

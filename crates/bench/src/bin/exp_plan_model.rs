@@ -46,11 +46,7 @@ fn main() {
     let mut rows = Vec::new();
     for alloc in candidates {
         let plan = companion.plan(&alloc).unwrap();
-        let name = alloc
-            .iter()
-            .map(|(t, n)| format!("{n}x{t}"))
-            .collect::<Vec<_>>()
-            .join(" + ");
+        let name = alloc.iter().map(|(t, n)| format!("{n}x{t}")).collect::<Vec<_>>().join(" + ");
         println!(
             "{:<28} {:>12} {:>6} {:>10.3} {:>8.2} {:>12.2}",
             name,

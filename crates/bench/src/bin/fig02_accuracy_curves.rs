@@ -7,8 +7,8 @@
 //! that match none of the fixed-GPU runs; EasyScale with nEST=4 produces the
 //! DDP-4GPU curve exactly, no matter how many GPUs it actually uses.
 
-use baselines::{PolluxJob, TorchElasticJob};
 use baselines::spmd::{SpmdConfig, SpmdTrainer};
+use baselines::{PolluxJob, TorchElasticJob};
 use data::SyntheticImageDataset;
 use device::GpuType;
 use easyscale::{Engine, JobConfig, Placement};

@@ -33,7 +33,8 @@ struct RowOut {
 }
 
 fn run_te(gpus: u32) -> RowOut {
-    let mut job = TorchElasticJob::new(Workload::ResNet18, SEED, 4, gpus, schedule(), DATASET, BATCH);
+    let mut job =
+        TorchElasticJob::new(Workload::ResNet18, SEED, 4, gpus, schedule(), DATASET, BATCH);
     for _ in 0..EPOCHS {
         job.run_epoch();
     }

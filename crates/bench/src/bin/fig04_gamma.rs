@@ -47,7 +47,8 @@ fn ddp(gamma: f32) -> Curve {
 }
 
 fn pollux(gamma: f32, gpus: u32) -> Curve {
-    let mut job = PolluxJob::new(Workload::ResNet50, SEED, 4, gpus, schedule(gamma), DATASET, BATCH);
+    let mut job =
+        PolluxJob::new(Workload::ResNet50, SEED, 4, gpus, schedule(gamma), DATASET, BATCH);
     let mut losses = Vec::new();
     for e in 0..EPOCHS {
         // Pollux re-scales as the cluster fluctuates: bounce the world.

@@ -58,7 +58,10 @@ fn run(workload: Workload) -> Series {
             easyscale_throughput: et,
         });
     }
-    println!("packing OOMs at {oom_at} workers; EasyScale memory flat at {:.2} GiB", rows[15].easyscale_mem_gib);
+    println!(
+        "packing OOMs at {oom_at} workers; EasyScale memory flat at {:.2} GiB",
+        rows[15].easyscale_mem_gib
+    );
     Series { model: workload.name(), rows, packing_oom_at: oom_at }
 }
 

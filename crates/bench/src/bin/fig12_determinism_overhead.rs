@@ -24,10 +24,7 @@ struct Row {
 fn main() {
     bench::header("Figure 12: overhead of ensuring accuracy-consistency (normalized time)");
     let perf = PerfModel::default();
-    println!(
-        "{:<16} {:>6} {:>10} {:>10} {:>10}",
-        "Model", "GPU", "baseline", "D1", "D1+D2"
-    );
+    println!("{:<16} {:>6} {:>10} {:>10} {:>10}", "Model", "GPU", "baseline", "D1", "D1+D2");
     let mut rows = Vec::new();
     let mut conv_overheads = Vec::new();
     for w in WORKLOADS {

@@ -25,7 +25,10 @@ struct Row {
 
 fn main() {
     bench::header("Figure 13: gradient copy & sync overhead (8 ESTs on 1 GPU vs DDP on 8 GPUs)");
-    println!("{:<16} {:>12} {:>12}  per-EST normalized time (EST0..EST7)", "Model", "DDP us", "sync us");
+    println!(
+        "{:<16} {:>12} {:>12}  per-EST normalized time (EST0..EST7)",
+        "Model", "DDP us", "sync us"
+    );
     let mut rows = Vec::new();
     for w in WORKLOADS {
         let cfg = JobConfig::new(w, 7, 8).with_dataset_len(512);
@@ -59,8 +62,7 @@ fn main() {
         // DDP reference: one EST per worker; median per worker, averaged.
         let mut ddp_time = 0.0;
         for r in 0..8u32 {
-            let mut ddp =
-                EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::V100, vranks: vec![r] });
+            let mut ddp = EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::V100, vranks: vec![r] });
             for _ in 0..3 {
                 ddp.run_local_steps_opts(true);
             }
@@ -93,12 +95,17 @@ fn main() {
             print!("{n:>6.2}");
         }
         println!();
-        rows.push(Row { model: w.name(), est_normalized: normalized, ddp_step_us: ddp_time, sync_us });
+        rows.push(Row {
+            model: w.name(),
+            est_normalized: normalized,
+            ddp_step_us: ddp_time,
+            sync_us,
+        });
     }
-    let worst = rows
-        .iter()
-        .flat_map(|r| r.est_normalized.iter())
-        .fold(f64::NEG_INFINITY, |m, &x| m.max(x));
-    println!("\nworst per-EST normalized time: {worst:.2} (paper: EST execution competitive with DDP)");
+    let worst =
+        rows.iter().flat_map(|r| r.est_normalized.iter()).fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+    println!(
+        "\nworst per-EST normalized time: {worst:.2} (paper: EST execution competitive with DDP)"
+    );
     bench::write_json("fig13_grad_copy", &rows);
 }

@@ -53,7 +53,9 @@ fn main() {
     }
     let avg_h: f64 = homo.avg_training_gpus();
     let avg_x: f64 = heter.avg_training_gpus();
-    println!("\ntime-averaged allocation: homo {avg_h:.1} GPUs, heter {avg_x:.1} GPUs (cluster: 64)");
+    println!(
+        "\ntime-averaged allocation: homo {avg_h:.1} GPUs, heter {avg_x:.1} GPUs (cluster: 64)"
+    );
     assert!(avg_x >= avg_h, "heter must allocate at least as many GPUs on average");
     println!("shape check passed: heter ≥ homo allocation (paper: heter generally higher).");
 

@@ -105,7 +105,11 @@ mod tests {
         let mut out = vec![f32::NAN; 10];
         ring_allreduce(&views, &[3, 7], &RingSpec { nranks: 2 }, &mut out);
         assert!(!out[3].is_nan() && !out[7].is_nan());
-        assert!(out.iter().enumerate().filter(|(i, _)| *i != 3 && *i != 7).all(|(_, v)| v.is_nan()));
+        assert!(out
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 3 && *i != 7)
+            .all(|(_, v)| v.is_nan()));
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl BucketLayout {
 
     /// The rebuilt mapping DDP adopts after the first mini-batch: same
     /// greedy packing, but in the order gradients became ready.
-    pub fn from_ready_order(param_sizes: &[usize], ready_order: &[usize], cap_bytes: usize) -> Self {
+    pub fn from_ready_order(
+        param_sizes: &[usize],
+        ready_order: &[usize],
+        cap_bytes: usize,
+    ) -> Self {
         assert_eq!(ready_order.len(), param_sizes.len(), "ready order must cover all params");
         let mut seen = vec![false; param_sizes.len()];
         for &p in ready_order {
@@ -68,6 +72,9 @@ impl BucketLayout {
         if !cur.is_empty() {
             buckets.push(cur);
         }
+        // Every emitted bucket is one "flush" of the greedy packer (layout
+        // construction happens at job start and at the warmup rebuild).
+        obs::counter_add("comm.bucket_flushes", buckets.len() as u64);
         BucketLayout { param_sizes: param_sizes.to_vec(), param_offsets: offsets, buckets }
     }
 

@@ -73,7 +73,11 @@ impl ElasticDdp {
         if self.rebuilt {
             return;
         }
-        self.layout = BucketLayout::from_ready_order(self.layout.param_sizes(), ready_order, bucket_cap_bytes);
+        self.layout = BucketLayout::from_ready_order(
+            self.layout.param_sizes(),
+            ready_order,
+            bucket_cap_bytes,
+        );
         self.rebuilt = true;
     }
 
@@ -85,6 +89,10 @@ impl ElasticDdp {
         assert_eq!(grads.len(), self.vworld as usize, "expected one gradient per virtual rank");
         let n = grads[0].len();
         assert!(grads.iter().all(|g| g.len() == n), "gradient length mismatch across ranks");
+        let _t = obs::span("comm.allreduce");
+        obs::counter_add("comm.allreduce_calls", 1);
+        obs::counter_add("comm.allreduce_bytes", (n * grads.len() * 4) as u64);
+        obs::counter_add("comm.bucket_fills", self.layout.num_buckets() as u64);
         let views: Vec<&[f32]> = grads.iter().map(|g| g.as_slice()).collect();
         let mut out = vec![0.0f32; n];
         for bucket in self.layout.buckets() {
@@ -129,7 +137,9 @@ mod tests {
         (0..vworld)
             .map(|r| {
                 (0..n)
-                    .map(|i| ((i * 31 + r * 7) % 97) as f32 * 0.013 * 10f32.powi((i % 5) as i32 - 2))
+                    .map(|i| {
+                        ((i * 31 + r * 7) % 97) as f32 * 0.013 * 10f32.powi((i % 5) as i32 - 2)
+                    })
                     .collect()
             })
             .collect()

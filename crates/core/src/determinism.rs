@@ -34,27 +34,47 @@ pub struct Determinism {
 impl Determinism {
     /// No determinism measures (what default framework settings give you).
     pub fn none() -> Self {
-        Determinism { deterministic_kernels: false, pin_bucket_layout: false, hardware_agnostic: false }
+        Determinism {
+            deterministic_kernels: false,
+            pin_bucket_layout: false,
+            hardware_agnostic: false,
+        }
     }
 
     /// D0 only.
     pub fn d0() -> Self {
-        Determinism { deterministic_kernels: true, pin_bucket_layout: false, hardware_agnostic: false }
+        Determinism {
+            deterministic_kernels: true,
+            pin_bucket_layout: false,
+            hardware_agnostic: false,
+        }
     }
 
     /// D0 + D1 (EasyScale's default).
     pub fn d1() -> Self {
-        Determinism { deterministic_kernels: true, pin_bucket_layout: true, hardware_agnostic: false }
+        Determinism {
+            deterministic_kernels: true,
+            pin_bucket_layout: true,
+            hardware_agnostic: false,
+        }
     }
 
     /// D0 + D2 (no bucket pinning — the Fig 9 ablation).
     pub fn d0_d2() -> Self {
-        Determinism { deterministic_kernels: true, pin_bucket_layout: false, hardware_agnostic: true }
+        Determinism {
+            deterministic_kernels: true,
+            pin_bucket_layout: false,
+            hardware_agnostic: true,
+        }
     }
 
     /// D0 + D1 + D2: full heterogeneous determinism.
     pub fn d1_d2() -> Self {
-        Determinism { deterministic_kernels: true, pin_bucket_layout: true, hardware_agnostic: true }
+        Determinism {
+            deterministic_kernels: true,
+            pin_bucket_layout: true,
+            hardware_agnostic: true,
+        }
     }
 
     /// The kernel profile a worker on `gpu` executes with.

@@ -97,11 +97,8 @@ impl Engine {
         for (w, slot) in workers.iter_mut().zip(&placement.slots) {
             w.load_flat_params(&ckpt.params);
             w.restore_pool(&ckpt.loader);
-            let contexts = slot
-                .vranks
-                .iter()
-                .map(|&r| ckpt.est_contexts[r as usize].clone())
-                .collect();
+            let contexts =
+                slot.vranks.iter().map(|&r| ckpt.est_contexts[r as usize].clone()).collect();
             w.set_contexts(contexts);
         }
         let param_sizes = workers[0].model().param_sizes();
@@ -169,6 +166,9 @@ impl Engine {
     /// One global step: local steps on all workers (concurrently), virtual-
     /// rank all-reduce, shared optimizer update.
     pub fn step(&mut self) -> StepResult {
+        // Observation-only: spans/counters never feed back into the step
+        // (see DESIGN.md, "Metrics stay off the merge path").
+        let _step_span = obs::span("engine.global_step");
         let epoch = self.epoch();
         let lr = self.config.lr.lr(epoch);
 
@@ -190,6 +190,7 @@ impl Engine {
         };
         // Deterministic merge: virtual-rank order, independent of thread
         // completion order.
+        let merge_span = obs::span("merge");
         locals.sort_by_key(|l| l.vrank);
         debug_assert_eq!(locals.len(), self.config.n_ests as usize);
 
@@ -217,6 +218,8 @@ impl Engine {
             };
             self.ddp.rebuild_from_ready_order(&order, self.config.bucket_cap_bytes);
         }
+        drop(merge_span);
+        obs::counter_add("engine.steps_total", 1);
 
         let step = self.global_step;
         self.global_step += 1;
@@ -231,6 +234,7 @@ impl Engine {
 
     /// Take an on-demand checkpoint (paper Figure 6).
     pub fn checkpoint(&self) -> JobCheckpoint {
+        let _ckpt_span = obs::span("engine.checkpoint");
         // EST contexts gathered from their current owners, in vrank order.
         let mut contexts: Vec<Option<EstContext>> = vec![None; self.config.n_ests as usize];
         for w in &self.workers {
@@ -250,14 +254,17 @@ impl Engine {
             }
         }
 
-        JobCheckpoint {
+        let ckpt = JobCheckpoint {
             est_contexts,
             loader,
             comm: self.ddp.checkpoint(),
             global_step: self.global_step,
             params: self.workers[0].flat_params(),
             opt_velocity: self.opt.state().to_vec(),
-        }
+        };
+        obs::counter_add("engine.checkpoints_total", 1);
+        obs::gauge_set("engine.checkpoint_bytes", ckpt.approx_bytes() as f64);
+        ckpt
     }
 
     /// Scale in/out: checkpoint, rebuild on the new placement, resume. This
@@ -338,10 +345,8 @@ mod tests {
     fn without_d2_heterogeneity_is_visible() {
         let cfg = config().with_determinism(Determinism::d1());
         let mut homo = Engine::new(cfg.clone(), Placement::one_est_per_gpu(4, GpuType::V100));
-        let mut hetero = Engine::new(
-            cfg,
-            Placement::heterogeneous(&[(GpuType::V100, 2), (GpuType::P100, 2)]),
-        );
+        let mut hetero =
+            Engine::new(cfg, Placement::heterogeneous(&[(GpuType::V100, 2), (GpuType::P100, 2)]));
         homo.step();
         hetero.step();
         assert_ne!(params_bits(&homo), params_bits(&hetero));

@@ -47,8 +47,7 @@ impl EstContext {
     /// Approximate in-memory size of the context in bytes — the quantity
     /// context switching has to move, which the design keeps small.
     pub fn approx_bytes(&self) -> usize {
-        let implicit: usize =
-            self.implicit.per_layer.iter().flatten().map(|t| t.nbytes()).sum();
+        let implicit: usize = self.implicit.per_layer.iter().flatten().map(|t| t.nbytes()).sum();
         implicit + std::mem::size_of::<RngState>() + 16
     }
 }

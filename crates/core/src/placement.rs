@@ -23,16 +23,13 @@ impl Placement {
     /// One EST per GPU — the classic DDP configuration (the bitwise
     /// reference every elastic placement must match).
     pub fn one_est_per_gpu(n_ests: u32, gpu: GpuType) -> Self {
-        Placement {
-            slots: (0..n_ests).map(|r| Slot { gpu, vranks: vec![r] }).collect(),
-        }
+        Placement { slots: (0..n_ests).map(|r| Slot { gpu, vranks: vec![r] }).collect() }
     }
 
     /// Spread `n_ests` round-robin over `n_gpus` identical GPUs.
     pub fn homogeneous(n_ests: u32, n_gpus: u32, gpu: GpuType) -> Self {
         assert!(n_gpus > 0, "need at least one GPU");
-        let mut slots: Vec<Slot> =
-            (0..n_gpus).map(|_| Slot { gpu, vranks: Vec::new() }).collect();
+        let mut slots: Vec<Slot> = (0..n_gpus).map(|_| Slot { gpu, vranks: Vec::new() }).collect();
         for r in 0..n_ests {
             slots[(r % n_gpus) as usize].vranks.push(r);
         }
@@ -121,7 +118,8 @@ mod tests {
 
     #[test]
     fn heterogeneous_assigns_contiguous_ranks() {
-        let p = Placement::heterogeneous(&[(GpuType::V100, 2), (GpuType::P100, 1), (GpuType::P100, 1)]);
+        let p =
+            Placement::heterogeneous(&[(GpuType::V100, 2), (GpuType::P100, 1), (GpuType::P100, 1)]);
         assert_eq!(p.slots[0].vranks, vec![0, 1]);
         assert_eq!(p.slots[2].vranks, vec![3]);
         assert!(!p.is_homogeneous());

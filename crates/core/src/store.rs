@@ -50,6 +50,7 @@ impl CheckpointStore {
     /// Persist a checkpoint atomically; prunes old checkpoints beyond the
     /// retention count.
     pub fn save(&self, ckpt: &JobCheckpoint) -> io::Result<PathBuf> {
+        let _t = obs::span("store.save");
         let envelope = Envelope {
             version: FORMAT_VERSION,
             job_name: self.job_name.clone(),
@@ -57,6 +58,7 @@ impl CheckpointStore {
         };
         let bytes = serde_json::to_vec(&envelope)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        obs::gauge_set("store.snapshot_bytes", bytes.len() as f64);
         let final_path = self.path_for(ckpt.global_step);
         let tmp_path = final_path.with_extension("tmp");
         fs::write(&tmp_path, &bytes)?;
@@ -86,6 +88,7 @@ impl CheckpointStore {
 
     /// Load the checkpoint at a specific step.
     pub fn load(&self, step: u64) -> io::Result<JobCheckpoint> {
+        let _t = obs::span("store.load");
         let bytes = fs::read(self.path_for(step))?;
         let envelope: Envelope = serde_json::from_slice(&bytes)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
@@ -131,10 +134,8 @@ mod tests {
     use models::Workload;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "easyscale-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("easyscale-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

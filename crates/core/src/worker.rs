@@ -12,7 +12,10 @@
 use crate::est::EstContext;
 use crate::placement::Slot;
 use crate::JobConfig;
-use data::{AugmentConfig, Augmenter, DataWorkerPool, Dataset, LoaderCheckpoint, ShardedLoader, SyntheticImageDataset, SyntheticSequenceDataset};
+use data::{
+    AugmentConfig, Augmenter, DataWorkerPool, Dataset, LoaderCheckpoint, ShardedLoader,
+    SyntheticImageDataset, SyntheticSequenceDataset,
+};
 use device::GpuType;
 use models::model::ExecCtx;
 use models::zoo::{self, build_proxy, InputKind};
@@ -36,7 +39,9 @@ pub struct LocalStep {
 /// Build the training dataset a workload proxy consumes.
 pub fn make_dataset(config: &JobConfig) -> Arc<dyn Dataset> {
     match zoo::input_kind(config.workload) {
-        InputKind::Image => Arc::new(SyntheticImageDataset::cifar_like(config.seed, config.dataset_len)),
+        InputKind::Image => {
+            Arc::new(SyntheticImageDataset::cifar_like(config.seed, config.dataset_len))
+        }
         InputKind::Sequence => Arc::new(SyntheticSequenceDataset::new(
             config.seed,
             config.dataset_len,
@@ -199,7 +204,9 @@ impl EasyScaleWorker {
             let est = &mut self.contexts[i];
             // — Context switch in: restore the EST's implicit states. —
             if context_switching {
+                let load_span = obs::span("worker.ctx_switch_load");
                 self.model.set_implicit_state(&est.implicit);
+                drop(load_span);
             }
             let mut dropout = est.dropout_rng();
 
@@ -215,12 +222,16 @@ impl EasyScaleWorker {
             let grad = self.model.flat_grads();
             self.model.zero_grads();
             if context_switching {
+                let save_span = obs::span("worker.ctx_switch_save");
                 est.implicit = self.model.implicit_state();
                 est.dropout = dropout.state();
+                drop(save_span);
             }
             est.steps += 1;
             est.last_loss = loss;
-            out.push((LocalStep { vrank: est.vrank, grad, loss }, start.elapsed()));
+            let elapsed = start.elapsed();
+            obs::observe("worker.local_step_us", elapsed.as_secs_f64() * 1e6);
+            out.push((LocalStep { vrank: est.vrank, grad, loss }, elapsed));
         }
         out
     }
@@ -275,8 +286,7 @@ impl EasyScaleWorker {
             }
             i = end;
         }
-        let overall =
-            correct.iter().sum::<u64>() as f64 / total.iter().sum::<u64>().max(1) as f64;
+        let overall = correct.iter().sum::<u64>() as f64 / total.iter().sum::<u64>().max(1) as f64;
         let per_class = correct
             .iter()
             .zip(&total)
@@ -327,27 +337,22 @@ mod tests {
         // The same EST (same vrank) produces bitwise-identical gradients on
         // its first local step whether it shares a worker or not.
         let cfg = config();
-        let mut solo =
-            EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::V100, vranks: vec![2] });
+        let mut solo = EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::V100, vranks: vec![2] });
         let mut shared =
             EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::V100, vranks: vec![0, 1, 2, 3] });
         let g_solo = solo.run_local_steps().remove(0);
         let g_shared = shared.run_local_steps().remove(2);
         assert_eq!(g_solo.vrank, g_shared.vrank);
         assert_eq!(g_solo.loss.to_bits(), g_shared.loss.to_bits());
-        let identical = g_solo
-            .grad
-            .iter()
-            .zip(&g_shared.grad)
-            .all(|(a, b)| a.to_bits() == b.to_bits());
+        let identical =
+            g_solo.grad.iter().zip(&g_shared.grad).all(|(a, b)| a.to_bits() == b.to_bits());
         assert!(identical, "EST gradients must not depend on co-residents");
     }
 
     #[test]
     fn d2_makes_gradients_gpu_type_invariant() {
         let cfg = config().with_determinism(Determinism::d1_d2());
-        let mut v100 =
-            EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::V100, vranks: vec![0] });
+        let mut v100 = EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::V100, vranks: vec![0] });
         let mut t4 = EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::T4, vranks: vec![0] });
         let a = v100.run_local_steps().remove(0);
         let b = t4.run_local_steps().remove(0);
@@ -357,8 +362,7 @@ mod tests {
     #[test]
     fn without_d2_gpu_types_disagree() {
         let cfg = config().with_determinism(Determinism::d1());
-        let mut v100 =
-            EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::V100, vranks: vec![0] });
+        let mut v100 = EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::V100, vranks: vec![0] });
         let mut t4 = EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::T4, vranks: vec![0] });
         let a = v100.run_local_steps().remove(0);
         let b = t4.run_local_steps().remove(0);
@@ -369,8 +373,7 @@ mod tests {
     #[test]
     fn evaluate_returns_sane_accuracy() {
         let cfg = config();
-        let mut w =
-            EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::V100, vranks: vec![0] });
+        let mut w = EasyScaleWorker::new(&cfg, &Slot { gpu: GpuType::V100, vranks: vec![0] });
         let eval = SyntheticImageDataset::cifar_like(999, 100);
         let (overall, per_class) = w.evaluate(&eval, 16, 0);
         assert!((0.0..=1.0).contains(&overall));

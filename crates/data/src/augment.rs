@@ -57,8 +57,11 @@ impl Augmenter {
         let span = 2 * self.config.max_shift as u32 + 1;
         let dy = rng.next_below(span) as isize - self.config.max_shift as isize;
         let dx = rng.next_below(span) as isize - self.config.max_shift as isize;
-        let bright =
-            if self.config.brightness_sigma > 0.0 { rng.normal_f32() * self.config.brightness_sigma } else { 0.0 };
+        let bright = if self.config.brightness_sigma > 0.0 {
+            rng.normal_f32() * self.config.brightness_sigma
+        } else {
+            0.0
+        };
 
         let id = img.data();
         let mut out = Tensor::zeros(s);
@@ -109,10 +112,7 @@ mod tests {
     fn different_rng_state_usually_differs() {
         let a = Augmenter::new(AugmentConfig::default());
         let outs: Vec<Tensor> = (0..8).map(|i| a.apply(&img(), &mut rng_at(i * 10))).collect();
-        let distinct = outs
-            .iter()
-            .filter(|o| !o.bitwise_eq(&outs[0]))
-            .count();
+        let distinct = outs.iter().filter(|o| !o.bitwise_eq(&outs[0])).count();
         assert!(distinct > 0, "augmentation should vary with generator position");
     }
 

@@ -49,7 +49,14 @@ pub struct SyntheticImageDataset {
 
 impl SyntheticImageDataset {
     /// Build a dataset. `seed` fixes the prototypes and every sample.
-    pub fn new(seed: u64, len: usize, channels: usize, height: usize, width: usize, classes: u32) -> Self {
+    pub fn new(
+        seed: u64,
+        len: usize,
+        channels: usize,
+        height: usize,
+        width: usize,
+        classes: u32,
+    ) -> Self {
         let dim = channels * height * width;
         let prototypes = (0..classes)
             .map(|c| {
@@ -256,8 +263,7 @@ mod tests {
             a.data().iter().zip(b.data()).map(|(x, y)| (x - y).powi(2)).sum()
         };
         let within: f32 = class0.windows(2).map(|w| dist(&w[0], &w[1])).sum::<f32>() / 19.0;
-        let across: f32 =
-            class0.iter().zip(&class1).map(|(a, b)| dist(a, b)).sum::<f32>() / 20.0;
+        let across: f32 = class0.iter().zip(&class1).map(|(a, b)| dist(a, b)).sum::<f32>() / 20.0;
         assert!(across > within * 1.2, "across {across} should exceed within {within}");
     }
 

@@ -96,7 +96,15 @@ impl ShardedLoader {
                 aug: RngStream::open(seed, StreamKey::indexed(StreamKind::Augmentation, r, 0)),
             })
             .collect();
-        ShardedLoader { dataset, sampler, augmenter, batch_size, seed, cursors, perm_cache: Vec::new() }
+        ShardedLoader {
+            dataset,
+            sampler,
+            augmenter,
+            batch_size,
+            seed,
+            cursors,
+            perm_cache: Vec::new(),
+        }
     }
 
     /// Ensure the permutation for `epoch` is the last cache entry.
@@ -176,7 +184,14 @@ impl ShardedLoader {
             );
         }
 
-        Batch { epoch, batch_idx, vrank, features: Tensor::from_vec(features, &shape), labels, indices }
+        Batch {
+            epoch,
+            batch_idx,
+            vrank,
+            features: Tensor::from_vec(features, &shape),
+            labels,
+            indices,
+        }
     }
 
     /// Capture every rank's cursor.
@@ -229,8 +244,7 @@ impl QueuingBuffer {
 
     /// Drop the entry for a consumed batch.
     fn consume(&mut self, vrank: u32, epoch: u64, batch: usize) {
-        self.entries
-            .retain(|e| !(e.vrank == vrank && e.epoch == epoch && e.batch == batch));
+        self.entries.retain(|e| !(e.vrank == vrank && e.epoch == epoch && e.batch == batch));
     }
 
     /// Number of prepared-but-unconsumed batches tracked.
@@ -320,7 +334,8 @@ impl DataWorkerPool {
             self.buffer.push(vrank, batch.epoch, batch.batch_idx, before.aug_state, self.rr_worker);
             self.rr_worker = (self.rr_worker + 1) % self.n_workers;
             self.prepared += 1;
-            self.queues[vrank as usize].push_back(PreparedBatch { batch, rng_before: before.aug_state });
+            self.queues[vrank as usize]
+                .push_back(PreparedBatch { batch, rng_before: before.aug_state });
         }
     }
 
@@ -377,7 +392,14 @@ mod tests {
     }
 
     fn loader(n: u32) -> ShardedLoader {
-        ShardedLoader::new(dataset(), n, 8, 99, true, Some(Augmenter::new(AugmentConfig::default())))
+        ShardedLoader::new(
+            dataset(),
+            n,
+            8,
+            99,
+            true,
+            Some(Augmenter::new(AugmentConfig::default())),
+        )
     }
 
     #[test]
@@ -479,7 +501,10 @@ mod tests {
         fresh.restore(&ckpt);
         let got: Vec<Batch> = (0..6).map(|_| fresh.next_batch(0)).collect();
         for (x, y) in expect.iter().zip(&got) {
-            assert!(x.features.bitwise_eq(&y.features), "worker count/prefetch depth must not matter");
+            assert!(
+                x.features.bitwise_eq(&y.features),
+                "worker count/prefetch depth must not matter"
+            );
             assert_eq!(x.epoch, y.epoch);
             assert_eq!(x.batch_idx, y.batch_idx);
         }

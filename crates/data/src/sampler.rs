@@ -47,10 +47,8 @@ impl DistributedSampler {
     pub fn epoch_permutation(&self, epoch: u64) -> Vec<u32> {
         let padded = self.samples_per_replica() * self.n_replicas as usize;
         let mut base: Vec<u32> = if self.shuffle {
-            let mut rng = EsRng::for_stream(
-                self.seed,
-                StreamKey::indexed(StreamKind::Sampler, 0, epoch),
-            );
+            let mut rng =
+                EsRng::for_stream(self.seed, StreamKey::indexed(StreamKind::Sampler, 0, epoch));
             rng.permutation(self.dataset_len)
         } else {
             (0..self.dataset_len as u32).collect()
@@ -67,7 +65,13 @@ impl DistributedSampler {
     ///
     /// Sharding is strided: replica r takes positions r, r+n, r+2n, … of the
     /// padded permutation.
-    pub fn batch_indices(&self, epoch: u64, vrank: u32, batch: usize, batch_size: usize) -> Vec<u32> {
+    pub fn batch_indices(
+        &self,
+        epoch: u64,
+        vrank: u32,
+        batch: usize,
+        batch_size: usize,
+    ) -> Vec<u32> {
         self.batch_indices_in(&self.epoch_permutation(epoch), vrank, batch, batch_size)
     }
 

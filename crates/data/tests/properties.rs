@@ -2,7 +2,9 @@
 //! padded epoch, and loader state must be a pure function of consumption
 //! position.
 
-use data::{AugmentConfig, Augmenter, Dataset, DistributedSampler, ShardedLoader, SyntheticImageDataset};
+use data::{
+    AugmentConfig, Augmenter, Dataset, DistributedSampler, ShardedLoader, SyntheticImageDataset,
+};
 use proptest::prelude::*;
 use std::sync::Arc;
 

@@ -69,11 +69,7 @@ impl ClusterSpec {
 
     /// A production-scale cluster in the spirit of §5.3 (3,000+ GPUs).
     pub fn production_cluster() -> Self {
-        Self::build(&[
-            (GpuType::V100, 200, 8),
-            (GpuType::P100, 300, 2),
-            (GpuType::T4, 250, 4),
-        ])
+        Self::build(&[(GpuType::V100, 200, 8), (GpuType::P100, 300, 2), (GpuType::T4, 250, 4)])
     }
 
     /// Iterate over every GPU.

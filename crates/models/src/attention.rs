@@ -167,8 +167,13 @@ impl Layer for SelfAttention {
         let scale = 1.0 / (self.dim as f32).sqrt();
         let mut out = Tensor::zeros(&[b, seq, self.dim]);
         let plane = seq * self.dim;
-        let (mut qs, mut ks, mut vs, mut ps, mut os) =
-            (Vec::with_capacity(b), Vec::with_capacity(b), Vec::with_capacity(b), Vec::with_capacity(b), Vec::with_capacity(b));
+        let (mut qs, mut ks, mut vs, mut ps, mut os) = (
+            Vec::with_capacity(b),
+            Vec::with_capacity(b),
+            Vec::with_capacity(b),
+            Vec::with_capacity(b),
+            Vec::with_capacity(b),
+        );
         for i in 0..b {
             let xb = self.sample(x, i, seq);
             let q = ops::matmul(&xb, &self.wq, &ctx.profile);
@@ -200,7 +205,10 @@ impl Layer for SelfAttention {
         let mut gx = Tensor::zeros(&[b, seq, self.dim]);
 
         for i in 0..b {
-            let gy = Tensor::from_vec(grad.data()[i * plane..(i + 1) * plane].to_vec(), &[seq, self.dim]);
+            let gy = Tensor::from_vec(
+                grad.data()[i * plane..(i + 1) * plane].to_vec(),
+                &[seq, self.dim],
+            );
             let xb = self.sample(&c.x, i, seq);
 
             // Output projection.
@@ -382,7 +390,8 @@ mod tests {
     fn attention_forward_shape_and_determinism() {
         let mut rng = mk_rng();
         let mut attn = SelfAttention::init(8, &mut rng);
-        let x = Tensor::from_vec((0..2 * 4 * 8).map(|i| (i as f32 * 0.11).sin()).collect(), &[2, 4, 8]);
+        let x =
+            Tensor::from_vec((0..2 * 4 * 8).map(|i| (i as f32 * 0.11).sin()).collect(), &[2, 4, 8]);
         let mut drng = mk_rng();
         let y1 = attn.forward(&x, &mut mk_ctx(&mut drng));
         let y2 = attn.forward(&x, &mut mk_ctx(&mut drng));

@@ -171,8 +171,8 @@ impl Layer for LayerNorm {
                 let sum_gh = blocked_sum(&ghbuf, &ctx.profile);
                 let istd = cache.inv_std[r];
                 for j in 0..d {
-                    gxd[r * d + j] = istd
-                        * (gbuf[j] - sum_g / d as f32 - xh[r * d + j] * sum_gh / d as f32);
+                    gxd[r * d + j] =
+                        istd * (gbuf[j] - sum_g / d as f32 - xh[r * d + j] * sum_gh / d as f32);
                 }
             }
         }
@@ -237,12 +237,7 @@ impl Layer for Gelu {
 
     fn backward(&mut self, grad: &Tensor, _ctx: &mut ExecCtx) -> Tensor {
         let x = self.cached.take().expect("backward before forward");
-        let data = grad
-            .data()
-            .iter()
-            .zip(x.data())
-            .map(|(&g, &v)| g * Self::dgelu(v))
-            .collect();
+        let data = grad.data().iter().zip(x.data()).map(|(&g, &v)| g * Self::dgelu(v)).collect();
         Tensor::from_vec(data, grad.shape())
     }
 
@@ -290,10 +285,8 @@ mod tests {
     #[test]
     fn residual_gradients_match_finite_differences() {
         let mut r = rng();
-        let mut res = Residual::new(vec![
-            Box::new(Dense::init(3, 3, &mut r)),
-            Box::new(Relu::new()),
-        ]);
+        let mut res =
+            Residual::new(vec![Box::new(Dense::init(3, 3, &mut r)), Box::new(Relu::new())]);
         let x = Tensor::from_vec(vec![0.5, -0.3, 0.8], &[1, 3]);
         let loss = |res: &mut Residual, x: &Tensor| -> f32 {
             let mut dr = rng();

@@ -33,7 +33,14 @@ struct Cached {
 
 impl Conv2d {
     /// Kaiming-uniform initialized convolution.
-    pub fn init(cin: usize, cout: usize, kernel: usize, stride: usize, pad: usize, rng: &mut EsRng) -> Self {
+    pub fn init(
+        cin: usize,
+        cout: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut EsRng,
+    ) -> Self {
         let fan_in = cin * kernel * kernel;
         let bound = (6.0 / fan_in as f32).sqrt();
         let weight = Tensor::from_vec(
@@ -194,7 +201,10 @@ mod tests {
     fn gradients_match_finite_differences() {
         let mut rng = init_rng();
         let mut conv = Conv2d::init(2, 3, 3, 1, 1, &mut rng);
-        let x = Tensor::from_vec((0..2 * 2 * 4 * 4).map(|i| ((i * 7) % 13) as f32 * 0.1 - 0.6).collect(), &[2, 2, 4, 4]);
+        let x = Tensor::from_vec(
+            (0..2 * 2 * 4 * 4).map(|i| ((i * 7) % 13) as f32 * 0.1 - 0.6).collect(),
+            &[2, 2, 4, 4],
+        );
 
         let loss = |conv: &mut Conv2d, x: &Tensor| -> f32 {
             let mut drng = init_rng();

@@ -247,7 +247,8 @@ mod tests {
     fn forward_backward_shapes() {
         let mut m = tiny_model();
         let mut rng = ctx_rng();
-        let mut ctx = ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut rng };
+        let mut ctx =
+            ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut rng };
         let x = Tensor::zeros(&[5, 4]);
         let y = m.forward(&x, &mut ctx);
         assert_eq!(y.shape(), &[5, 3]);
@@ -259,7 +260,8 @@ mod tests {
     fn zero_grads_clears() {
         let mut m = tiny_model();
         let mut rng = ctx_rng();
-        let mut ctx = ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut rng };
+        let mut ctx =
+            ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut rng };
         let x = Tensor::full(&[2, 4], 0.5);
         let y = m.forward(&x, &mut ctx);
         m.backward(&Tensor::full(y.shape(), 1.0), &mut ctx);

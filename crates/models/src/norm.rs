@@ -160,8 +160,7 @@ impl Layer for BatchNorm {
                 let base = o * stride + c * inner;
                 for i in 0..inner {
                     // dx = gamma*istd * (g - dbeta/m - x_hat*dgamma/m)
-                    gxd[base + i] =
-                        g * istd * (gbuf[k] - dbeta / m - xh[base + i] * dgamma / m);
+                    gxd[base + i] = g * istd * (gbuf[k] - dbeta / m - xh[base + i] * dgamma / m);
                     k += 1;
                 }
             }
@@ -218,7 +217,8 @@ mod tests {
         let data: Vec<f32> = (0..32).map(|_| rng.normal_f32() * 3.0 + 5.0).collect();
         let x = Tensor::from_vec(data, &[16, 2]);
         let mut drng = mk_rng();
-        let mut ctx = ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut drng };
+        let mut ctx =
+            ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut drng };
         let y = bn.forward(&x, &mut ctx);
         for c in 0..2 {
             let vals: Vec<f32> = (0..16).map(|i| y.data()[i * 2 + c]).collect();
@@ -234,12 +234,17 @@ mod tests {
         let mut bn = BatchNorm::new(1);
         let x = Tensor::from_vec(vec![10.0; 8], &[8, 1]);
         let mut drng = mk_rng();
-        let mut ctx = ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut drng };
+        let mut ctx =
+            ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut drng };
         for _ in 0..50 {
             bn.forward(&x, &mut ctx);
         }
         let (mean, _) = bn.running_stats();
-        assert!((mean.data()[0] - 10.0).abs() < 0.1, "running mean converges to 10: {}", mean.data()[0]);
+        assert!(
+            (mean.data()[0] - 10.0).abs() < 0.1,
+            "running mean converges to 10: {}",
+            mean.data()[0]
+        );
     }
 
     #[test]
@@ -249,7 +254,8 @@ mod tests {
         bn.set_implicit_state(&[Tensor::from_slice(&[4.0]), Tensor::from_slice(&[4.0])]);
         let x = Tensor::from_vec(vec![4.0; 4], &[4, 1]);
         let mut drng = mk_rng();
-        let mut ctx = ExecCtx { profile: KernelProfile::default(), training: false, dropout: &mut drng };
+        let mut ctx =
+            ExecCtx { profile: KernelProfile::default(), training: false, dropout: &mut drng };
         let y = bn.forward(&x, &mut ctx);
         // (4-4)/sqrt(4+eps) = 0 for all entries.
         assert!(y.data().iter().all(|&v| v.abs() < 1e-6));
@@ -263,7 +269,8 @@ mod tests {
         let mut rng = mk_rng();
         let x = Tensor::from_vec((0..24).map(|_| rng.normal_f32()).collect(), &[8, 3]);
         let mut drng = mk_rng();
-        let mut ctx = ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut drng };
+        let mut ctx =
+            ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut drng };
         bn.forward(&x, &mut ctx);
         let state = bn.implicit_state();
         let mut bn2 = BatchNorm::new(3);
@@ -322,7 +329,8 @@ mod tests {
         let mut bn = BatchNorm::new(3);
         let x = Tensor::zeros(&[2, 3, 4, 4]);
         let mut drng = mk_rng();
-        let mut ctx = ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut drng };
+        let mut ctx =
+            ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut drng };
         let y = bn.forward(&x, &mut ctx);
         assert_eq!(y.shape(), &[2, 3, 4, 4]);
         let gx = bn.backward(&Tensor::zeros(&[2, 3, 4, 4]), &mut ctx);
@@ -335,7 +343,8 @@ mod tests {
         let mut bn = BatchNorm::new(3);
         let x = Tensor::zeros(&[2, 3, 4]);
         let mut drng = mk_rng();
-        let mut ctx = ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut drng };
+        let mut ctx =
+            ExecCtx { profile: KernelProfile::default(), training: true, dropout: &mut drng };
         bn.forward(&x, &mut ctx);
     }
 }

@@ -48,7 +48,11 @@ pub const WORKLOADS: [Workload; 8] = [
 ];
 
 /// Static metadata for one workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Serialize`-only: the `&'static str` columns point into the compiled-in
+/// Table 1 catalog, so a spec is looked up via [`Workload::spec`] rather
+/// than deserialized (and `&'static str` has no `Deserialize` impl anyway).
+#[derive(Debug, Clone, Serialize)]
 pub struct WorkloadSpec {
     /// Which workload.
     pub workload: Workload,
@@ -266,8 +270,7 @@ mod tests {
         // Conv models: ShuffleNetv2, ResNet50, VGG19, YOLOv3. Others ~free.
         let conv: Vec<_> = WORKLOADS.iter().filter(|w| w.spec().conv_dependent).collect();
         assert_eq!(conv.len(), 4);
-        let avg: f64 =
-            conv.iter().map(|w| w.spec().d2_overhead).sum::<f64>() / conv.len() as f64;
+        let avg: f64 = conv.iter().map(|w| w.spec().d2_overhead).sum::<f64>() / conv.len() as f64;
         assert!((avg - 3.36).abs() < 0.3, "average conv D2 overhead ≈236%: {avg}");
         for w in WORKLOADS.iter().filter(|w| !w.spec().conv_dependent) {
             assert!(w.spec().d2_overhead < 1.02, "{} should be <1% overhead", w.name());

@@ -1,0 +1,101 @@
+//! Export sinks: where JSON metric lines go.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Destination for exported JSON lines. Implementations must be
+/// thread-safe: [`crate::flush`] may be called from any thread.
+pub trait Sink: Send {
+    /// Write one JSON line (no trailing newline in `line`).
+    fn write_line(&mut self, line: &str);
+
+    /// Flush buffered output; default no-op.
+    fn flush(&mut self) {}
+}
+
+/// Discards everything. Installing this is equivalent to leaving the
+/// registry disabled except that recording still accumulates in memory —
+/// useful to keep [`crate::snapshot`] live without producing output.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn write_line(&mut self, _line: &str) {}
+}
+
+/// Writes one JSON object per line to any `std::io::Write` (a file, a
+/// pipe, stderr).
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: W,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink { writer }
+    }
+}
+
+impl<W: Write + Send> Sink for JsonLinesSink<W> {
+    fn write_line(&mut self, line: &str) {
+        // Export is best-effort by design: a full disk must not abort
+        // training, so write errors are swallowed here.
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Collects lines in memory behind a shared handle; the test sink.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// A sink whose clones all share one line buffer: install one clone,
+    /// keep another to read the output.
+    pub fn shared() -> Self {
+        MemorySink::default()
+    }
+
+    /// Copy of all lines written so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn write_line(&mut self, line: &str) {
+        self.lines.lock().push(line.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_appends_newlines() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonLinesSink::new(&mut buf);
+            sink.write_line("{\"a\":1}");
+            sink.write_line("{\"b\":2}");
+            sink.flush();
+        }
+        assert_eq!(String::from_utf8(buf).unwrap(), "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn memory_sink_clones_share_lines() {
+        let a = MemorySink::shared();
+        let mut b = a.clone();
+        b.write_line("x");
+        assert_eq!(a.lines(), vec!["x".to_string()]);
+    }
+}

@@ -61,10 +61,7 @@ impl Companion {
     /// `hetero_d2` selects D2 (hardware-agnostic) kernel capabilities — used
     /// when the job will mix GPU types.
     pub fn for_workload(spec: &WorkloadSpec, max_p: u32, hetero_d2: bool) -> Self {
-        let caps = GpuType::ALL
-            .iter()
-            .map(|&g| (g, spec.capability(g, hetero_d2)))
-            .collect();
+        let caps = GpuType::ALL.iter().map(|&g| (g, spec.capability(g, hetero_d2))).collect();
         Companion { caps, max_p, corrections: HashMap::new() }
     }
 
@@ -136,8 +133,7 @@ impl Companion {
             .filter(|(&(_, n), &ai)| n > 0 && ai > 0)
             .map(|(&(ty, _), &ai)| ai as f64 / self.capability(ty).max(1e-12))
             .fold(0.0f64, f64::max);
-        let total_cap: f64 =
-            alloc.iter().map(|&(ty, n)| n as f64 * self.capability(ty)).sum();
+        let total_cap: f64 = alloc.iter().map(|&(ty, n)| n as f64 * self.capability(ty)).sum();
         let (waste, throughput) = if f_overload > 0.0 {
             let per_type: f64 = alloc
                 .iter()

@@ -54,6 +54,9 @@ impl InterJobScheduler {
                 out.push(Decision { job: p.job, gpu: p.add_type, count: p.add_count });
             }
         }
+        if !out.is_empty() {
+            obs::counter_add("sched.grants_total", out.len() as u64);
+        }
         out
     }
 }
@@ -81,10 +84,8 @@ mod tests {
     fn highest_speedup_per_gpu_wins() {
         let s = InterJobScheduler;
         let mut f = free(2);
-        let d = s.decide(
-            vec![prop(1, GpuType::V100, 2, 1.0), prop(2, GpuType::V100, 2, 3.0)],
-            &mut f,
-        );
+        let d =
+            s.decide(vec![prop(1, GpuType::V100, 2, 1.0), prop(2, GpuType::V100, 2, 3.0)], &mut f);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].job, 2);
         assert_eq!(f[&GpuType::V100], 0);
@@ -94,10 +95,8 @@ mod tests {
     fn equal_speedup_prefers_more_gpus() {
         let s = InterJobScheduler;
         let mut f = free(4);
-        let d = s.decide(
-            vec![prop(1, GpuType::V100, 1, 2.0), prop(2, GpuType::V100, 4, 2.0)],
-            &mut f,
-        );
+        let d =
+            s.decide(vec![prop(1, GpuType::V100, 1, 2.0), prop(2, GpuType::V100, 4, 2.0)], &mut f);
         assert_eq!(d[0].job, 2);
         assert_eq!(d[0].count, 4);
     }
@@ -106,10 +105,8 @@ mod tests {
     fn one_grant_per_job_per_round() {
         let s = InterJobScheduler;
         let mut f = free(8);
-        let d = s.decide(
-            vec![prop(1, GpuType::V100, 2, 3.0), prop(1, GpuType::V100, 4, 2.0)],
-            &mut f,
-        );
+        let d =
+            s.decide(vec![prop(1, GpuType::V100, 2, 3.0), prop(1, GpuType::V100, 4, 2.0)], &mut f);
         assert_eq!(d.len(), 1);
         assert_eq!(f[&GpuType::V100], 6);
     }
@@ -118,10 +115,8 @@ mod tests {
     fn insufficient_resources_skip_to_next() {
         let s = InterJobScheduler;
         let mut f = free(2);
-        let d = s.decide(
-            vec![prop(1, GpuType::V100, 4, 5.0), prop(2, GpuType::V100, 2, 1.0)],
-            &mut f,
-        );
+        let d =
+            s.decide(vec![prop(1, GpuType::V100, 4, 5.0), prop(2, GpuType::V100, 2, 1.0)], &mut f);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].job, 2, "big proposal can't fit; smaller one is served");
     }

@@ -159,6 +159,9 @@ impl IntraJobScheduler {
                 .then(b.add_count.cmp(&a.add_count))
         });
         out.truncate(top_k);
+        if !out.is_empty() {
+            obs::counter_add("sched.proposals_total", out.len() as u64);
+        }
         out
     }
 
@@ -177,6 +180,11 @@ impl IntraJobScheduler {
         }
         let prev_thr = self.current_plan().map(|p| p.throughput).unwrap_or(0.0);
         self.previous = Some((std::mem::take(&mut self.current), prev_thr));
+        // Allocation churn (Fig 16's reconfiguration activity): count only
+        // real changes, not the simulator's re-apply of the same allocation.
+        if self.previous.as_ref().is_some_and(|(old, _)| *old != alloc) {
+            obs::counter_add("sched.allocation_changes", 1);
+        }
         self.current = alloc;
     }
 

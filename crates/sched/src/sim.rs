@@ -197,8 +197,7 @@ impl ClusterSim {
                 // Heterogeneous mixing implies D2 kernels; homogeneous jobs
                 // use vendor kernels. (For hetero-friendly workloads the D2
                 // overhead is ≈1 anyway.)
-                let companion =
-                    Companion::for_workload(&spec.workload.spec(), spec.max_p, hetero);
+                let companion = Companion::for_workload(&spec.workload.spec(), spec.max_p, hetero);
                 JobState {
                     intra: IntraJobScheduler::new(spec.id, companion, hetero),
                     remaining: spec.work,
@@ -228,9 +227,7 @@ impl ClusterSim {
             let mut free: HashMap<GpuType, u32> = self
                 .capacity
                 .iter()
-                .map(|(&ty, &n)| {
-                    (ty, n.saturating_sub(serving_now.get(&ty).copied().unwrap_or(0)))
-                })
+                .map(|(&ty, &n)| (ty, n.saturating_sub(serving_now.get(&ty).copied().unwrap_or(0))))
                 .collect();
 
             // Allocate to arrived, unfinished jobs.
@@ -440,7 +437,10 @@ impl ClusterSim {
                 // Nothing can make progress and nothing will arrive: done
                 // (or deadlocked, which the assert below catches).
                 let unfinished = states.iter().filter(|s| s.finish.is_none()).count();
-                assert_eq!(unfinished, 0, "{unfinished} jobs can never finish (cluster too small?)");
+                assert_eq!(
+                    unfinished, 0,
+                    "{unfinished} jobs can never finish (cluster too small?)"
+                );
                 break;
             }
 
@@ -471,11 +471,7 @@ impl ClusterSim {
                 timeline.push(TimePoint {
                     t,
                     training_gpus: 0,
-                    serving_gpus: self
-                        .serving
-                        .as_ref()
-                        .map(|f| f(t).values().sum())
-                        .unwrap_or(0),
+                    serving_gpus: self.serving.as_ref().map(|f| f(t).values().sum()).unwrap_or(0),
                 });
                 break;
             }
@@ -492,7 +488,22 @@ impl ClusterSim {
             .collect();
         let makespan = records.iter().map(|r| r.finish).fold(0.0, f64::max);
         let avg_jct = records.iter().map(|r| r.jct()).sum::<f64>() / records.len().max(1) as f64;
-        SimOutcome { records, makespan, avg_jct, timeline, preemptions, failures: 0 }
+        let outcome = SimOutcome { records, makespan, avg_jct, timeline, preemptions, failures: 0 };
+
+        // Figs 14–16 observables for the whole run.
+        for r in &outcome.records {
+            obs::observe("sched.queueing_delay_s", r.queueing());
+            obs::observe("sched.jct_s", r.jct());
+        }
+        obs::counter_add("sched.preemptions_total", outcome.preemptions.len() as u64);
+        let total_capacity: u32 = self.capacity.values().sum();
+        if total_capacity > 0 {
+            obs::gauge_set(
+                "sched.utilization",
+                outcome.avg_training_gpus() / total_capacity as f64,
+            );
+        }
+        outcome
     }
 }
 
@@ -535,11 +546,7 @@ mod tests {
         let es = ClusterSim::new(&cluster(), jobs, Policy::EasyScaleHomo).run();
         let yarn_small = yarn.records.iter().find(|r| r.id == 2).unwrap();
         let es_small = es.records.iter().find(|r| r.id == 2).unwrap();
-        assert!(
-            yarn_small.queueing() > 100.0,
-            "YARN small job queues: {}",
-            yarn_small.queueing()
-        );
+        assert!(yarn_small.queueing() > 100.0, "YARN small job queues: {}", yarn_small.queueing());
         assert!(es_small.queueing() < 60.0, "EasyScale starts fast: {}", es_small.queueing());
         assert!(es_small.jct() < yarn_small.jct());
     }

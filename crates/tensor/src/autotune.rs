@@ -61,10 +61,10 @@ impl Autotuner {
             AutotunePolicy::Deterministic => 0,
             AutotunePolicy::Pinned(id) => id % ALGO_COUNT,
             AutotunePolicy::Benchmark { reprofile_every } => {
-                let entry = self.cache.entry(op_key).or_insert_with(|| CacheEntry {
-                    algo: Self::profile(op_key),
-                    uses: 0,
-                });
+                let entry = self
+                    .cache
+                    .entry(op_key)
+                    .or_insert_with(|| CacheEntry { algo: Self::profile(op_key), uses: 0 });
                 entry.uses += 1;
                 if reprofile_every > 0 && entry.uses >= reprofile_every {
                     entry.algo = Self::profile(op_key);
@@ -129,7 +129,10 @@ mod tests {
     fn benchmark_policy_caches_within_a_window() {
         let mut t = Autotuner::new(AutotunePolicy::Benchmark { reprofile_every: 1000 });
         let first = t.select(7);
-        assert!((0..100).all(|_| t.select(7) == first), "winner is cached between profiling passes");
+        assert!(
+            (0..100).all(|_| t.select(7) == first),
+            "winner is cached between profiling passes"
+        );
     }
 
     #[test]

@@ -179,7 +179,9 @@ mod tests {
 
     fn data(n: usize) -> Vec<f32> {
         // Values with wildly different magnitudes so grouping changes bits.
-        (0..n).map(|i| ((i * 2654435761usize) % 1000) as f32 * 1e-3 + ((i % 7) as f32) * 1e4).collect()
+        (0..n)
+            .map(|i| ((i * 2654435761usize) % 1000) as f32 * 1e-3 + ((i % 7) as f32) * 1e4)
+            .collect()
     }
 
     #[test]
@@ -238,7 +240,10 @@ mod tests {
         let reference: f64 = d.iter().map(|&x| x as f64).sum();
         for sm in [40u32, 56, 80] {
             let s = blocked_sum(&d, &KernelProfile::vendor_optimized(sm)) as f64;
-            assert!((s - reference).abs() / reference.abs() < 1e-4, "sum drifted too far: {s} vs {reference}");
+            assert!(
+                (s - reference).abs() / reference.abs() < 1e-4,
+                "sum drifted too far: {s} vs {reference}"
+            );
         }
     }
 

@@ -35,7 +35,7 @@ pub mod kernels;
 pub mod ops;
 mod tensor_impl;
 
-pub use autotune::{Autotuner, AutotunePolicy};
+pub use autotune::{AutotunePolicy, Autotuner};
 pub use kernels::{KernelProfile, NoiseSource};
 pub use tensor_impl::Tensor;
 

@@ -196,7 +196,8 @@ pub fn col2im(cols: &Tensor, cin: usize, h: usize, w: usize, geom: ConvGeom) -> 
                         if ix < 0 || ix as usize >= w {
                             continue;
                         }
-                        od[(c * h + iy as usize) * w + ix as usize] += cd[row * ncols + oy * ow + ox];
+                        od[(c * h + iy as usize) * w + ix as usize] +=
+                            cd[row * ncols + oy * ow + ox];
                     }
                 }
             }
@@ -225,12 +226,8 @@ pub fn relu(t: &Tensor) -> Tensor {
 /// ReLU gradient: `grad * (pre > 0)`.
 pub fn relu_backward(grad: &Tensor, pre: &Tensor) -> Tensor {
     assert_eq!(grad.shape(), pre.shape());
-    let data = grad
-        .data()
-        .iter()
-        .zip(pre.data())
-        .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
-        .collect();
+    let data =
+        grad.data().iter().zip(pre.data()).map(|(&g, &x)| if x > 0.0 { g } else { 0.0 }).collect();
     Tensor::from_vec(data, grad.shape())
 }
 
@@ -262,9 +259,8 @@ pub fn cross_entropy(probs: &Tensor, labels: &[u32], profile: &KernelProfile) ->
     let (n, c) = mat_dims(probs);
     assert_eq!(labels.len(), n, "label count mismatch");
     let pd = probs.data();
-    let losses: Vec<f32> = (0..n)
-        .map(|i| -(pd[i * c + labels[i] as usize].max(1e-12)).ln())
-        .collect();
+    let losses: Vec<f32> =
+        (0..n).map(|i| -(pd[i * c + labels[i] as usize].max(1e-12)).ln()).collect();
     let loss = blocked_sum(&losses, profile) / n as f32;
     let mut grad = probs.clone();
     {
@@ -348,7 +344,8 @@ mod tests {
             .iter()
             .map(|&t| matmul(&a, &b, &KernelProfile { tile_k: t, ..profile() }).data()[0])
             .collect();
-        let distinct: std::collections::HashSet<u32> = results.iter().map(|r| r.to_bits()).collect();
+        let distinct: std::collections::HashSet<u32> =
+            results.iter().map(|r| r.to_bits()).collect();
         assert!(distinct.len() > 1, "tile size must influence bits: {results:?}");
         // But all are the same real number to high tolerance.
         let spread = results.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))

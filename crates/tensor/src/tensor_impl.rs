@@ -98,22 +98,14 @@ impl Tensor {
     /// treat `-0.0 == 0.0` and `NaN != NaN`; bit equality does not.
     pub fn bitwise_eq(&self, other: &Tensor) -> bool {
         self.shape == other.shape
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.data.iter().zip(&other.data).all(|(a, b)| a.to_bits() == b.to_bits())
     }
 
     /// Maximum absolute elementwise difference — used to *quantify* drift in
     /// the loss-difference experiments (Fig 9).
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 
     /// In-place `self += alpha * other` (no allocation).
@@ -155,7 +147,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{:.4}, {:.4}, …, {:.4}]", self.data[0], self.data[1], self.data[self.data.len() - 1])
+            write!(
+                f,
+                " [{:.4}, {:.4}, …, {:.4}]",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1]
+            )
         }
     }
 }

@@ -68,8 +68,10 @@ impl TraceGenerator {
 
     /// Generate the job list (sorted by arrival).
     pub fn generate(&self) -> Vec<JobSpec> {
-        let mut arr_rng = EsRng::for_stream(self.config.seed, StreamKey::indexed(StreamKind::User, 0, 10));
-        let mut job_rng = EsRng::for_stream(self.config.seed, StreamKey::indexed(StreamKind::User, 0, 11));
+        let mut arr_rng =
+            EsRng::for_stream(self.config.seed, StreamKey::indexed(StreamKind::User, 0, 10));
+        let mut job_rng =
+            EsRng::for_stream(self.config.seed, StreamKey::indexed(StreamKind::User, 0, 11));
         let mut t = 0.0f64;
         let mu = self.config.median_runtime.ln();
         (0..self.config.n_jobs)
@@ -137,7 +139,8 @@ mod tests {
 
     #[test]
     fn gang_sizes_are_powers_of_two_and_mostly_small() {
-        let jobs = TraceGenerator::new(TraceConfig { n_jobs: 400, ..Default::default() }).generate();
+        let jobs =
+            TraceGenerator::new(TraceConfig { n_jobs: 400, ..Default::default() }).generate();
         assert!(jobs.iter().all(|j| [1, 2, 4, 8].contains(&j.requested_gpus)));
         let small = jobs.iter().filter(|j| j.requested_gpus <= 2).count();
         assert!(small * 2 > jobs.len(), "most jobs are small: {small}/{}", jobs.len());
@@ -145,7 +148,8 @@ mod tests {
 
     #[test]
     fn workload_mix_covers_catalog() {
-        let jobs = TraceGenerator::new(TraceConfig { n_jobs: 400, ..Default::default() }).generate();
+        let jobs =
+            TraceGenerator::new(TraceConfig { n_jobs: 400, ..Default::default() }).generate();
         let distinct: std::collections::HashSet<&str> =
             jobs.iter().map(|j| j.workload.name()).collect();
         assert_eq!(distinct.len(), 8);
@@ -153,10 +157,14 @@ mod tests {
 
     #[test]
     fn runtimes_have_heavy_tail() {
-        let jobs = TraceGenerator::new(TraceConfig { n_jobs: 400, ..Default::default() }).generate();
+        let jobs =
+            TraceGenerator::new(TraceConfig { n_jobs: 400, ..Default::default() }).generate();
         let mut runtimes: Vec<f64> = jobs
             .iter()
-            .map(|j| j.work / (j.requested_gpus as f64 * j.workload.spec().capability(GpuType::V100, false)))
+            .map(|j| {
+                j.work
+                    / (j.requested_gpus as f64 * j.workload.spec().capability(GpuType::V100, false))
+            })
             .collect();
         runtimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = runtimes[runtimes.len() / 2];

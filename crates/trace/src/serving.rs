@@ -55,9 +55,7 @@ impl ServingLoad {
         let rest = total - v100;
         let p100 = rest / 2;
         let t4 = rest - p100;
-        [(GpuType::V100, v100), (GpuType::P100, p100), (GpuType::T4, t4)]
-            .into_iter()
-            .collect()
+        [(GpuType::V100, v100), (GpuType::P100, p100), (GpuType::T4, t4)].into_iter().collect()
     }
 }
 

@@ -14,7 +14,11 @@ fn main() {
     let workload = Workload::Bert; // attention model: hetero-friendly, D2 ≈ free
     let max_p = 8;
     let spec = workload.spec();
-    println!("job: {} proxy, maxP = {max_p}, hetero-friendly: {}", workload.name(), spec.hetero_friendly());
+    println!(
+        "job: {} proxy, maxP = {max_p}, hetero-friendly: {}",
+        workload.name(),
+        spec.hetero_friendly()
+    );
 
     // 1. The companion module scores candidate allocations with Eq 1.
     let companion = Companion::for_workload(&spec, max_p, true);

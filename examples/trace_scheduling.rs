@@ -52,5 +52,7 @@ fn main() {
             }
         }
     }
-    println!("\nElasticity removes gang-scheduling queues; heterogeneity unlocks the P100/T4 pool.");
+    println!(
+        "\nElasticity removes gang-scheduling queues; heterogeneity unlocks the P100/T4 pool."
+    );
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 verify from ROADMAP.md.
+# Everything runs offline (see README "Offline builds").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1 verify: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "OK: fmt, clippy, and tier-1 all green"

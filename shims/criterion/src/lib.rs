@@ -1,0 +1,143 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the bench binaries compiling and runnable without the real crate:
+//! each `bench_function` runs a short warmup, then a fixed measurement
+//! batch, and prints the mean iteration time. No statistics, no HTML
+//! reports — just enough to compare hot paths by eye in this sandbox.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u32 = 10;
+const MEASURE_ITERS: u32 = 100;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean: Duration::ZERO };
+        f(&mut b);
+        println!("{name:<50} {:>12.3?}/iter", b.mean);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { parent: self }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a named benchmark inside the group.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        self.parent.bench_function(&format!("  {name}"), f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.parent.bench_function(&format!("  {id}"), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`name/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; `iter` measures the routine.
+pub struct Bencher {
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / MEASURE_ITERS;
+    }
+
+    /// Measure with a caller-controlled loop: `routine` receives the
+    /// iteration count and returns the elapsed time for all of them.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        black_box(routine(WARMUP_ITERS as u64));
+        let total = routine(MEASURE_ITERS as u64);
+        self.mean = total / MEASURE_ITERS;
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

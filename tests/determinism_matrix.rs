@@ -19,9 +19,12 @@ fn cfg(w: Workload, det: Determinism) -> JobConfig {
 #[test]
 fn all_families_placement_invariant() {
     for w in [Workload::ResNet18, Workload::NeuMF, Workload::Bert] {
-        let mut a = Engine::new(cfg(w, Determinism::d1()), Placement::one_est_per_gpu(4, GpuType::V100));
-        let mut b = Engine::new(cfg(w, Determinism::d1()), Placement::homogeneous(4, 2, GpuType::V100));
-        let mut c = Engine::new(cfg(w, Determinism::d1()), Placement::homogeneous(4, 1, GpuType::V100));
+        let mut a =
+            Engine::new(cfg(w, Determinism::d1()), Placement::one_est_per_gpu(4, GpuType::V100));
+        let mut b =
+            Engine::new(cfg(w, Determinism::d1()), Placement::homogeneous(4, 2, GpuType::V100));
+        let mut c =
+            Engine::new(cfg(w, Determinism::d1()), Placement::homogeneous(4, 1, GpuType::V100));
         for _ in 0..3 {
             a.step();
             b.step();
@@ -36,7 +39,8 @@ fn all_families_placement_invariant() {
 #[test]
 fn uneven_placements_are_equivalent() {
     let det = Determinism::d1();
-    let mut even = Engine::new(cfg(Workload::ResNet18, det), Placement::homogeneous(4, 2, GpuType::V100));
+    let mut even =
+        Engine::new(cfg(Workload::ResNet18, det), Placement::homogeneous(4, 2, GpuType::V100));
     let uneven = Placement {
         slots: vec![
             easyscale::Slot { gpu: GpuType::V100, vranks: vec![0, 1, 2] },
@@ -56,12 +60,10 @@ fn uneven_placements_are_equivalent() {
 #[test]
 fn est_order_within_worker_is_irrelevant() {
     let det = Determinism::d1();
-    let forward = Placement {
-        slots: vec![easyscale::Slot { gpu: GpuType::V100, vranks: vec![0, 1, 2, 3] }],
-    };
-    let shuffled = Placement {
-        slots: vec![easyscale::Slot { gpu: GpuType::V100, vranks: vec![2, 0, 3, 1] }],
-    };
+    let forward =
+        Placement { slots: vec![easyscale::Slot { gpu: GpuType::V100, vranks: vec![0, 1, 2, 3] }] };
+    let shuffled =
+        Placement { slots: vec![easyscale::Slot { gpu: GpuType::V100, vranks: vec![2, 0, 3, 1] }] };
     let mut a = Engine::new(cfg(Workload::ResNet18, det), forward);
     let mut b = Engine::new(cfg(Workload::ResNet18, det), shuffled);
     for _ in 0..3 {
@@ -77,8 +79,10 @@ fn est_order_within_worker_is_irrelevant() {
 #[test]
 fn checkpoint_survives_serialization() {
     let det = Determinism::d1();
-    let mut reference = Engine::new(cfg(Workload::ResNet18, det), Placement::one_est_per_gpu(4, GpuType::V100));
-    let mut live = Engine::new(cfg(Workload::ResNet18, det), Placement::one_est_per_gpu(4, GpuType::V100));
+    let mut reference =
+        Engine::new(cfg(Workload::ResNet18, det), Placement::one_est_per_gpu(4, GpuType::V100));
+    let mut live =
+        Engine::new(cfg(Workload::ResNet18, det), Placement::one_est_per_gpu(4, GpuType::V100));
     for _ in 0..2 {
         reference.step();
         live.step();
@@ -101,8 +105,10 @@ fn checkpoint_survives_serialization() {
 #[test]
 fn rescale_thrash_is_bitwise_stable() {
     let det = Determinism::d1_d2();
-    let mut reference = Engine::new(cfg(Workload::NeuMF, det), Placement::one_est_per_gpu(4, GpuType::V100));
-    let mut elastic = Engine::new(cfg(Workload::NeuMF, det), Placement::one_est_per_gpu(4, GpuType::V100));
+    let mut reference =
+        Engine::new(cfg(Workload::NeuMF, det), Placement::one_est_per_gpu(4, GpuType::V100));
+    let mut elastic =
+        Engine::new(cfg(Workload::NeuMF, det), Placement::one_est_per_gpu(4, GpuType::V100));
     let placements = [
         Placement::homogeneous(4, 2, GpuType::V100),
         Placement::heterogeneous(&[(GpuType::T4, 2), (GpuType::P100, 2)]),
@@ -122,8 +128,14 @@ fn rescale_thrash_is_bitwise_stable() {
 /// (the D0 problem in isolation).
 #[test]
 fn no_determinism_is_run_to_run_unstable() {
-    let mut a = Engine::new(cfg(Workload::ResNet18, Determinism::none()), Placement::homogeneous(4, 1, GpuType::V100));
-    let mut b = Engine::new(cfg(Workload::ResNet18, Determinism::none()), Placement::homogeneous(4, 1, GpuType::V100));
+    let mut a = Engine::new(
+        cfg(Workload::ResNet18, Determinism::none()),
+        Placement::homogeneous(4, 1, GpuType::V100),
+    );
+    let mut b = Engine::new(
+        cfg(Workload::ResNet18, Determinism::none()),
+        Placement::homogeneous(4, 1, GpuType::V100),
+    );
     for _ in 0..2 {
         a.step();
         b.step();
@@ -135,8 +147,14 @@ fn no_determinism_is_run_to_run_unstable() {
 /// it cannot survive restarts.
 #[test]
 fn d0_is_run_to_run_stable() {
-    let mut a = Engine::new(cfg(Workload::ResNet18, Determinism::d0()), Placement::homogeneous(4, 1, GpuType::V100));
-    let mut b = Engine::new(cfg(Workload::ResNet18, Determinism::d0()), Placement::homogeneous(4, 1, GpuType::V100));
+    let mut a = Engine::new(
+        cfg(Workload::ResNet18, Determinism::d0()),
+        Placement::homogeneous(4, 1, GpuType::V100),
+    );
+    let mut b = Engine::new(
+        cfg(Workload::ResNet18, Determinism::d0()),
+        Placement::homogeneous(4, 1, GpuType::V100),
+    );
     for _ in 0..3 {
         a.step();
         b.step();

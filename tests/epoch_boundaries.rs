@@ -59,10 +59,8 @@ fn many_epochs_stay_bitwise_consistent() {
     let mut elastic = Engine::new(cfg(), Placement::one_est_per_gpu(2, GpuType::V100));
     // Rescale every 3 steps across 6 epochs (boundaries at multiples of 4,
     // so events hit every phase of the epoch).
-    let placements = [
-        Placement::homogeneous(2, 1, GpuType::V100),
-        Placement::one_est_per_gpu(2, GpuType::V100),
-    ];
+    let placements =
+        [Placement::homogeneous(2, 1, GpuType::V100), Placement::one_est_per_gpu(2, GpuType::V100)];
     for i in 0..8 {
         elastic = elastic.rescale(placements[i % 2].clone());
         for _ in 0..3 {

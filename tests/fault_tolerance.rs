@@ -10,8 +10,7 @@ use models::Workload;
 use std::path::PathBuf;
 
 fn tmpdir(tag: &str) -> PathBuf {
-    let dir =
-        std::env::temp_dir().join(format!("easyscale-ft-{tag}-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("easyscale-ft-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -76,7 +75,8 @@ fn replay_after_crash_is_exact() {
     };
     // 💥 crash; recover and replay the same two steps.
     let ckpt = store.load_latest().unwrap().unwrap();
-    let mut recovered = Engine::from_checkpoint(cfg(), Placement::homogeneous(4, 1, GpuType::V100), &ckpt);
+    let mut recovered =
+        Engine::from_checkpoint(cfg(), Placement::homogeneous(4, 1, GpuType::V100), &ckpt);
     recovered.run(2);
     assert_eq!(recovered.global_step(), 6);
     assert_eq!(after_6, recovered.flat_params(), "replayed steps are bitwise identical");
@@ -98,7 +98,8 @@ fn older_checkpoints_are_also_valid_recovery_points() {
     }
     // Restore from step 2 (not the newest), replay to step 4.
     let ckpt = store.load(2).unwrap();
-    let mut old = Engine::from_checkpoint(cfg(), Placement::homogeneous(4, 4, GpuType::V100), &ckpt);
+    let mut old =
+        Engine::from_checkpoint(cfg(), Placement::homogeneous(4, 4, GpuType::V100), &ckpt);
     old.run(2);
     assert_eq!(old.flat_params(), param_history[3]);
     std::fs::remove_dir_all(&dir).unwrap();
@@ -116,7 +117,8 @@ fn recovery_covers_all_state_kinds() {
         live.run(2);
         let ckpt = live.checkpoint();
         drop(live); // 💥
-        let mut recovered = Engine::from_checkpoint(cfg, Placement::homogeneous(2, 1, GpuType::V100), &ckpt);
+        let mut recovered =
+            Engine::from_checkpoint(cfg, Placement::homogeneous(2, 1, GpuType::V100), &ckpt);
         reference.run(2);
         recovered.run(2);
         assert_eq!(reference.flat_params(), recovered.flat_params(), "{}", w.name());

@@ -51,12 +51,8 @@ fn trace_to_sim_pipeline() {
 fn easyscale_beats_yarn_across_seeds() {
     let cluster = ClusterSpec::paper_trace_cluster();
     for seed in [7u64, 99, 2024] {
-        let jobs = TraceGenerator::new(TraceConfig {
-            n_jobs: 80,
-            seed,
-            ..Default::default()
-        })
-        .generate();
+        let jobs =
+            TraceGenerator::new(TraceConfig { n_jobs: 80, seed, ..Default::default() }).generate();
         let yarn = ClusterSim::new(&cluster, jobs.clone(), Policy::YarnCapacity).run();
         let es = ClusterSim::new(&cluster, jobs, Policy::EasyScaleHeter).run();
         assert!(
@@ -84,9 +80,7 @@ fn colocation_yields_and_reclaims() {
     let sim = ClusterSim::new(&cluster, vec![job], Policy::EasyScaleHeter).with_serving(|t| {
         // Serving occupies the whole cluster in [3600, 7200).
         if (3600.0..7200.0).contains(&t) {
-            [(GpuType::V100, 32), (GpuType::P100, 16), (GpuType::T4, 16)]
-                .into_iter()
-                .collect()
+            [(GpuType::V100, 32), (GpuType::P100, 16), (GpuType::T4, 16)].into_iter().collect()
         } else {
             Default::default()
         }
@@ -94,8 +88,7 @@ fn colocation_yields_and_reclaims() {
     let out = sim.run();
     assert!(!out.preemptions.is_empty(), "the spike preempts");
     // During the spike training holds 0 GPUs; afterwards it reclaims.
-    let during: Vec<_> =
-        out.timeline.iter().filter(|p| (3700.0..7100.0).contains(&p.t)).collect();
+    let during: Vec<_> = out.timeline.iter().filter(|p| (3700.0..7100.0).contains(&p.t)).collect();
     assert!(during.iter().all(|p| p.training_gpus == 0), "training fully yields");
     let after = out.timeline.iter().find(|p| p.t >= 7200.0).unwrap();
     assert!(after.training_gpus > 0, "training reclaims after the spike");
