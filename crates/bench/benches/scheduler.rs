@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use device::{ClusterSpec, GpuType};
 use models::Workload;
 use sched::{ClusterSim, Companion, IntraJobScheduler, Policy};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hint::black_box;
 use trace::{TraceConfig, TraceGenerator};
 
@@ -21,7 +21,7 @@ fn bench_proposals(c: &mut Criterion) {
     let companion = Companion::for_workload(&Workload::ResNet50.spec(), 16, false);
     let mut s = IntraJobScheduler::new(0, companion, false);
     s.apply_allocation(vec![(GpuType::V100, 2)]);
-    let free: HashMap<GpuType, u32> =
+    let free: BTreeMap<GpuType, u32> =
         [(GpuType::V100, 16), (GpuType::P100, 16), (GpuType::T4, 16)].into_iter().collect();
     c.bench_function("intra_job_proposals", |b| b.iter(|| black_box(s.proposals(&free, 3))));
 }

@@ -200,7 +200,9 @@ impl EasyScaleWorker {
         let profile = self.step_profile();
         let mut out = Vec::with_capacity(self.contexts.len());
         for i in 0..self.contexts.len() {
-            let start = std::time::Instant::now();
+            // Wall-clock stays behind obs: the elapsed value is returned for
+            // the Fig 11/13 overhead experiments but never feeds the math.
+            let watch = obs::Stopwatch::start();
             let est = &mut self.contexts[i];
             // — Context switch in: restore the EST's implicit states. —
             if context_switching {
@@ -229,8 +231,7 @@ impl EasyScaleWorker {
             }
             est.steps += 1;
             est.last_loss = loss;
-            let elapsed = start.elapsed();
-            obs::observe("worker.local_step_us", elapsed.as_secs_f64() * 1e6);
+            let elapsed = watch.lap_observe("worker.local_step_us");
             out.push((LocalStep { vrank: est.vrank, grad, loss }, elapsed));
         }
         out

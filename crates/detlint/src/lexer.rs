@@ -1,0 +1,335 @@
+//! A hand-rolled Rust token scanner — the same offline-shim philosophy as
+//! `shims/`: no external parser, just enough lexical structure for the rule
+//! catalog. It understands comments (line, nested block), string/char/byte
+//! literals, raw strings, lifetimes-vs-char-literals, and a handful of
+//! compound operators the rules care about (`::`, `+=`, `->`, `=>`).
+//!
+//! The scanner is intentionally lossless about *lines*: every token and
+//! every line comment carries its 1-based line number, which is what the
+//! suppression mechanism and the report spans key on.
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `for`, `HashMap`, …).
+    Ident,
+    /// Punctuation / operator, possibly compound (`::`, `+=`).
+    Punct,
+    /// Lifetime (`'a`) — distinct so `'a` never looks like a char literal.
+    Lifetime,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1e-9`).
+    Float,
+    /// String / raw-string / byte-string literal (content dropped).
+    Str,
+    /// Char / byte-char literal.
+    Char,
+}
+
+/// One token with its source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Lexeme text (empty for string literals — rules never match inside).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus every `//` comment (for
+/// suppressions), each tagged with its line.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// `(line, text-after-slashes)` for every line comment, `//!`/`///`
+    /// included.
+    pub comments: Vec<(u32, String)>,
+}
+
+/// Tokenize `src`. Never fails: unknown bytes become single-char puncts, an
+/// unterminated literal consumes to end-of-file. Good enough for linting —
+/// code that far gone does not compile anyway.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($ch:expr) => {
+            if $ch == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_lines!(c);
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push((line, b[start..j].iter().collect()));
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    bump_lines!(b[j]);
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Raw strings r"..." / r#"..."# and byte variants br#"..."#.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let mut j = i;
+            while b[j] != 'r' {
+                j += 1; // skip the 'b' of br
+            }
+            j += 1;
+            let mut hashes = 0;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            j += 1; // opening quote
+            let close: String =
+                std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+            let closev: Vec<char> = close.chars().collect();
+            while j < n {
+                if b[j] == '"' && b[j..].starts_with(&closev[..]) {
+                    j += closev.len();
+                    break;
+                }
+                bump_lines!(b[j]);
+                j += 1;
+            }
+            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+            i = j;
+            continue;
+        }
+        // Plain / byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let mut j = if c == '"' { i + 1 } else { i + 2 };
+            while j < n {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                bump_lines!(b[j]);
+                j += 1;
+            }
+            out.toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+            i = j;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            // Escaped char: '\n', '\u{..}'.
+            if i + 1 < n && b[i + 1] == '\\' {
+                let mut j = i + 2;
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+                out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                i = j + 1;
+                continue;
+            }
+            // 'x' is a char only when a closing quote follows immediately;
+            // otherwise it is a lifetime ('a in Foo<'a>).
+            if i + 2 < n && b[i + 2] == '\'' {
+                out.toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                i += 3;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            out.toks.push(Tok { kind: TokKind::Lifetime, text: b[i..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            let mut float = false;
+            while j < n {
+                let d = b[j];
+                if d == '.' {
+                    // Stop at `..` (range) and at method calls `1.max(..)`.
+                    if j + 1 < n && (b[j + 1] == '.' || b[j + 1].is_alphabetic()) {
+                        break;
+                    }
+                    float = true;
+                    j += 1;
+                } else if d == 'e' || d == 'E' {
+                    if j + 1 < n
+                        && (b[j + 1] == '+' || b[j + 1] == '-' || b[j + 1].is_ascii_digit())
+                    {
+                        float = true;
+                        j += 1;
+                        if b[j] == '+' || b[j] == '-' {
+                            j += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                } else if d.is_alphanumeric() || d == '_' {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok {
+                kind: if float { TokKind::Float } else { TokKind::Int },
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            out.toks.push(Tok { kind: TokKind::Ident, text: b[i..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        // Compound puncts the rules distinguish; everything else single.
+        let two: String = b[i..(i + 2).min(n)].iter().collect();
+        let text = match two.as_str() {
+            "::" | "+=" | "-=" | "*=" | "/=" | "->" | "=>" => two,
+            _ => c.to_string(),
+        };
+        i += text.chars().count();
+        out.toks.push(Tok { kind: TokKind::Punct, text, line });
+    }
+    out
+}
+
+/// Is `b[i..]` the start of a raw (possibly byte) string literal?
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= b.len() || b[j] != 'r' {
+            return false;
+        }
+    }
+    if b[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn compound_operators_stay_whole() {
+        assert_eq!(texts("a += b :: c -> d"), vec!["a", "+=", "b", "::", "c", "->", "d"]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let l = lex("let x = 1;\n// detlint::allow(rule): why\nlet y = 2;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].0, 2);
+        assert!(l.comments[0].1.contains("detlint::allow"));
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let l = lex("let s = \"HashMap Instant::now()\";");
+        assert!(l.toks.iter().all(|t| t.text != "HashMap" && t.text != "Instant"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let l = lex("/* a /* b */ c */ let r = r#\"Instant \" inside\"#; x");
+        let ids: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::Ident).collect();
+        assert_eq!(ids.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(), vec!["let", "r", "x"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let l = lex("1 2.5 1e-9 0xff 3usize 1.max(2)");
+        let kinds: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Int,
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Int,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let l = lex("a\n\"two\nlines\"\nb");
+        let a = l.toks.iter().find(|t| t.text == "a").unwrap();
+        let bt = l.toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(bt.line, 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! detlint — a workspace determinism lint.
+//!
+//! EasyScale's accuracy-consistency story (PAPER.md §3) only holds if the
+//! *whole* deterministic path is free of hidden order dependence: hash-table
+//! iteration, wall-clock reads, unordered float accumulation, ad-hoc RNG,
+//! and thread-completion order. The runtime tests (determinism_matrix,
+//! elastic_consistency) catch regressions after the fact; detlint enforces
+//! the contract *statically*, at the source level, so a violation is a
+//! lint failure before it is a flaky bitwise diff.
+//!
+//! Design constraints mirror the shims philosophy: fully offline, no
+//! external parser — a hand-rolled token scanner ([`lexer`]) feeds a small
+//! rule catalog ([`rules`]). Findings carry `file:line` spans, can be
+//! rendered as human text or JSON ([`report`]), and are suppressed per-site
+//! with `// detlint::allow(rule): reason` comments.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::Path;
+
+/// Workspace policy: which crates each rule is load-bearing for.
+///
+/// Crate names here are the directory names under `crates/` (which for this
+/// workspace equal the package names, except `core` whose package is
+/// `easyscale`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates on the deterministic path — everything a training step's
+    /// bitwise result flows through. `no-hash-iter`, `no-adhoc-rng`, and
+    /// `no-thread-order` apply here.
+    pub deterministic_path: Vec<String>,
+    /// Crates allowed to read wall clocks (`no-wall-clock` applies
+    /// everywhere else — observability and benches own the clock).
+    pub wall_clock_exempt: Vec<String>,
+    /// Crates whose float math is numeric-contract-bearing
+    /// (`no-raw-float-accum` applies here).
+    pub float_accum_crates: Vec<String>,
+    /// Type names that, appearing in a fn signature, mark the fn as an
+    /// order-parameterized kernel: its accumulation order is explicit
+    /// state, so `no-raw-float-accum` does not fire inside it.
+    pub order_param_types: Vec<String>,
+    /// Skip findings inside `#[cfg(test)] mod … { … }` regions.
+    pub skip_test_code: bool,
+}
+
+fn strs(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+impl Config {
+    /// The policy for this workspace, matching docs/DETLINT.md.
+    pub fn workspace_default() -> Self {
+        Config {
+            deterministic_path: strs(&[
+                "core", "comm", "tensor", "sched", "data", "esrng", "models", "optim",
+            ]),
+            wall_clock_exempt: strs(&["obs", "bench"]),
+            float_accum_crates: strs(&["tensor", "comm", "models"]),
+            order_param_types: strs(&["KernelProfile", "ExecCtx", "RingSpec"]),
+            skip_test_code: true,
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`no-hash-iter`, …).
+    pub rule: &'static str,
+    /// Determinism level the rule protects (`D0`/`D1`/`D2`).
+    pub level: &'static str,
+    /// Path as reported (workspace-relative when walking a workspace).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong and what to use instead.
+    pub message: String,
+}
+
+/// Lint one source text as if it lived in crate `crate_name` at path
+/// `file`. This is the unit the fixture tests drive directly.
+pub fn analyze_source(src: &str, crate_name: &str, file: &str, cfg: &Config) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    rules::check_file(&lexed, crate_name, file, cfg)
+}
+
+/// Lint every `crates/*/src/**/*.rs` under `root`, in sorted order, and
+/// return all findings sorted by `(file, line, rule)`. IO errors on the
+/// crates directory itself are returned; unreadable individual files are
+/// skipped (generated artifacts, broken symlinks).
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<std::path::PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut findings = Vec::new();
+    for dir in crate_dirs {
+        let crate_name = match dir.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        let src_dir = dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs(&src_dir, &mut files);
+        files.sort();
+        for path in files {
+            let Ok(src) = std::fs::read_to_string(&path) else { continue };
+            let rel = path.strip_prefix(root).unwrap_or(&path).display().to_string();
+            findings.extend(analyze_source(&src, &crate_name, &rel, cfg));
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::workspace_default()
+    }
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = "pub fn add(a: u32, b: u32) -> u32 { a + b }\n";
+        assert!(analyze_source(src, "sched", "x.rs", &cfg()).is_empty());
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let src = "// detlint::allow(no-wall-clock): measured for logs only\n\
+                   fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(analyze_source(src, "sched", "x.rs", &cfg()).is_empty());
+        let unsuppressed = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(analyze_source(unsuppressed, "sched", "x.rs", &cfg()).len(), 1);
+    }
+
+    #[test]
+    fn suppression_is_rule_specific() {
+        // An allow for a *different* rule must not mask the violation.
+        let src = "// detlint::allow(no-hash-iter): wrong rule\n\
+                   fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(analyze_source(src, "sched", "x.rs", &cfg()).len(), 1);
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { let t = std::time::Instant::now(); }\n}\n";
+        assert!(analyze_source(src, "sched", "x.rs", &cfg()).is_empty());
+    }
+
+    #[test]
+    fn rules_scope_to_configured_crates() {
+        let src = "fn f(m: std::collections::HashMap<u32, u32>) -> u32 { m.values().sum() }\n";
+        // `sched` is deterministic-path: hash iteration fires.
+        assert!(!analyze_source(src, "sched", "x.rs", &cfg()).is_empty());
+        // `trace` is not: same code is fine there.
+        assert!(analyze_source(src, "trace", "x.rs", &cfg()).is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! `cargo run -p detlint [-- --json] [--root PATH]`
+//!
+//! Lints every `crates/*/src/**/*.rs` in the workspace against the
+//! determinism rule catalog and exits non-zero on findings, so it can gate
+//! CI (scripts/check.sh) exactly like clippy does.
+
+use detlint::{analyze_workspace, report, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "detlint: static determinism lint for the EasyScale workspace\n\n\
+             USAGE: detlint [--json] [--root PATH]\n\n\
+             --json        emit the JSON report instead of human text\n\
+             --root PATH   workspace root (default: the enclosing workspace)\n\n\
+             Exits 1 when findings exist. Suppress a site with\n\
+             `// detlint::allow(rule): reason` on the line or the line above."
+        );
+        return ExitCode::SUCCESS;
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let root = args
+        .iter()
+        .position(|a| a == "--root")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .or_else(|| {
+            // Under `cargo run -p detlint` the manifest dir is
+            // crates/detlint; the workspace root is two levels up.
+            std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("../.."))
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let cfg = Config::workspace_default();
+    let findings = match analyze_workspace(&root, &cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("detlint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", report::json(&findings));
+    } else {
+        print!("{}", report::human(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

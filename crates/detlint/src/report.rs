@@ -1,0 +1,74 @@
+//! Finding renderers: compiler-style human text and a stable JSON shape
+//! (`{"count": N, "findings": [{file, line, rule, level, message}…]}`) for
+//! tooling to consume.
+
+use crate::Finding;
+use serde::Value;
+
+/// `file:line: [rule/level] message` — one line per finding, plus a
+/// trailing summary line.
+pub fn human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!("{}:{}: [{}/{}] {}\n", f.file, f.line, f.rule, f.level, f.message));
+    }
+    if findings.is_empty() {
+        out.push_str("detlint: no findings\n");
+    } else {
+        out.push_str(&format!("detlint: {} finding(s)\n", findings.len()));
+    }
+    out
+}
+
+/// Pretty-printed JSON report.
+pub fn json(findings: &[Finding]) -> String {
+    let items: Vec<Value> = findings
+        .iter()
+        .map(|f| {
+            Value::Map(vec![
+                ("file".to_string(), Value::Str(f.file.clone())),
+                ("line".to_string(), Value::U64(u64::from(f.line))),
+                ("rule".to_string(), Value::Str(f.rule.to_string())),
+                ("level".to_string(), Value::Str(f.level.to_string())),
+                ("message".to_string(), Value::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    let root = Value::Map(vec![
+        ("count".to_string(), Value::U64(findings.len() as u64)),
+        ("findings".to_string(), Value::Seq(items)),
+    ]);
+    serde_json::to_string_pretty(&root).expect("value tree serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            rule: "no-wall-clock",
+            level: "D0",
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            message: "test".to_string(),
+        }]
+    }
+
+    #[test]
+    fn human_is_one_line_per_finding() {
+        let text = human(&sample());
+        assert!(text.contains("crates/x/src/lib.rs:7: [no-wall-clock/D0] test"));
+        assert!(text.contains("1 finding(s)"));
+        assert!(human(&[]).contains("no findings"));
+    }
+
+    #[test]
+    fn json_round_trips_the_count() {
+        let text = json(&sample());
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.get_field("count"), Some(&Value::U64(1)));
+        let Some(Value::Seq(items)) = v.get_field("findings") else { panic!("findings array") };
+        assert_eq!(items[0].get_field("line"), Some(&Value::U64(7)));
+    }
+}

@@ -1,0 +1,645 @@
+//! The rule catalog: each rule maps one source of hidden non-determinism
+//! from the paper's D0/D1/D2 audit onto a token-level detector. See
+//! docs/DETLINT.md for the catalog with rationale and suppression syntax.
+//!
+//! Detectors are deliberately heuristic — a token scanner cannot type-check
+//! — so every rule errs toward firing and relies on two escape valves:
+//! the workspace [`Config`](crate::Config) scoping rules to the crates
+//! where they are load-bearing, and per-line
+//! `// detlint::allow(rule): reason` suppressions for the (rare, audited)
+//! sites that are deterministic for reasons the scanner cannot see.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::{Config, Finding};
+
+/// Static description of one rule.
+pub struct Rule {
+    /// Rule id, as used in suppression comments (`no-hash-iter`).
+    pub name: &'static str,
+    /// Paper determinism level the rule protects (D0/D1/D2).
+    pub level: &'static str,
+    /// One-line rationale shown in reports.
+    pub summary: &'static str,
+}
+
+/// Every rule detlint knows, in catalog order.
+pub const CATALOG: &[Rule] = &[
+    Rule {
+        name: "no-hash-iter",
+        level: "D0",
+        summary: "iteration over HashMap/HashSet lets hasher state pick the order",
+    },
+    Rule {
+        name: "no-wall-clock",
+        level: "D0",
+        summary: "raw Instant/SystemTime reads outside obs leak wall time into behavior",
+    },
+    Rule {
+        name: "no-raw-float-accum",
+        level: "D1",
+        summary: "float accumulation outside order-parameterized kernels hides reduction order",
+    },
+    Rule {
+        name: "no-adhoc-rng",
+        level: "D0",
+        summary: "randomness not drawn from esrng Philox streams is unreplayable",
+    },
+    Rule {
+        name: "no-thread-order",
+        level: "D0",
+        summary: "spawn/channel patterns can leak thread completion order into results",
+    },
+];
+
+/// Look up a catalog rule by name.
+pub fn rule(name: &str) -> Option<&'static Rule> {
+    CATALOG.iter().find(|r| r.name == name)
+}
+
+/// Per-file analysis context shared by all detectors.
+struct Ctx<'a> {
+    toks: &'a [Tok],
+    file: &'a str,
+    /// `(start_line, end_line)` of `#[cfg(test)] mod … { … }` regions.
+    test_regions: Vec<(u32, u32)>,
+    /// For each token index: index into `fns` of the innermost enclosing
+    /// fn, or usize::MAX at module level.
+    fn_of: Vec<usize>,
+    /// For each fn: does its signature name an order-parameter type
+    /// (KernelProfile and friends) — i.e. accumulation order is explicit?
+    fn_exempt: Vec<bool>,
+}
+
+impl Ctx<'_> {
+    fn in_test(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    fn exempt_fn(&self, tok_idx: usize) -> bool {
+        let f = self.fn_of[tok_idx];
+        f != usize::MAX && self.fn_exempt[f]
+    }
+
+    fn finding(&self, rule_name: &'static str, line: u32, message: String) -> Finding {
+        let r = rule(rule_name).expect("catalog rule");
+        Finding { rule: r.name, level: r.level, file: self.file.to_string(), line, message }
+    }
+}
+
+/// Run every applicable rule over one lexed file. `crate_name` is the
+/// directory name under `crates/` (e.g. `core`, `sched`).
+pub fn check_file(lexed: &Lexed, crate_name: &str, file: &str, cfg: &Config) -> Vec<Finding> {
+    let toks = &lexed.toks;
+    let ctx = Ctx {
+        toks,
+        file,
+        test_regions: if cfg.skip_test_code { test_regions(toks) } else { Vec::new() },
+        fn_of: Vec::new(),
+        fn_exempt: Vec::new(),
+    };
+    let ctx = with_fn_scopes(ctx, cfg);
+
+    let deterministic = cfg.deterministic_path.iter().any(|c| c == crate_name);
+    let mut findings = Vec::new();
+    if deterministic {
+        no_hash_iter(&ctx, &mut findings);
+        no_adhoc_rng(&ctx, &mut findings);
+        no_thread_order(&ctx, &mut findings);
+    }
+    if !cfg.wall_clock_exempt.iter().any(|c| c == crate_name) {
+        no_wall_clock(&ctx, &mut findings);
+    }
+    if cfg.float_accum_crates.iter().any(|c| c == crate_name) {
+        no_raw_float_accum(&ctx, &mut findings);
+    }
+
+    // Apply suppressions: `// detlint::allow(rule[, rule…]): reason` on the
+    // finding's own line or the line directly above suppresses exactly the
+    // named rules.
+    let allows = parse_suppressions(lexed);
+    findings.retain(|f| {
+        !allows.iter().any(|(line, rules)| {
+            (*line == f.line || *line + 1 == f.line) && rules.iter().any(|r| r == f.rule)
+        })
+    });
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Extract `(line, [rule…])` suppressions from line comments.
+fn parse_suppressions(lexed: &Lexed) -> Vec<(u32, Vec<String>)> {
+    let mut out = Vec::new();
+    for (line, text) in &lexed.comments {
+        let Some(pos) = text.find("detlint::allow(") else { continue };
+        let rest = &text[pos + "detlint::allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if !rules.is_empty() {
+            out.push((*line, rules));
+        }
+    }
+    out
+}
+
+/// Find `#[cfg(test)] mod … { … }` line ranges by brace matching.
+fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_cfg_test =
+            toks[i].text == "#" && matches(toks, i + 1, &["[", "cfg", "(", "test", ")", "]"]);
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        // Skip further attributes between the cfg and the item.
+        while j < toks.len() && toks[j].text == "#" {
+            j += 1; // '['
+            let mut depth = 0;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if j < toks.len() && toks[j].text == "mod" {
+            // Find the opening brace, then its match.
+            while j < toks.len() && toks[j].text != "{" {
+                j += 1;
+            }
+            if j < toks.len() {
+                let start_line = toks[i].line;
+                let mut depth = 0;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                out.push((start_line, toks[j].line));
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Do tokens at `start` match `pat` textually?
+fn matches(toks: &[Tok], start: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(k, p)| toks.get(start + k).is_some_and(|t| t.text == *p))
+}
+
+/// Annotate every token with its enclosing fn and whether that fn's
+/// signature names an order-parameter type (making ordered accumulation
+/// explicit and exempt from `no-raw-float-accum`).
+fn with_fn_scopes<'a>(mut ctx: Ctx<'a>, cfg: &Config) -> Ctx<'a> {
+    let toks = ctx.toks;
+    let mut fn_of = vec![usize::MAX; toks.len()];
+    let mut fn_exempt: Vec<bool> = Vec::new();
+    // Stack of (fn index, brace depth at body open).
+    let mut stack: Vec<(usize, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                while let Some(&(_, d)) = stack.last() {
+                    if depth < d {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            "fn" if t.kind == TokKind::Ident => {
+                // Signature runs to the body `{` at paren depth 0 (or to a
+                // `;` for a trait method declaration).
+                let mut j = i + 1;
+                let mut parens = 0i32;
+                let mut exempt = false;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" => parens += 1,
+                        ")" => parens -= 1,
+                        ";" if parens == 0 => break, // no body
+                        "{" if parens == 0 => break,
+                        _ => {
+                            if toks[j].kind == TokKind::Ident
+                                && cfg.order_param_types.iter().any(|o| o == &toks[j].text)
+                            {
+                                exempt = true;
+                            }
+                        }
+                    }
+                    fn_of[j] = usize::MAX; // signature tokens stay unscoped
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].text == "{" {
+                    let idx = fn_exempt.len();
+                    fn_exempt.push(exempt);
+                    // The body-open brace belongs to the fn scope.
+                    depth += 1;
+                    stack.push((idx, depth));
+                    if let Some(&(f, _)) = stack.last() {
+                        fn_of[j] = f;
+                    }
+                    i = j + 1;
+                    // Tag subsequent tokens in the main loop below.
+                    continue;
+                }
+                i = j + 1;
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(&(f, _)) = stack.last() {
+            fn_of[i] = f;
+        }
+        i += 1;
+    }
+    ctx.fn_of = fn_of;
+    ctx.fn_exempt = fn_exempt;
+    ctx
+}
+
+/// Statement bounds around token `i`: `(start, end)` token indices between
+/// the nearest `;`/`{`/`}` on each side (end exclusive).
+fn statement_bounds(toks: &[Tok], i: usize) -> (usize, usize) {
+    let mut a = i;
+    while a > 0 {
+        let t = &toks[a - 1].text;
+        if t == ";" || t == "{" || t == "}" {
+            break;
+        }
+        a -= 1;
+    }
+    let mut b = i;
+    while b < toks.len() {
+        let t = &toks[b].text;
+        if t == ";" || t == "{" || t == "}" {
+            break;
+        }
+        b += 1;
+    }
+    (a, b)
+}
+
+const INT_TYPES: &[&str] =
+    &["usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128"];
+
+fn slice_has(toks: &[Tok], a: usize, b: usize, words: &[&str]) -> bool {
+    toks[a..b].iter().any(|t| t.kind == TokKind::Ident && words.contains(&t.text.as_str()))
+}
+
+/// Does the signature of the fn enclosing token `i` mention f32/f64?
+/// (Signature tokens are the ones between the `fn` keyword and the body.)
+fn fn_sig_has_float(toks: &[Tok], i: usize, fn_of: &[usize]) -> bool {
+    let f = fn_of[i];
+    if f == usize::MAX {
+        return false;
+    }
+    // Walk back to this fn's `fn` keyword: the first token before the body
+    // whose scope differs. Simpler: scan backwards for `fn` at any point
+    // where the scope annotation transitions into `f`.
+    let mut body_open = i;
+    while body_open > 0 && !(toks[body_open].text == "{" && fn_of[body_open] == f) {
+        body_open -= 1;
+    }
+    let mut j = body_open;
+    while j > 0 && toks[j].text != "fn" {
+        j -= 1;
+    }
+    slice_has(toks, j, body_open, &["f32", "f64"])
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-hash-iter (D0)
+// ---------------------------------------------------------------------------
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+fn no_hash_iter(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    // Pass 1: collect identifiers declared with a hash-table type, file-wide
+    // (fields, params, lets). Coarse on purpose: a shadowing non-hash
+    // binding of the same name is rare and only costs a suppression.
+    let mut hash_idents: Vec<&str> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `name : [&] [mut] [std::collections::] HashMap`
+        let mut j = i;
+        while j >= 2 && toks[j - 1].text == "::" {
+            j -= 2; // skip `collections ::`, `std ::`
+        }
+        let mut k = j;
+        while k > 0 && (toks[k - 1].text == "&" || toks[k - 1].text == "mut") {
+            k -= 1;
+        }
+        if k >= 2 && toks[k - 1].text == ":" && toks[k - 2].kind == TokKind::Ident {
+            hash_idents.push(&toks[k - 2].text);
+            continue;
+        }
+        // `let [mut] name = HashMap::new/with_capacity/from/default`
+        if matches(toks, i + 1, &["::"])
+            && toks.get(i + 2).is_some_and(|t| {
+                ["new", "with_capacity", "from", "default"].contains(&t.text.as_str())
+            })
+            && k >= 2
+            && toks[k - 1].text == "="
+            && toks[k - 2].kind == TokKind::Ident
+        {
+            hash_idents.push(&toks[k - 2].text);
+        }
+    }
+    hash_idents.sort_unstable();
+    hash_idents.dedup();
+    if hash_idents.is_empty() {
+        return;
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        // `hash . iter() / keys() / …`
+        if hash_idents.binary_search(&t.text.as_str()).is_ok()
+            && matches(toks, i + 1, &["."])
+            && toks.get(i + 2).is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+            && toks.get(i + 3).is_some_and(|p| p.text == "(")
+        {
+            out.push(ctx.finding(
+                "no-hash-iter",
+                t.line,
+                format!(
+                    "`{}.{}()` iterates a hash table in a deterministic-path crate; use \
+                     BTreeMap/BTreeSet or sort before iterating",
+                    t.text,
+                    toks[i + 2].text
+                ),
+            ));
+            continue;
+        }
+        // `for pat in [&[mut]] hash {` — the loop header names the map.
+        if t.text == "for" {
+            let mut j = i + 1;
+            while j < toks.len() && toks[j].text != "in" && toks[j].text != "{" {
+                j += 1;
+            }
+            if j >= toks.len() || toks[j].text != "in" {
+                continue;
+            }
+            let mut k = j + 1;
+            while k < toks.len() && toks[k].text != "{" && toks[k].text != ";" {
+                let tk = &toks[k];
+                if tk.kind == TokKind::Ident
+                    && hash_idents.binary_search(&tk.text.as_str()).is_ok()
+                    && toks.get(k + 1).is_none_or(|nx| nx.text != ".")
+                {
+                    out.push(ctx.finding(
+                        "no-hash-iter",
+                        tk.line,
+                        format!(
+                            "`for … in {}` iterates a hash table in a deterministic-path \
+                             crate; use BTreeMap/BTreeSet or sort before iterating",
+                            tk.text
+                        ),
+                    ));
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-wall-clock (D0)
+// ---------------------------------------------------------------------------
+
+fn no_wall_clock(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        if t.text == "Instant" && matches(toks, i + 1, &["::", "now"]) {
+            out.push(
+                ctx.finding(
+                    "no-wall-clock",
+                    t.line,
+                    "`Instant::now()` outside obs/bench; time through `obs::span` or \
+                 `obs::Stopwatch` so the clock stays off the deterministic path"
+                        .to_string(),
+                ),
+            );
+        } else if t.text == "SystemTime" {
+            out.push(ctx.finding(
+                "no-wall-clock",
+                t.line,
+                "`SystemTime` outside obs/bench; wall-clock reads belong behind obs".to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-raw-float-accum (D1)
+// ---------------------------------------------------------------------------
+
+fn no_raw_float_accum(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(t.line) || ctx.exempt_fn(i) {
+            continue;
+        }
+        let (a, b) = statement_bounds(toks, i);
+        let stmt_int = slice_has(toks, a, b, INT_TYPES);
+        let stmt_float = slice_has(toks, a, b, &["f32", "f64"]);
+
+        if t.text == "+=" {
+            // `x += 1` (counter) is never a float reduction.
+            if toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Int)
+                && toks.get(i + 2).is_some_and(|n| n.text == ";")
+            {
+                continue;
+            }
+            // `off += n` — bare-ident += bare-ident is the offset-advance
+            // idiom; reductions accumulate an expression.
+            if i == a + 1 && b == i + 2 && toks[a].kind == TokKind::Ident {
+                continue;
+            }
+            if stmt_int {
+                continue;
+            }
+            if stmt_float || fn_sig_has_float(toks, i, &ctx.fn_of) {
+                out.push(
+                    ctx.finding(
+                        "no-raw-float-accum",
+                        t.line,
+                        "float `+=` accumulation outside an order-parameterized kernel; route \
+                     through KernelProfile-driven reduction (or suppress with the traversal \
+                     order documented)"
+                            .to_string(),
+                    ),
+                );
+            }
+        } else if t.kind == TokKind::Ident
+            && (t.text == "sum" || t.text == "product")
+            && i > 0
+            && toks[i - 1].text == "."
+        {
+            // Explicit float turbofish: `.sum::<f32>()`.
+            let turbo_float = matches(toks, i + 1, &["::", "<"])
+                && toks.get(i + 3).is_some_and(|x| x.text == "f32" || x.text == "f64");
+            let plain_call = toks.get(i + 1).is_some_and(|x| x.text == "(");
+            if turbo_float
+                || (plain_call
+                    && !stmt_int
+                    && (stmt_float || fn_sig_has_float(toks, i, &ctx.fn_of)))
+            {
+                out.push(ctx.finding(
+                    "no-raw-float-accum",
+                    t.line,
+                    format!(
+                        "float `.{}()` reduction outside an order-parameterized kernel; \
+                         use tensor's blocked_sum/tiled_reduce with a KernelProfile",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-adhoc-rng (D0)
+// ---------------------------------------------------------------------------
+
+const RNG_IDENTS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "StdRng",
+    "SmallRng",
+    "OsRng",
+    "getrandom",
+    "fastrand",
+    "RandomState",
+    "DefaultHasher",
+];
+
+fn no_adhoc_rng(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        let hit = RNG_IDENTS.contains(&t.text.as_str())
+            || (t.text == "rand" && matches(toks, i + 1, &["::"]));
+        if hit {
+            out.push(ctx.finding(
+                "no-adhoc-rng",
+                t.line,
+                format!(
+                    "`{}` is ad-hoc randomness; draw from esrng Philox streams \
+                     (EsRng::for_stream) so replays reproduce it",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-thread-order (D0)
+// ---------------------------------------------------------------------------
+
+const CHANNEL_IDENTS: &[&str] =
+    &["mpsc", "try_recv", "recv_timeout", "recv_deadline", "par_iter", "into_par_iter", "rayon"];
+
+fn no_thread_order(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        if CHANNEL_IDENTS.contains(&t.text.as_str()) {
+            out.push(ctx.finding(
+                "no-thread-order",
+                t.line,
+                format!(
+                    "`{}` can surface thread completion order; collect results by joining \
+                     handles in spawn order (see core::engine)",
+                    t.text
+                ),
+            ));
+        } else if t.text == "thread" && matches(toks, i + 1, &["::", "spawn"]) {
+            out.push(
+                ctx.finding(
+                    "no-thread-order",
+                    t.line,
+                    "detached `thread::spawn`; use a scoped spawn joined in spawn order so \
+                 completion order cannot leak into results"
+                        .to_string(),
+                ),
+            );
+        } else if t.text == "recv"
+            && i > 0
+            && toks[i - 1].text == "."
+            && matches(toks, i + 1, &["("])
+        {
+            out.push(
+                ctx.finding(
+                    "no-thread-order",
+                    t.line,
+                    "`.recv()` consumes messages in completion order; join workers in spawn \
+                 order instead"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: seeded `no-adhoc-rng` violations. Never compiled.
+
+pub fn seeds_from_the_os() -> u64 {
+    let mut rng = rand::thread_rng(); // VIOLATION: rand:: and thread_rng
+    rng.gen()
+}
+
+pub fn hasher_randomness() -> u64 {
+    let h = RandomState::new(); // VIOLATION: per-process random hasher seed
+    h.hash_one(&42u32)
+}
+
+pub fn philox_streams_are_fine(seed: u64) -> u32 {
+    let mut rng = esrng::EsRng::for_stream(seed, key);
+    rng.next_u32() // clean: the sanctioned counter-based generator
+}
+
+pub fn suppressed_site() -> u64 {
+    // detlint::allow(no-adhoc-rng): jitter for backoff, off the math path
+    fastrand::u64(..)
+}

@@ -1,0 +1,33 @@
+//! Fixture: code that exercises every rule's *neighborhood* without
+//! violating any of them — the false-positive canary. Never compiled.
+
+use std::collections::BTreeMap;
+
+pub fn ordered_iteration(free: &BTreeMap<u32, u32>) -> u32 {
+    free.values().sum() // BTreeMap: deterministic order, integer sum
+}
+
+pub fn duration_math(budget_ms: u64) -> std::time::Duration {
+    std::time::Duration::from_millis(budget_ms)
+}
+
+pub fn strings_do_not_trip_rules() -> &'static str {
+    // Rule tokens inside literals must be invisible to the scanner.
+    "HashMap Instant::now() thread_rng .recv()"
+}
+
+pub fn integer_offsets(lens: &[usize]) -> usize {
+    let mut off = 0;
+    for n in lens {
+        off += n;
+    }
+    off
+}
+
+pub fn kernel_reduction(xs: &[f32], profile: &KernelProfile) -> f32 {
+    let mut acc = 0.0f32;
+    for tile in xs.chunks(profile.tile) {
+        acc += tile[0];
+    }
+    acc
+}

@@ -1,0 +1,45 @@
+//! Fixture: seeded `no-raw-float-accum` violations plus the exemptions the
+//! rule must honor (order-parameterized kernels, integer arithmetic,
+//! elementwise idioms). Never compiled.
+
+pub fn naive_sum(xs: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for x in xs {
+        acc += *x; // VIOLATION: float += reduction, no order parameter
+    }
+    acc
+}
+
+pub fn turbofish_sum(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>() // VIOLATION: .sum::<f32>() is always flagged
+}
+
+pub fn plain_sum_with_float_context(xs: &[f64]) -> f64 {
+    xs.iter().sum() // VIOLATION: .sum() where the signature says f64
+}
+
+pub fn kernel_sum(xs: &[f32], profile: &KernelProfile) -> f32 {
+    let mut acc = 0.0;
+    for chunk in xs.chunks(profile.tile) {
+        acc += chunk[0]; // clean: KernelProfile in signature → order explicit
+    }
+    acc
+}
+
+pub fn counters_are_fine(xs: &[f32]) -> usize {
+    let mut n = 0;
+    n += 1; // clean: integer-literal increment
+    let mut off: usize = 0;
+    for x in xs {
+        let step = x.to_bits() as usize;
+        off += step; // clean: usize arithmetic in the statement
+    }
+    n + off
+}
+
+pub fn suppressed_site(xs: &mut [f32], d: f32) {
+    for x in xs.iter_mut() {
+        // detlint::allow(no-raw-float-accum): elementwise, single addend
+        *x += d * 2.0;
+    }
+}

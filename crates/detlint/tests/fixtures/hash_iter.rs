@@ -1,0 +1,40 @@
+//! Fixture: seeded `no-hash-iter` violations (and near-misses that must
+//! stay clean). Never compiled — read as text by rules_fire.rs.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn iterates_a_param_map(table: &HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_k, v) in table.iter() { // VIOLATION: .iter() on a hash map
+        acc += v;
+    }
+    acc
+}
+
+pub fn for_loops_a_local_set() {
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    for s in seen { // VIOLATION: for-in over a hash set
+        let _ = s;
+    }
+}
+
+pub fn keys_of_a_let_binding() {
+    let index = HashMap::from([(1u32, 2u32)]);
+    let _ks: Vec<_> = index.keys().collect(); // VIOLATION: .keys()
+}
+
+pub fn lookups_are_fine(table: &HashMap<u32, f64>) -> Option<f64> {
+    table.get(&1).copied() // clean: point lookup has no order
+}
+
+pub fn btree_iteration_is_fine(ordered: &BTreeMap<u32, f64>) -> f64 {
+    // Note: ident tracking is file-coarse — reusing the name `table` here
+    // would (conservatively) flag this too. A rename or an allow resolves it.
+    ordered.values().sum() // clean: BTreeMap iterates in key order
+}
+
+pub fn suppressed_site(table: &HashMap<u32, f64>) -> usize {
+    // detlint::allow(no-hash-iter): order-insensitive count
+    table.iter().count()
+}

@@ -1,0 +1,21 @@
+//! Fixture: violations confined to a `#[cfg(test)]` module — all must be
+//! skipped by default. Never compiled.
+
+pub fn production_code() -> u32 {
+    42
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_do_what_they_like() {
+        let t = Instant::now(); // skipped: inside #[cfg(test)]
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in m.iter() { // skipped: inside #[cfg(test)]
+            let _ = (k, v, t);
+        }
+    }
+}

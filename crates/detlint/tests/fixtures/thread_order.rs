@@ -1,0 +1,27 @@
+//! Fixture: seeded `no-thread-order` violations plus the sanctioned
+//! scoped-join pattern. Never compiled.
+
+pub fn detached_spawn() {
+    std::thread::spawn(|| {}); // VIOLATION: thread::spawn, detached
+}
+
+pub fn channel_completion_order() -> u32 {
+    let (tx, rx) = std::sync::mpsc::channel(); // VIOLATION: mpsc
+    tx.send(1).unwrap();
+    rx.recv().unwrap() // VIOLATION: .recv() surfaces completion order
+}
+
+pub fn scoped_join_in_spawn_order(parts: &[Part]) -> Vec<Out> {
+    // clean: the core::engine pattern — results collected by joining
+    // handles in spawn order, so completion order cannot leak.
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = parts.iter().map(|p| s.spawn(move |_| work(p))).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap()
+}
+
+pub fn suppressed_site() {
+    // detlint::allow(no-thread-order): fire-and-forget logging flush
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,23 @@
+//! Fixture: seeded `no-wall-clock` violations. Never compiled.
+
+use std::time::{Duration, Instant};
+
+pub fn reads_a_monotonic_clock() -> Duration {
+    let t = Instant::now(); // VIOLATION: Instant::now outside obs/bench
+    t.elapsed()
+}
+
+pub fn reads_the_wall_clock() -> u64 {
+    let now = std::time::SystemTime::now(); // VIOLATION: SystemTime
+    now.elapsed().unwrap().as_secs()
+}
+
+pub fn durations_are_fine() -> Duration {
+    Duration::from_millis(5) // clean: a duration constant reads no clock
+}
+
+pub fn suppressed_site() -> Duration {
+    // detlint::allow(no-wall-clock): log-only timing, audited
+    let t = Instant::now();
+    t.elapsed()
+}

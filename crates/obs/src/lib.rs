@@ -39,6 +39,7 @@
 pub mod metrics;
 pub mod sink;
 pub mod span;
+pub mod timer;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -48,6 +49,7 @@ use serde::Value;
 use metrics::{Metric, MetricSnapshot};
 use sink::Sink;
 pub use span::{span, SpanGuard};
+pub use timer::Stopwatch;
 
 /// The process-wide registry: an enabled flag plus name → metric storage
 /// and the installed export sink.

@@ -14,8 +14,7 @@ use crate::intra::{IntraJobScheduler, ResourceProposal};
 use device::GpuType;
 use easyscale::{Engine, JobConfig};
 use models::zoo;
-use std::collections::HashMap;
-use std::time::Instant;
+use std::collections::BTreeMap;
 
 /// The per-job master: engine + intra-job scheduler + throughput monitor.
 pub struct AiMaster {
@@ -83,7 +82,7 @@ impl AiMaster {
     }
 
     /// Role 2: resource proposals against the free table.
-    pub fn proposals(&self, free: &HashMap<GpuType, u32>, top_k: usize) -> Vec<ResourceProposal> {
+    pub fn proposals(&self, free: &BTreeMap<GpuType, u32>, top_k: usize) -> Vec<ResourceProposal> {
         self.intra.proposals(free, top_k)
     }
 
@@ -132,11 +131,13 @@ impl AiMaster {
     /// Returns the released GPUs if a fallback happened.
     pub fn run_window(&mut self) -> Option<Alloc> {
         let engine = self.engine.as_mut()?;
-        let start = Instant::now();
+        // Wall-clock via obs only: the measurement steers allocation (which
+        // cannot change bits), never the training math itself.
+        let watch = obs::Stopwatch::start();
         for _ in 0..self.window {
             engine.step();
         }
-        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let secs = watch.lap_observe("sched.window_us").as_secs_f64().max(1e-9);
         let local_minibatches = (self.window * self.config.n_ests as u64) as f64;
         let measured = local_minibatches / secs;
         self.last_measured = Some(measured);
@@ -167,7 +168,7 @@ mod tests {
         AiMaster::new(1, JobConfig::new(Workload::NeuMF, 3, 4).with_dataset_len(256))
     }
 
-    fn free(v: u32, p: u32, t: u32) -> HashMap<GpuType, u32> {
+    fn free(v: u32, p: u32, t: u32) -> BTreeMap<GpuType, u32> {
         [(GpuType::V100, v), (GpuType::P100, p), (GpuType::T4, t)].into_iter().collect()
     }
 

@@ -22,7 +22,7 @@ use device::GpuType;
 use easyscale::{Placement, Slot};
 use models::WorkloadSpec;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An allocation: GPU count per type (types with zero count omitted).
 pub type Alloc = Vec<(GpuType, u32)>;
@@ -49,11 +49,11 @@ pub struct Plan {
 /// observed-throughput corrections.
 #[derive(Debug, Clone)]
 pub struct Companion {
-    caps: HashMap<GpuType, f64>,
+    caps: BTreeMap<GpuType, f64>,
     max_p: u32,
     /// Multiplicative correction per allocation, updated from observed
     /// throughput reports (starts at 1.0).
-    corrections: HashMap<Alloc, f64>,
+    corrections: BTreeMap<Alloc, f64>,
 }
 
 impl Companion {
@@ -62,12 +62,12 @@ impl Companion {
     /// when the job will mix GPU types.
     pub fn for_workload(spec: &WorkloadSpec, max_p: u32, hetero_d2: bool) -> Self {
         let caps = GpuType::ALL.iter().map(|&g| (g, spec.capability(g, hetero_d2))).collect();
-        Companion { caps, max_p, corrections: HashMap::new() }
+        Companion { caps, max_p, corrections: BTreeMap::new() }
     }
 
     /// Companion from explicit capabilities.
-    pub fn from_caps(caps: HashMap<GpuType, f64>, max_p: u32) -> Self {
-        Companion { caps, max_p, corrections: HashMap::new() }
+    pub fn from_caps(caps: BTreeMap<GpuType, f64>, max_p: u32) -> Self {
+        Companion { caps, max_p, corrections: BTreeMap::new() }
     }
 
     /// The job's maxP.
@@ -192,7 +192,7 @@ impl Companion {
 mod tests {
     use super::*;
 
-    fn caps() -> HashMap<GpuType, f64> {
+    fn caps() -> BTreeMap<GpuType, f64> {
         // V100: 10 mb/s, P100: 5, T4: 4.
         [(GpuType::V100, 10.0), (GpuType::P100, 5.0), (GpuType::T4, 4.0)].into_iter().collect()
     }

@@ -6,10 +6,9 @@
 //! with non-elastic (serving) jobs happens by keeping the free-resource
 //! table in sync with whatever the serving side currently occupies.
 
-use crate::intra::ResourceProposal;
+use crate::intra::{FreePool, ResourceProposal};
 use device::GpuType;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One accepted grant.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,7 +32,7 @@ impl InterJobScheduler {
     pub fn decide(
         &self,
         mut proposals: Vec<ResourceProposal>,
-        free: &mut HashMap<GpuType, u32>,
+        free: &mut FreePool,
     ) -> Vec<Decision> {
         proposals.sort_by(|a, b| {
             b.speedup_per_gpu
@@ -41,7 +40,7 @@ impl InterJobScheduler {
                 .unwrap()
                 .then(b.add_count.cmp(&a.add_count))
         });
-        let mut granted_jobs = std::collections::HashSet::new();
+        let mut granted_jobs = std::collections::BTreeSet::new();
         let mut out = Vec::new();
         for p in proposals {
             if granted_jobs.contains(&p.job) {
@@ -76,7 +75,7 @@ mod tests {
         }
     }
 
-    fn free(v: u32) -> HashMap<GpuType, u32> {
+    fn free(v: u32) -> FreePool {
         [(GpuType::V100, v), (GpuType::P100, 0), (GpuType::T4, 0)].into_iter().collect()
     }
 

@@ -13,7 +13,15 @@ use crate::companion::{Alloc, Companion, Plan};
 use device::GpuType;
 use easyscale::Placement;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+/// The cluster's free-resource table.
+///
+/// Deliberately a `BTreeMap`: proposals are formed by walking this table, so
+/// its iteration order is part of the deterministic contract (detlint rule
+/// `no-hash-iter`). A hash map here would let hasher state leak into
+/// proposal order and, through grants, into placements.
+pub type FreePool = BTreeMap<GpuType, u32>;
 
 /// A scale-out request submitted to the inter-job scheduler.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -105,7 +113,7 @@ impl IntraJobScheduler {
 
     /// Role 2: form up to `top_k` scale-out proposals against the free
     /// resources, trying incremental counts (1, 2, 4, …) of each type.
-    pub fn proposals(&self, free: &HashMap<GpuType, u32>, top_k: usize) -> Vec<ResourceProposal> {
+    pub fn proposals(&self, free: &FreePool, top_k: usize) -> Vec<ResourceProposal> {
         let current_thr = self.current_plan().map(|p| p.throughput).unwrap_or(0.0);
         let mut out: Vec<ResourceProposal> = Vec::new();
         for &ty in &GpuType::ALL {
@@ -239,7 +247,7 @@ mod tests {
         Companion::from_caps(caps, max_p)
     }
 
-    fn free(v: u32, p: u32, t: u32) -> HashMap<GpuType, u32> {
+    fn free(v: u32, p: u32, t: u32) -> FreePool {
         [(GpuType::V100, v), (GpuType::P100, p), (GpuType::T4, t)].into_iter().collect()
     }
 

@@ -26,5 +26,5 @@ pub mod sim;
 pub use aimaster::AiMaster;
 pub use companion::{Companion, Plan};
 pub use inter::{Decision, InterJobScheduler};
-pub use intra::{IntraJobScheduler, ResourceProposal};
+pub use intra::{FreePool, IntraJobScheduler, ResourceProposal};
 pub use sim::{ClusterSim, JobRecord, JobSpec, Policy, SimOutcome};

@@ -13,11 +13,11 @@
 
 use crate::companion::Companion;
 use crate::inter::InterJobScheduler;
-use crate::intra::IntraJobScheduler;
+use crate::intra::{FreePool, IntraJobScheduler};
 use device::{ClusterSpec, GpuType};
 use models::Workload;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One job of the trace.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -130,12 +130,13 @@ fn time_weighted_avg(tl: &[TimePoint], end: f64, f: impl Fn(&TimePoint) -> f64) 
     acc / end
 }
 
-/// Time-varying serving occupancy by GPU type.
-pub type ServingCurve = Box<dyn Fn(f64) -> HashMap<GpuType, u32>>;
+/// Time-varying serving occupancy by GPU type. Ordered map: the simulator
+/// iterates it, and that order must not depend on hasher state.
+pub type ServingCurve = Box<dyn Fn(f64) -> BTreeMap<GpuType, u32>>;
 
 /// The simulator.
 pub struct ClusterSim {
-    capacity: HashMap<GpuType, u32>,
+    capacity: BTreeMap<GpuType, u32>,
     jobs: Vec<JobSpec>,
     policy: Policy,
     /// Seconds a job makes no progress after its allocation changes
@@ -160,7 +161,7 @@ struct JobState {
 impl ClusterSim {
     /// Simulator over a cluster and a trace.
     pub fn new(cluster: &ClusterSpec, jobs: Vec<JobSpec>, policy: Policy) -> Self {
-        let mut capacity = HashMap::new();
+        let mut capacity = BTreeMap::new();
         for g in cluster.gpus() {
             *capacity.entry(g.gpu_type).or_insert(0) += 1;
         }
@@ -175,7 +176,7 @@ impl ClusterSim {
     }
 
     /// Attach a serving-occupancy curve (co-location experiment).
-    pub fn with_serving(mut self, f: impl Fn(f64) -> HashMap<GpuType, u32> + 'static) -> Self {
+    pub fn with_serving(mut self, f: impl Fn(f64) -> BTreeMap<GpuType, u32> + 'static) -> Self {
         self.serving = Some(Box::new(f));
         self
     }
@@ -224,7 +225,7 @@ impl ClusterSim {
             let serving_total: u32 = serving_now.values().sum();
 
             // Free capacity after serving occupancy.
-            let mut free: HashMap<GpuType, u32> = self
+            let mut free: FreePool = self
                 .capacity
                 .iter()
                 .map(|(&ty, &n)| (ty, n.saturating_sub(serving_now.get(&ty).copied().unwrap_or(0))))
@@ -294,7 +295,7 @@ impl ClusterSim {
                     // restart penalty (checkpoint + reschedule, seconds).
                     let prev: Vec<crate::companion::Alloc> =
                         states.iter().map(|s| s.intra.current().clone()).collect();
-                    let mut prev_by_type: HashMap<GpuType, u32> = HashMap::new();
+                    let mut prev_by_type: BTreeMap<GpuType, u32> = BTreeMap::new();
                     for a in &prev {
                         for &(ty, n) in a {
                             *prev_by_type.entry(ty).or_insert(0) += n;
@@ -376,7 +377,7 @@ impl ClusterSim {
                     // a preemption (GPUs released to serving within one
                     // tick) — even if the jobs migrated to other types.
                     if serving_total > prev_serving_total {
-                        let mut new_by_type: HashMap<GpuType, u32> = HashMap::new();
+                        let mut new_by_type: BTreeMap<GpuType, u32> = BTreeMap::new();
                         for st in states.iter() {
                             for &(ty, n) in st.intra.current() {
                                 *new_by_type.entry(ty).or_insert(0) += n;
@@ -582,7 +583,7 @@ mod tests {
             if (600.0..1200.0).contains(&t) {
                 [(GpuType::V100, 32)].into_iter().collect()
             } else {
-                HashMap::new()
+                BTreeMap::new()
             }
         });
         let out = sim.run();

@@ -3,9 +3,9 @@
 use device::GpuType;
 use proptest::prelude::*;
 use sched::{Companion, InterJobScheduler, IntraJobScheduler};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-fn caps_strategy() -> impl Strategy<Value = HashMap<GpuType, f64>> {
+fn caps_strategy() -> impl Strategy<Value = BTreeMap<GpuType, f64>> {
     (1.0f64..20.0, 0.5f64..10.0, 0.2f64..8.0).prop_map(|(v, p, t)| {
         [(GpuType::V100, v), (GpuType::P100, p), (GpuType::T4, t)].into_iter().collect()
     })
@@ -85,7 +85,7 @@ proptest! {
         free_v in 0u32..16,
         props in prop::collection::vec((0u64..8, 1u32..8, 0.1f64..10.0), 0..12),
     ) {
-        let mut free: HashMap<GpuType, u32> = [(GpuType::V100, free_v)].into_iter().collect();
+        let mut free: BTreeMap<GpuType, u32> = [(GpuType::V100, free_v)].into_iter().collect();
         let proposals = props
             .into_iter()
             .map(|(job, count, spg)| sched::ResourceProposal {
@@ -107,13 +107,45 @@ proptest! {
         prop_assert_eq!(jobs.len(), grants.len());
     }
 
+    /// The hash-order hazard this workspace's `FreePool = BTreeMap` closed
+    /// (detlint rule `no-hash-iter`): proposals must be *byte-identical* no
+    /// matter what order the free table was populated in. With a hash map
+    /// the insertion order (via hasher state) could leak into proposal
+    /// order and, through grants, into placements.
+    #[test]
+    fn proposals_ignore_free_pool_insertion_order(
+        caps in caps_strategy(),
+        max_p in 1u32..16,
+        counts in (0u32..12, 0u32..12, 0u32..12),
+        perm in 0usize..6,
+    ) {
+        let entries = [
+            (GpuType::V100, counts.0),
+            (GpuType::P100, counts.1),
+            (GpuType::T4, counts.2),
+        ];
+        // All 3! = 6 insertion orders of the same logical pool.
+        let orders: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let mut shuffled = sched::FreePool::new();
+        for &i in &orders[perm] {
+            shuffled.insert(entries[i].0, entries[i].1);
+        }
+        let canonical: sched::FreePool = entries.into_iter().collect();
+
+        let s = IntraJobScheduler::new(0, Companion::from_caps(caps, max_p), true);
+        let a = serde_json::to_string(&s.proposals(&shuffled, 10)).unwrap();
+        let b = serde_json::to_string(&s.proposals(&canonical, 10)).unwrap();
+        prop_assert_eq!(a, b, "proposal bytes depend on free-pool insertion order");
+    }
+
     /// Proposals never suggest more than maxP GPUs in one increment and are
     /// always strictly beneficial.
     #[test]
     fn proposals_are_bounded_and_beneficial(caps in caps_strategy(), max_p in 1u32..16, avail in 1u32..64) {
         let c = Companion::from_caps(caps, max_p);
         let s = IntraJobScheduler::new(0, c, true);
-        let free: HashMap<GpuType, u32> =
+        let free: BTreeMap<GpuType, u32> =
             [(GpuType::V100, avail), (GpuType::P100, avail), (GpuType::T4, avail)].into_iter().collect();
         for p in s.proposals(&free, 10) {
             prop_assert!(p.add_count <= max_p.max(1));

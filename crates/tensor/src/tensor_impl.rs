@@ -112,6 +112,8 @@ impl Tensor {
     pub fn axpy_(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
         for (x, y) in self.data.iter_mut().zip(&other.data) {
+            // Elementwise, not a reduction: each x[i] sees exactly one addend.
+            // detlint::allow(no-raw-float-accum): no accumulation order exists
             *x += alpha * y;
         }
     }

@@ -5,7 +5,7 @@
 use device::GpuType;
 use esrng::{EsRng, StreamKey, StreamKind};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Diurnal serving-load model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,8 +48,9 @@ impl ServingLoad {
         (self.trough_gpus as f64 + base * swing + spike).round().min(self.peak_gpus as f64) as u32
     }
 
-    /// Demand split by GPU type at time `t`.
-    pub fn demand_by_type(&self, t: f64) -> HashMap<GpuType, u32> {
+    /// Demand split by GPU type at time `t`. Ordered so the scheduler-side
+    /// consumers (`sched::sim::ServingCurve`) iterate it reproducibly.
+    pub fn demand_by_type(&self, t: f64) -> BTreeMap<GpuType, u32> {
         let total = self.demand(t);
         let v100 = (total as f64 * self.v100_share) as u32;
         let rest = total - v100;

@@ -10,8 +10,11 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> detlint (determinism contract, see docs/DETLINT.md)"
+cargo run --offline -q -p detlint
+
 echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-echo "OK: fmt, clippy, and tier-1 all green"
+echo "OK: fmt, clippy, detlint, and tier-1 all green"

@@ -9,9 +9,9 @@ use device::GpuType;
 use easyscale::{Engine, JobConfig, Placement};
 use models::Workload;
 use sched::{AiMaster, InterJobScheduler};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-fn free_table(v: u32, p: u32, t: u32) -> HashMap<GpuType, u32> {
+fn free_table(v: u32, p: u32, t: u32) -> BTreeMap<GpuType, u32> {
     [(GpuType::V100, v), (GpuType::P100, p), (GpuType::T4, t)].into_iter().collect()
 }
 
