@@ -1,0 +1,205 @@
+//! bench_gate: fixed micro-benchmarks with a JSON regression gate.
+//!
+//! The criterion shim prints means for humans; CI needs machine-readable
+//! medians it can diff across PRs. This binary times a small, fixed set of
+//! scheduler and all-reduce micro-benches (median ns/iter over many
+//! samples — the median shrugs off scheduler noise a mean soaks up), writes
+//! them as JSON, and — given a baseline file from an earlier PR — fails
+//! when any bench regressed past the threshold.
+//!
+//! ```text
+//! bench_gate --out BENCH_PR3.json [--baseline BENCH_PR2.json] [--threshold 1.15]
+//! ```
+//!
+//! Exit status: 1 when a bench exceeds `baseline * threshold`, 2 on usage
+//! errors. Benches present in only one of the two files are reported but
+//! never gate (the set is allowed to grow).
+
+use std::time::Instant;
+
+use comm::ElasticDdp;
+use device::GpuType;
+use models::Workload;
+use sched::{Companion, IntraJobScheduler};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+#[derive(Serialize, Deserialize)]
+struct BenchResult {
+    name: String,
+    median_ns_per_iter: f64,
+    samples: u32,
+    iters_per_sample: u32,
+}
+
+#[derive(Serialize, Deserialize)]
+struct GateReport {
+    suite: String,
+    benches: Vec<BenchResult>,
+}
+
+/// Median ns/iter of `samples` timed samples of `iters` iterations each,
+/// after `warmup` untimed iterations.
+fn measure<F: FnMut()>(samples: u32, iters: u32, warmup: u32, mut f: F) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    per_iter[per_iter.len() / 2]
+}
+
+fn grads(vworld: u32, n: usize) -> Vec<Vec<f32>> {
+    (0..vworld).map(|r| (0..n).map(|i| ((i + r as usize) as f32 * 0.7).sin()).collect()).collect()
+}
+
+fn run_suite() -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    let mut record = |name: &str, iters: u32, median: f64| {
+        eprintln!("  {name:<40} {median:>12.1} ns/iter");
+        out.push(BenchResult {
+            name: name.to_string(),
+            median_ns_per_iter: median,
+            samples: SAMPLES,
+            iters_per_sample: iters,
+        });
+    };
+    const SAMPLES: u32 = 31;
+
+    // Mirror benches/scheduler.rs: Eq 1 plan evaluation on a mixed cluster.
+    let companion = Companion::for_workload(&Workload::Bert.spec(), 16, true);
+    let alloc = vec![(GpuType::V100, 4), (GpuType::P100, 4), (GpuType::T4, 8)];
+    record(
+        "companion_plan_16_ests_16_gpus",
+        200,
+        measure(SAMPLES, 200, 50, || {
+            black_box(companion.plan(black_box(&alloc)));
+        }),
+    );
+
+    // Role-2 proposal generation against a full free pool.
+    let companion = Companion::for_workload(&Workload::ResNet50.spec(), 16, false);
+    let mut sched = IntraJobScheduler::new(0, companion, false);
+    sched.apply_allocation(vec![(GpuType::V100, 2)]);
+    let free: BTreeMap<GpuType, u32> =
+        [(GpuType::V100, 16), (GpuType::P100, 16), (GpuType::T4, 16)].into_iter().collect();
+    record(
+        "intra_job_proposals",
+        200,
+        measure(SAMPLES, 200, 50, || {
+            black_box(sched.proposals(black_box(&free), 3));
+        }),
+    );
+
+    // Mirror benches/allreduce.rs: ring all-reduce, 4 virtual ranks, 16k
+    // params.
+    let sizes = vec![1000usize; 16];
+    let ddp = ElasticDdp::new(&sizes, 4, 8192);
+    let gr = grads(4, 16_000);
+    record(
+        "allreduce_vworld4_16k",
+        20,
+        measure(SAMPLES, 20, 5, || {
+            black_box(ddp.allreduce_avg(black_box(&gr)));
+        }),
+    );
+
+    // Same payload under a small bucket cap (many buckets: stresses the
+    // bucketing machinery rather than the reduction).
+    let sizes = vec![500usize; 32];
+    let ddp = ElasticDdp::new(&sizes, 4, 512);
+    let gr = grads(4, 16_000);
+    record(
+        "allreduce_bucket_cap_512",
+        20,
+        measure(SAMPLES, 20, 5, || {
+            black_box(ddp.allreduce_avg(black_box(&gr)));
+        }),
+    );
+
+    out
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_gate --out PATH [--baseline PATH] [--threshold FLOAT]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut threshold: f64 = 1.15;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--out" => out_path = Some(take(&mut i)),
+            "--baseline" => baseline_path = Some(take(&mut i)),
+            "--threshold" => threshold = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    let out_path = out_path.unwrap_or_else(|| usage());
+
+    eprintln!("bench_gate: running the fixed suite");
+    let report = GateReport { suite: "easyscale-bench-gate".to_string(), benches: run_suite() };
+    std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("report json"))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("bench_gate: wrote {out_path}");
+
+    let Some(baseline_path) = baseline_path else {
+        eprintln!("bench_gate: no baseline given; gate passes trivially");
+        return;
+    };
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let baseline: GateReport = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("cannot parse baseline {baseline_path}: {e:?}"));
+
+    let mut regressions = 0u32;
+    for cur in &report.benches {
+        match baseline.benches.iter().find(|b| b.name == cur.name) {
+            Some(base) => {
+                let ratio = cur.median_ns_per_iter / base.median_ns_per_iter;
+                let verdict = if ratio > threshold {
+                    regressions += 1;
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                eprintln!(
+                    "  {:<40} {:>7.3}x vs {} ({verdict})",
+                    cur.name,
+                    ratio,
+                    baseline_path.rsplit('/').next().unwrap_or(&baseline_path)
+                );
+            }
+            None => eprintln!("  {:<40} (new bench; not gated)", cur.name),
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_gate: {regressions} bench(es) regressed past {threshold}x the baseline median"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("bench_gate: no regression past {threshold}x");
+}

@@ -15,7 +15,7 @@ use crate::est::EstContext;
 use crate::placement::Placement;
 use crate::worker::{EasyScaleWorker, LocalStep};
 use crate::JobConfig;
-use comm::ElasticDdp;
+use comm::{CommError, ElasticDdp, FaultScript, RetryPolicy};
 use data::{Dataset, DistributedSampler};
 use optim::{LrSchedule, Sgd};
 
@@ -62,6 +62,11 @@ pub struct Engine {
     /// True when the engine was restored without the D1 layout — the next
     /// bucket rebuild will observe a fresh (timing-perturbed) ready order.
     restarted_without_layout: bool,
+    /// Bounded-retry policy for the gradient all-reduce.
+    comm_retry: RetryPolicy,
+    /// Armed transient comm faults (empty in production; the faultsim
+    /// harness arms scripts from its seeded schedule).
+    comm_faults: FaultScript,
 }
 
 impl Engine {
@@ -84,6 +89,8 @@ impl Engine {
             global_step: 0,
             steps_per_epoch,
             restarted_without_layout: false,
+            comm_retry: RetryPolicy::default(),
+            comm_faults: FaultScript::none(),
         }
     }
 
@@ -123,6 +130,8 @@ impl Engine {
             global_step: ckpt.global_step,
             steps_per_epoch,
             restarted_without_layout,
+            comm_retry: RetryPolicy::default(),
+            comm_faults: FaultScript::none(),
         }
     }
 
@@ -163,9 +172,35 @@ impl Engine {
         self.workers[0].flat_params()
     }
 
+    /// Arm transient comm faults for upcoming all-reduces (fault injection;
+    /// see `comm::retry`). Production callers never touch this.
+    pub fn inject_comm_faults(&mut self, script: FaultScript) {
+        self.comm_faults = script;
+    }
+
+    /// Override the all-reduce retry policy (default: `RetryPolicy::default`).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.comm_retry = policy;
+    }
+
+    /// Injected comm faults not yet consumed.
+    pub fn pending_comm_faults(&self) -> u32 {
+        self.comm_faults.pending()
+    }
+
     /// One global step: local steps on all workers (concurrently), virtual-
-    /// rank all-reduce, shared optimizer update.
+    /// rank all-reduce, shared optimizer update. Panics if the all-reduce
+    /// fails permanently — use [`Engine::try_step`] to handle that as a
+    /// recoverable worker crash.
     pub fn step(&mut self) -> StepResult {
+        self.try_step().expect("allreduce failed permanently (retries exhausted)")
+    }
+
+    /// Fallible variant of [`Engine::step`]. On `Err` the engine is
+    /// poisoned — local steps already consumed data-loader and RNG state —
+    /// so the caller must discard it and recover from a durable checkpoint
+    /// (the Sync-SGD worker-crash path of paper §2.1).
+    pub fn try_step(&mut self) -> Result<StepResult, CommError> {
         // Observation-only: spans/counters never feed back into the step
         // (see DESIGN.md, "Metrics stay off the merge path").
         let _step_span = obs::span("engine.global_step");
@@ -197,8 +232,12 @@ impl Engine {
         let losses: Vec<f32> = locals.iter().map(|l| l.loss).collect();
         let grads: Vec<Vec<f32>> = locals.into_iter().map(|l| l.grad).collect();
 
-        // Gradient synchronization over virtual ranks.
-        let avg = self.ddp.allreduce_avg(&grads);
+        // Gradient synchronization over virtual ranks, under the bounded
+        // retry policy. A successful retried all-reduce is bitwise
+        // identical to an unfaulted one (comm::retry), so transient faults
+        // never reach the parameters.
+        let (avg, _retry_stats) =
+            self.ddp.allreduce_avg_with_retry(&grads, &self.comm_retry, &mut self.comm_faults)?;
 
         // One optimizer update, applied identically to every replica.
         let params = self.workers[0].flat_params();
@@ -224,7 +263,7 @@ impl Engine {
         let step = self.global_step;
         self.global_step += 1;
         let mean_loss = losses.iter().sum::<f32>() / losses.len() as f32;
-        StepResult { step, epoch, lr, losses, mean_loss }
+        Ok(StepResult { step, epoch, lr, losses, mean_loss })
     }
 
     /// Run `n` global steps, returning the per-step results.
@@ -429,6 +468,33 @@ mod tests {
         let r = e.evaluate(eval.as_ref(), 16);
         assert!((0.0..=1.0).contains(&r.overall));
         assert_eq!(r.per_class.len(), 10);
+    }
+
+    #[test]
+    fn transient_comm_faults_are_bitwise_invisible() {
+        let mut clean = Engine::new(config(), Placement::homogeneous(4, 2, GpuType::V100));
+        let mut faulty = Engine::new(config(), Placement::homogeneous(4, 2, GpuType::V100));
+        for i in 0..4 {
+            if i == 1 || i == 2 {
+                // Two transient failures per step: retried, then succeeds.
+                faulty.inject_comm_faults(FaultScript::failures(2));
+            }
+            clean.step();
+            faulty.step();
+        }
+        assert_eq!(params_bits(&clean), params_bits(&faulty));
+        assert_eq!(faulty.pending_comm_faults(), 0);
+    }
+
+    #[test]
+    fn exhausted_comm_retries_fail_the_step() {
+        let mut e = Engine::new(config(), Placement::homogeneous(4, 2, GpuType::V100));
+        let policy = RetryPolicy::default();
+        e.inject_comm_faults(FaultScript::failures(policy.max_attempts));
+        let err = e.try_step().unwrap_err();
+        assert_eq!(err, CommError::RetriesExhausted { attempts: policy.max_attempts });
+        // The engine is poisoned (loader cursors advanced without an
+        // update); a real caller now recovers from the durable store.
     }
 
     #[test]

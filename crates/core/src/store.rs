@@ -5,6 +5,19 @@
 //! provides the same contract on the local filesystem: versioned, atomic
 //! (write-to-temp + rename) checkpoint files, with a keep-last-N retention
 //! policy so a crashed write never destroys the previous good checkpoint.
+//!
+//! # Torn-write detection
+//!
+//! Atomic rename protects against most interruption patterns, but shared
+//! filesystems (and machines dying between write and fsync) can still leave
+//! a truncated or bit-damaged file at the final path. Every envelope
+//! therefore carries an FNV-1a checksum of the serialized checkpoint
+//! payload; [`CheckpointStore::load`] verifies it, and
+//! [`CheckpointStore::load_latest_valid`] walks backwards past corrupt
+//! files to the newest checkpoint that verifies — the last-good fallback
+//! the fault-injection harness (`faultsim`) exercises. Because on-demand
+//! checkpoints restore bitwise (D1), resuming from an older good
+//! checkpoint replays to exactly the same parameters.
 
 use crate::checkpoint::JobCheckpoint;
 use serde::{Deserialize, Serialize};
@@ -13,12 +26,26 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// On-disk format version (bump on incompatible `JobCheckpoint` changes).
-pub const FORMAT_VERSION: u32 = 1;
+/// v2 added the payload checksum.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// FNV-1a 64-bit over the serialized checkpoint payload. Chosen for being
+/// dependency-free and deterministic; this guards against torn writes and
+/// bit rot, not adversaries.
+pub fn payload_checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 #[derive(Serialize, Deserialize)]
 struct Envelope {
     version: u32,
     job_name: String,
+    checksum: u64,
     checkpoint: JobCheckpoint,
 }
 
@@ -47,17 +74,23 @@ impl CheckpointStore {
         self.dir.join(format!("{}.step{step:012}.ckpt.json", self.job_name))
     }
 
+    fn envelope_bytes(&self, ckpt: &JobCheckpoint) -> io::Result<Vec<u8>> {
+        let payload =
+            serde_json::to_vec(ckpt).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let envelope = Envelope {
+            version: FORMAT_VERSION,
+            job_name: self.job_name.clone(),
+            checksum: payload_checksum(&payload),
+            checkpoint: ckpt.clone(),
+        };
+        serde_json::to_vec(&envelope).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
     /// Persist a checkpoint atomically; prunes old checkpoints beyond the
     /// retention count.
     pub fn save(&self, ckpt: &JobCheckpoint) -> io::Result<PathBuf> {
         let _t = obs::span("store.save");
-        let envelope = Envelope {
-            version: FORMAT_VERSION,
-            job_name: self.job_name.clone(),
-            checkpoint: ckpt.clone(),
-        };
-        let bytes = serde_json::to_vec(&envelope)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let bytes = self.envelope_bytes(ckpt)?;
         obs::gauge_set("store.snapshot_bytes", bytes.len() as f64);
         let final_path = self.path_for(ckpt.global_step);
         let tmp_path = final_path.with_extension("tmp");
@@ -65,6 +98,37 @@ impl CheckpointStore {
         fs::rename(&tmp_path, &final_path)?;
         self.prune()?;
         Ok(final_path)
+    }
+
+    /// Simulate a checkpoint write interrupted partway: only the first
+    /// `keep_frac_milli`/1000 of the serialized bytes land at the *final*
+    /// path (as if the writer died between write and fsync on a filesystem
+    /// without atomic visibility). The resulting file fails verification on
+    /// load — this is the injection point for faultsim's torn-checkpoint
+    /// events and the torn-write recovery tests.
+    pub fn save_torn(&self, ckpt: &JobCheckpoint, keep_frac_milli: u32) -> io::Result<PathBuf> {
+        let bytes = self.envelope_bytes(ckpt)?;
+        let keep = (bytes.len() as u64 * keep_frac_milli.min(999) as u64 / 1000) as usize;
+        let final_path = self.path_for(ckpt.global_step);
+        fs::write(&final_path, &bytes[..keep])?;
+        obs::counter_add("store.torn_writes_injected", 1);
+        Ok(final_path)
+    }
+
+    /// Flip one bit of the stored file for `step` (bit `bit_index` counted
+    /// over the whole file, modulo its length). Models at-rest corruption;
+    /// the checksum catches it on load.
+    pub fn inject_bitflip(&self, step: u64, bit_index: u64) -> io::Result<()> {
+        let path = self.path_for(step);
+        let mut bytes = fs::read(&path)?;
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let bit = bit_index % (bytes.len() as u64 * 8);
+        bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        fs::write(&path, &bytes)?;
+        obs::counter_add("store.bitflips_injected", 1);
+        Ok(())
     }
 
     /// List available checkpoint steps, ascending.
@@ -86,12 +150,16 @@ impl CheckpointStore {
         Ok(steps)
     }
 
-    /// Load the checkpoint at a specific step.
+    /// Load and verify the checkpoint at a specific step. Fails with
+    /// `InvalidData` on truncation, bit damage (checksum mismatch), format
+    /// or job mismatch.
     pub fn load(&self, step: u64) -> io::Result<JobCheckpoint> {
         let _t = obs::span("store.load");
         let bytes = fs::read(self.path_for(step))?;
-        let envelope: Envelope = serde_json::from_slice(&bytes)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let envelope: Envelope = serde_json::from_slice(&bytes).map_err(|e| {
+            obs::counter_add("store.corrupt_detected", 1);
+            io::Error::new(io::ErrorKind::InvalidData, format!("torn or unparsable envelope: {e}"))
+        })?;
         if envelope.version != FORMAT_VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -104,15 +172,53 @@ impl CheckpointStore {
                 format!("checkpoint belongs to job `{}`", envelope.job_name),
             ));
         }
+        // Re-serialize the parsed payload and verify against the recorded
+        // checksum. Serialization is a pure function of the value and the
+        // f32 JSON round trip is bit-exact (shims/serde), so any byte that
+        // changed the parsed value changes the re-serialization.
+        let payload = serde_json::to_vec(&envelope.checkpoint)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if payload_checksum(&payload) != envelope.checksum {
+            obs::counter_add("store.corrupt_detected", 1);
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checksum mismatch for step {step}: checkpoint is corrupt"),
+            ));
+        }
         Ok(envelope.checkpoint)
     }
 
-    /// Load the most recent checkpoint, if any.
+    /// Load the most recent checkpoint, if any. Fails if the newest file is
+    /// corrupt — use [`CheckpointStore::load_latest_valid`] for the
+    /// fall-back-past-corruption recovery path.
     pub fn load_latest(&self) -> io::Result<Option<JobCheckpoint>> {
         match self.list_steps()?.last() {
             Some(&step) => Ok(Some(self.load(step)?)),
             None => Ok(None),
         }
+    }
+
+    /// Walk checkpoints newest-first and return the first that verifies,
+    /// with the number of corrupt/torn files skipped on the way. `None`
+    /// when no valid checkpoint exists at all (cold start).
+    pub fn load_latest_valid(&self) -> io::Result<Option<(JobCheckpoint, u32)>> {
+        let mut skipped = 0u32;
+        for &step in self.list_steps()?.iter().rev() {
+            match self.load(step) {
+                Ok(ckpt) => {
+                    if skipped > 0 {
+                        obs::counter_add("store.fallback_recoveries", 1);
+                    }
+                    return Ok(Some((ckpt, skipped)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    skipped += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
     }
 
     fn prune(&self) -> io::Result<()> {
@@ -207,6 +313,59 @@ mod tests {
         let dir = tmpdir("empty");
         let store = CheckpointStore::open(&dir, "job-d").unwrap();
         assert!(store.load_latest().unwrap().is_none());
+        assert!(store.load_latest_valid().unwrap().is_none());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_is_detected() {
+        let dir = tmpdir("torn");
+        let store = CheckpointStore::open(&dir, "job-t").unwrap();
+        let mut e = engine();
+        e.step();
+        store.save_torn(&e.checkpoint(), 600).unwrap();
+        let err = store.load(1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bitflip_is_detected_by_checksum() {
+        let dir = tmpdir("bitflip");
+        let store = CheckpointStore::open(&dir, "job-f").unwrap();
+        let mut e = engine();
+        e.step();
+        store.save(&e.checkpoint()).unwrap();
+        // Flip a bit deep in the payload region (past the envelope header):
+        // either the JSON no longer parses or the checksum disagrees.
+        store.inject_bitflip(1, 4321).unwrap();
+        let err = store.load(1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_valid_falls_back_past_corruption() {
+        let dir = tmpdir("fallback");
+        let store = CheckpointStore::open(&dir, "job-g").unwrap().with_keep_last(5);
+        let mut e = engine();
+        e.step();
+        store.save(&e.checkpoint()).unwrap(); // step 1, good
+        let good = e.checkpoint();
+        e.step();
+        store.save_torn(&e.checkpoint(), 500).unwrap(); // step 2, torn
+        let (ckpt, skipped) = store.load_latest_valid().unwrap().expect("good checkpoint exists");
+        assert_eq!(skipped, 1);
+        assert_eq!(ckpt, good);
+        // Plain load_latest refuses: the newest file is damaged.
+        assert!(store.load_latest().is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_is_fnv1a() {
+        // Pin the reference vectors so the on-disk format stays stable.
+        assert_eq!(payload_checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(payload_checksum(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 }

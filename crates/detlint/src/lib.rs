@@ -54,7 +54,7 @@ impl Config {
     pub fn workspace_default() -> Self {
         Config {
             deterministic_path: strs(&[
-                "core", "comm", "tensor", "sched", "data", "esrng", "models", "optim",
+                "core", "comm", "tensor", "sched", "data", "esrng", "models", "optim", "faultsim",
             ]),
             wall_clock_exempt: strs(&["obs", "bench"]),
             float_accum_crates: strs(&["tensor", "comm", "models"]),

@@ -1,8 +1,9 @@
-//! `cargo run -p detlint [-- --json] [--root PATH]`
+//! `cargo run -p detlint [-- --json] [--quiet] [--out PATH] [--root PATH]`
 //!
 //! Lints every `crates/*/src/**/*.rs` in the workspace against the
 //! determinism rule catalog and exits non-zero on findings, so it can gate
-//! CI (scripts/check.sh) exactly like clippy does.
+//! CI (scripts/ci.sh) exactly like clippy does. `--out` writes the JSON
+//! report to a file (the CI artifact) independently of what is printed.
 
 use detlint::{analyze_workspace, report, Config};
 use std::path::PathBuf;
@@ -13,8 +14,10 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "detlint: static determinism lint for the EasyScale workspace\n\n\
-             USAGE: detlint [--json] [--root PATH]\n\n\
+             USAGE: detlint [--json] [--quiet] [--out PATH] [--root PATH]\n\n\
              --json        emit the JSON report instead of human text\n\
+             --quiet       print nothing (pair with --out for CI gating)\n\
+             --out PATH    also write the JSON report to PATH\n\
              --root PATH   workspace root (default: the enclosing workspace)\n\n\
              Exits 1 when findings exist. Suppress a site with\n\
              `// detlint::allow(rule): reason` on the line or the line above."
@@ -22,11 +25,12 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let json = args.iter().any(|a| a == "--json");
-    let root = args
-        .iter()
-        .position(|a| a == "--root")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let path_arg = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(PathBuf::from)
+    };
+    let out = path_arg("--out");
+    let root = path_arg("--root")
         .or_else(|| {
             // Under `cargo run -p detlint` the manifest dir is
             // crates/detlint; the workspace root is two levels up.
@@ -42,10 +46,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if json {
-        println!("{}", report::json(&findings));
-    } else {
-        print!("{}", report::human(&findings));
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, report::json(&findings)) {
+            eprintln!("detlint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if !quiet {
+        if json {
+            println!("{}", report::json(&findings));
+        } else {
+            print!("{}", report::human(&findings));
+        }
     }
     if findings.is_empty() {
         ExitCode::SUCCESS

@@ -12,10 +12,12 @@
 pub mod cluster;
 pub mod memory;
 pub mod perf;
+pub mod simtime;
 
 pub use cluster::{ClusterSpec, Gpu, GpuId, Server, ServerId};
 pub use memory::{MemoryModel, OomError, CUDA_CONTEXT_BYTES};
 pub use perf::PerfModel;
+pub use simtime::{SimClock, DILATION_ONE};
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,87 @@
+//! Deterministic simulated time.
+//!
+//! Fault injection needs a notion of elapsed time — stragglers dilate it,
+//! restarts and retry backoffs consume it — but nothing on the deterministic
+//! path may read a wall clock (detlint rule `no-wall-clock`). A [`SimClock`]
+//! is pure integer arithmetic: the harness *declares* how long each step
+//! took according to the [`PerfModel`](crate::PerfModel), and the clock only
+//! adds. Two runs of the same schedule therefore report identical timelines.
+
+use serde::{Deserialize, Serialize};
+
+/// Scale factor unit for time dilation: a factor of 1000 milli-units is 1×.
+pub const DILATION_ONE: u64 = 1000;
+
+/// A virtual microsecond clock, advanced explicitly by its owner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimClock {
+    now_us: u64,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        SimClock { now_us: 0 }
+    }
+
+    /// Current simulated time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Advance by `us` microseconds.
+    pub fn advance_us(&mut self, us: u64) {
+        self.now_us = self.now_us.saturating_add(us);
+    }
+
+    /// Advance by `base_us` dilated by `factor_milli` milli-units (1000 =
+    /// 1×, 3500 = 3.5× — a straggler running at 2/7 speed). Integer
+    /// arithmetic keeps the timeline bit-reproducible.
+    ///
+    /// Returns the dilated duration that was added.
+    pub fn advance_dilated(&mut self, base_us: u64, factor_milli: u64) -> u64 {
+        let dilated = base_us.saturating_mul(factor_milli) / DILATION_ONE;
+        self.advance_us(dilated);
+        dilated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_accumulates() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance_us(120);
+        c.advance_us(30);
+        assert_eq!(c.now_us(), 150);
+    }
+
+    #[test]
+    fn dilation_one_is_identity() {
+        let mut c = SimClock::new();
+        let added = c.advance_dilated(777, DILATION_ONE);
+        assert_eq!(added, 777);
+        assert_eq!(c.now_us(), 777);
+    }
+
+    #[test]
+    fn straggler_dilation_scales_time() {
+        let mut c = SimClock::new();
+        // A 4× straggler: a 100 µs step takes 400 µs of simulated time.
+        assert_eq!(c.advance_dilated(100, 4 * DILATION_ONE), 400);
+        // Fractional factors round down deterministically.
+        assert_eq!(c.advance_dilated(100, 2500), 250);
+        assert_eq!(c.now_us(), 650);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut c = SimClock::new();
+        c.advance_us(u64::MAX - 1);
+        c.advance_dilated(u64::MAX, 2000);
+        assert_eq!(c.now_us(), u64::MAX);
+    }
+}

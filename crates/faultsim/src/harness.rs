@@ -1,0 +1,498 @@
+//! The fault-injection harness: drives a real `easyscale::Engine` through a
+//! [`FaultSchedule`](crate::FaultSchedule) and reports what happened.
+//!
+//! The invariant under test is the paper's headline claim pushed through
+//! every failure mode this repo models: **for any fault schedule, the final
+//! model parameters at D2 are byte-identical to the fault-free run.** Each
+//! fault maps to the subsystem mechanism that absorbs it:
+//!
+//! | fault                | absorbed by                                      |
+//! |----------------------|--------------------------------------------------|
+//! | worker crash         | durable checkpoints + bitwise D1 restore         |
+//! | comm failure         | `comm::retry` (bitwise-identical recomputation); |
+//! |                      | exhaustion falls through to the crash path       |
+//! | torn / bit-flipped   | `core::store` checksum + last-good fallback,     |
+//! | checkpoint           | then deterministic replay                        |
+//! | preemption           | `sched::apply_preemption` + `Engine::rescale`    |
+//! | scale-out / scale-in | proposal → grant → `Engine::rescale`             |
+//! | straggler            | nothing to absorb: slowdown dilates simulated    |
+//! |                      | time only, never bits                            |
+//!
+//! Time is simulated ([`device::SimClock`]): the harness never reads a wall
+//! clock, so a chaos run is a pure function of `(config, schedule)`.
+
+use std::path::PathBuf;
+
+use device::{GpuType, PerfModel, SimClock, DILATION_ONE};
+use easyscale::{CheckpointStore, Engine, JobConfig, Placement};
+use models::Workload;
+use sched::{Companion, FreePool, InterJobScheduler, IntraJobScheduler};
+
+use crate::schedule::{FaultEvent, FaultKind, FaultSchedule};
+
+/// Harness configuration: the job under test plus its simulated cluster.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// The training job (workload, seed, nEST, determinism level).
+    pub job: JobConfig,
+    /// Global steps the run must complete.
+    pub total_steps: u64,
+    /// Durable-checkpoint cadence (every N completed global steps).
+    pub checkpoint_every: u64,
+    /// GPU type of the (homogeneous) simulated cluster.
+    pub gpu: GpuType,
+    /// GPUs the job starts on.
+    pub initial_gpus: u32,
+    /// Total GPUs of that type in the cluster (the rest start free).
+    pub cluster_gpus: u32,
+    /// Directory for durable checkpoints (unique per run).
+    pub store_dir: PathBuf,
+}
+
+impl HarnessConfig {
+    /// The chaos-matrix default: a cheap NeuMF job at full determinism
+    /// (D1+D2) on a 4×V100 cluster, starting on 2 GPUs.
+    pub fn default_chaos(store_dir: PathBuf) -> Self {
+        let job = JobConfig::new(Workload::NeuMF, 4242, 4)
+            .with_dataset_len(128)
+            .with_determinism(easyscale::Determinism::d1_d2());
+        HarnessConfig {
+            job,
+            total_steps: 10,
+            checkpoint_every: 2,
+            gpu: GpuType::V100,
+            initial_gpus: 2,
+            cluster_gpus: 4,
+            store_dir,
+        }
+    }
+}
+
+/// One injected fault and what the harness observed happen.
+#[derive(Debug, Clone)]
+pub struct InjectedEvent {
+    /// Global step the fault fired at.
+    pub step: u64,
+    /// Stable fault-kind name.
+    pub kind: &'static str,
+    /// Human-readable outcome ("recovered from step 4", "grant denied", …).
+    pub outcome: String,
+}
+
+/// Everything a chaos run reports.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Schedule seed (0 for hand-authored schedules).
+    pub seed: u64,
+    /// Global steps completed.
+    pub total_steps: u64,
+    /// Every injected fault, in firing order, with its outcome.
+    pub injected: Vec<InjectedEvent>,
+    /// Process deaths taken (crashes, comm exhaustion, checkpoint faults).
+    pub crashes: u32,
+    /// Successful recoveries (always equals `crashes` when the run ends).
+    pub recoveries: u32,
+    /// Steps re-executed because a crash rewound to an older checkpoint.
+    pub replayed_steps: u64,
+    /// Corrupt/torn checkpoint files skipped during recovery.
+    pub torn_files_skipped: u32,
+    /// Simulated run duration in microseconds.
+    pub sim_elapsed_us: u64,
+    /// GPUs held when the run finished.
+    pub final_gpus: u32,
+    /// Final flat model parameters (the invariant's subject).
+    pub final_params: Vec<f32>,
+}
+
+impl RunReport {
+    /// The final parameters as raw bit patterns — byte-identity is compared
+    /// on these, so `-0.0 == 0.0` and NaN payloads cannot hide a diff.
+    pub fn params_bits(&self) -> Vec<u32> {
+        self.final_params.iter().map(|p| p.to_bits()).collect()
+    }
+}
+
+/// The harness itself. Build with [`FaultHarness::new`], run with
+/// [`FaultHarness::run`].
+pub struct FaultHarness {
+    cfg: HarnessConfig,
+    schedule: FaultSchedule,
+    /// `None` only transiently, while the process is "dead" or rescaling.
+    engine: Option<Engine>,
+    intra: IntraJobScheduler,
+    inter: InterJobScheduler,
+    free: FreePool,
+    store: CheckpointStore,
+    clock: SimClock,
+    perf: PerfModel,
+    /// Next unfired schedule entry. Monotone: a crash rewinds the engine's
+    /// step counter but never this index, so each event fires exactly once.
+    next_event: usize,
+    /// Active slowdown: (dilation factor in milli-units, steps remaining).
+    straggler: Option<(u64, u32)>,
+    report: RunReport,
+}
+
+impl FaultHarness {
+    /// Build a harness for `cfg` and `schedule`. The checkpoint store keeps
+    /// enough history that a torn newest file always has a good predecessor.
+    pub fn new(cfg: HarnessConfig, schedule: FaultSchedule) -> Self {
+        assert!(cfg.initial_gpus >= 1 && cfg.initial_gpus <= cfg.cluster_gpus);
+        assert!(cfg.checkpoint_every >= 1);
+        let engine =
+            Engine::new(cfg.job.clone(), Self::placement(&cfg.job, cfg.gpu, cfg.initial_gpus));
+        // The companion's maxP is the job's nEST: placements must cover
+        // exactly the engine's virtual ranks.
+        let companion = Companion::for_workload(&cfg.job.workload.spec(), cfg.job.n_ests, false);
+        let mut intra = IntraJobScheduler::new(1, companion, false);
+        intra.apply_allocation(vec![(cfg.gpu, cfg.initial_gpus)]);
+        let free: FreePool = [(cfg.gpu, cfg.cluster_gpus - cfg.initial_gpus)].into_iter().collect();
+        let store = CheckpointStore::open(&cfg.store_dir, "chaos-job")
+            .expect("store dir")
+            .with_keep_last(16);
+        let report = RunReport {
+            seed: schedule.seed,
+            total_steps: cfg.total_steps,
+            injected: Vec::new(),
+            crashes: 0,
+            recoveries: 0,
+            replayed_steps: 0,
+            torn_files_skipped: 0,
+            sim_elapsed_us: 0,
+            final_gpus: cfg.initial_gpus,
+            final_params: Vec::new(),
+        };
+        FaultHarness {
+            cfg,
+            schedule,
+            engine: Some(engine),
+            intra,
+            inter: InterJobScheduler,
+            free,
+            store,
+            clock: SimClock::new(),
+            perf: PerfModel::default(),
+            next_event: 0,
+            straggler: None,
+            report,
+        }
+    }
+
+    /// A placement for `gpus` GPUs of one type. GPUs beyond nEST host no
+    /// EST and are dropped by `Placement::homogeneous`, so the cap keeps
+    /// worker count meaningful.
+    fn placement(job: &JobConfig, gpu: GpuType, gpus: u32) -> Placement {
+        Placement::homogeneous(job.n_ests, gpus.min(job.n_ests).max(1), gpu)
+    }
+
+    fn current_gpus(&self) -> u32 {
+        self.intra.current().iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Simulated duration of one global step on the current allocation: the
+    /// busiest GPU time-slices `ceil(nEST / gpus)` ESTs, dilated if a
+    /// straggler is active (D2 hardware-agnostic kernels pay the catalog's
+    /// overhead factor).
+    fn step_time_us(&self) -> u64 {
+        let spec = self.cfg.job.workload.spec();
+        let overhead =
+            if self.cfg.job.determinism.hardware_agnostic { spec.d2_overhead } else { 1.0 };
+        let mb = self.perf.minibatch_time(spec.base_v100_secs, self.cfg.gpu, overhead);
+        let gpus = self.current_gpus().max(1);
+        let ests_on_busiest = self.cfg.job.n_ests.div_ceil(gpus);
+        (self.perf.easyscale_global_step(mb, ests_on_busiest) * 1e6) as u64
+    }
+
+    fn record(&mut self, step: u64, kind: &'static str, outcome: String) {
+        obs::counter_add("faultsim.injected_total", 1);
+        obs::counter_add(&format!("faultsim.injected.{kind}"), 1);
+        self.report.injected.push(InjectedEvent { step, kind, outcome });
+    }
+
+    /// Kill the process and recover from the newest *valid* durable
+    /// checkpoint (walking past torn/corrupt files), on the current
+    /// allocation. Replayed steps are counted; bitwise D1 restore makes the
+    /// replay converge to exactly the lost bits.
+    fn crash_and_recover(&mut self, why: &str) -> String {
+        let step_at_death = self.engine.as_ref().map(|e| e.global_step()).unwrap_or(0);
+        self.engine = None; // the process is dead; all in-memory state is gone
+        self.report.crashes += 1;
+        obs::counter_add("faultsim.crashes", 1);
+
+        let gpus = self.current_gpus();
+        let placement = Self::placement(&self.cfg.job, self.cfg.gpu, gpus);
+        let (engine, resumed_from, skipped) =
+            match self.store.load_latest_valid().expect("store io") {
+                Some((ckpt, skipped)) => {
+                    let step = ckpt.global_step;
+                    (Engine::from_checkpoint(self.cfg.job.clone(), placement, &ckpt), step, skipped)
+                }
+                // No durable state at all: cold restart, full replay.
+                None => (Engine::new(self.cfg.job.clone(), placement), 0, 0),
+            };
+        self.report.torn_files_skipped += skipped;
+        self.report.replayed_steps += step_at_death.saturating_sub(resumed_from);
+        self.report.recoveries += 1;
+        obs::counter_add("faultsim.recoveries", 1);
+        obs::counter_add("faultsim.replayed_steps", step_at_death.saturating_sub(resumed_from));
+
+        // Restart latency: data-worker respawn dominates (§5.1.2).
+        let spec = self.cfg.job.workload.spec();
+        let restart_secs =
+            self.perf.first_minibatch_latency(spec.base_v100_secs, self.cfg.job.data_workers);
+        self.clock.advance_us((restart_secs * 1e6) as u64);
+
+        self.engine = Some(engine);
+        format!("{why}: recovered from checkpoint step {resumed_from} (skipped {skipped} corrupt)")
+    }
+
+    /// Rescale the live engine onto the scheduler's current allocation
+    /// (checkpoint + restore under the hood — Figure 5's path).
+    fn rescale_to_current(&mut self) {
+        let gpus = self.current_gpus();
+        let placement = Self::placement(&self.cfg.job, self.cfg.gpu, gpus);
+        let engine = self.engine.take().expect("live engine");
+        self.engine = Some(engine.rescale(placement));
+        obs::counter_add("faultsim.rescales", 1);
+        // Reconfiguration also pays the restart latency.
+        let spec = self.cfg.job.workload.spec();
+        let restart_secs =
+            self.perf.first_minibatch_latency(spec.base_v100_secs, self.cfg.job.data_workers);
+        self.clock.advance_us((restart_secs * 1e6) as u64);
+    }
+
+    fn apply_event(&mut self, ev: FaultEvent) {
+        let step = ev.step;
+        let kind = ev.kind.name();
+        let outcome = match ev.kind {
+            FaultKind::WorkerCrash => self.crash_and_recover("crash"),
+            FaultKind::Straggler { worker, factor_milli, steps } => {
+                self.straggler = Some((factor_milli.max(DILATION_ONE), steps));
+                format!("worker {worker} dilated {factor_milli}/1000 for {steps} steps")
+            }
+            FaultKind::Preemption { gpus } => {
+                let before = self.current_gpus();
+                let alloc = self.intra.apply_preemption(self.cfg.gpu, gpus);
+                let after: u32 = alloc.iter().map(|&(_, n)| n).sum();
+                // Revoked GPUs go to the reclaimer (serving side), not back
+                // to the elastic free pool.
+                self.rescale_to_current();
+                format!("revoked {gpus}: {before} → {after} GPUs")
+            }
+            FaultKind::ScaleOut { gpus } => {
+                let before = self.current_gpus();
+                let proposals = self.intra.proposals(&self.free, gpus as usize);
+                let decisions = self.inter.decide(proposals, &mut self.free);
+                match decisions.iter().find(|d| d.job == self.intra.job()) {
+                    Some(d) => {
+                        let mut alloc = self.intra.current().clone();
+                        match alloc.iter_mut().find(|(t, _)| *t == d.gpu) {
+                            Some(slot) => slot.1 += d.count,
+                            None => alloc.push((d.gpu, d.count)),
+                        }
+                        let granted = d.count;
+                        self.intra.apply_allocation(alloc);
+                        self.rescale_to_current();
+                        format!("granted {granted}: {before} → {} GPUs", self.current_gpus())
+                    }
+                    None => "grant denied (no beneficial proposal or no free GPUs)".to_string(),
+                }
+            }
+            FaultKind::ScaleIn { gpus } => {
+                let before = self.current_gpus();
+                let after = before.saturating_sub(gpus).max(1);
+                if after == before {
+                    "already at one GPU; nothing to release".to_string()
+                } else {
+                    *self.free.entry(self.cfg.gpu).or_insert(0) += before - after;
+                    self.intra.apply_allocation(vec![(self.cfg.gpu, after)]);
+                    self.rescale_to_current();
+                    format!("released {}: {before} → {after} GPUs", before - after)
+                }
+            }
+            FaultKind::CommFailure { failures } => {
+                let engine = self.engine.as_mut().expect("live engine");
+                engine.inject_comm_faults(comm::FaultScript::failures(failures));
+                format!("armed {failures} transient allreduce failures")
+            }
+            FaultKind::TornCheckpoint { keep_frac_milli } => {
+                // The checkpoint write is interrupted partway and the
+                // process dies with it: the newest file on disk is torn.
+                let engine = self.engine.as_ref().expect("live engine");
+                self.store.save_torn(&engine.checkpoint(), keep_frac_milli).expect("store io");
+                self.crash_and_recover("torn checkpoint write")
+            }
+            FaultKind::BitFlippedCheckpoint { bit_index } => {
+                if let Some(&newest) = self.store.list_steps().expect("store io").last() {
+                    self.store.inject_bitflip(newest, bit_index).expect("store io");
+                }
+                self.crash_and_recover("bit-flipped checkpoint")
+            }
+        };
+        self.record(step, kind, outcome);
+    }
+
+    /// Drive the run to completion and return the report.
+    pub fn run(mut self) -> RunReport {
+        // Step-0 durable checkpoint: even a crash on the very first step
+        // has something to recover from.
+        self.store
+            .save(&self.engine.as_ref().expect("live engine").checkpoint())
+            .expect("store io");
+
+        loop {
+            let step = self.engine.as_ref().expect("live engine").global_step();
+            if step >= self.cfg.total_steps {
+                break;
+            }
+            // Fire every event due at this step. The index only advances,
+            // so post-crash replays never re-fire an event.
+            while self.next_event < self.schedule.events.len()
+                && self.schedule.events[self.next_event].step <= step
+            {
+                let ev = self.schedule.events[self.next_event].clone();
+                self.next_event += 1;
+                self.apply_event(ev);
+            }
+            // A fired event may have rewound the step counter (crash) —
+            // re-read before stepping.
+            let engine = self.engine.as_mut().expect("live engine");
+            let comm_pending = engine.pending_comm_faults();
+            match engine.try_step() {
+                Ok(_) => {
+                    // Armed comm faults below the retry budget were absorbed
+                    // in-step; account their backoff in simulated time.
+                    if comm_pending > 0 {
+                        let policy = comm::RetryPolicy::default();
+                        for retry in 1..=comm_pending.min(policy.max_attempts - 1) {
+                            self.clock.advance_us(policy.backoff_us(retry));
+                        }
+                        obs::counter_add("faultsim.comm_faults_absorbed", 1);
+                    }
+                    let base = self.step_time_us();
+                    match self.straggler {
+                        Some((factor, left)) => {
+                            self.clock.advance_dilated(base, factor);
+                            self.straggler = (left > 1).then_some((factor, left - 1));
+                        }
+                        None => {
+                            self.clock.advance_us(base);
+                        }
+                    }
+                    let done = self.engine.as_ref().expect("live engine").global_step();
+                    if done.is_multiple_of(self.cfg.checkpoint_every) {
+                        let ckpt = self.engine.as_ref().expect("live engine").checkpoint();
+                        self.store.save(&ckpt).expect("store io");
+                    }
+                }
+                Err(e) => {
+                    // Retries exhausted: the engine is poisoned (paper
+                    // §2.1's worker-death case). Take the crash path.
+                    let outcome = self.crash_and_recover("comm retries exhausted");
+                    self.record(step, "comm_exhausted", format!("{e}; {outcome}"));
+                    obs::counter_add("faultsim.comm_exhausted", 1);
+                }
+            }
+        }
+
+        let engine = self.engine.take().expect("live engine");
+        self.report.final_gpus = self.current_gpus();
+        self.report.sim_elapsed_us = self.clock.now_us();
+        self.report.final_params = engine.flat_params();
+        obs::gauge_set("faultsim.sim_elapsed_us", self.report.sim_elapsed_us as f64);
+        self.report
+    }
+}
+
+/// The fault-free reference: same job, same initial placement, no store, no
+/// faults. Its final parameters are the byte-identity target every chaos
+/// run is compared against.
+pub fn run_fault_free(cfg: &HarnessConfig) -> Vec<f32> {
+    let mut engine = Engine::new(
+        cfg.job.clone(),
+        Placement::homogeneous(cfg.job.n_ests, cfg.initial_gpus.min(cfg.job.n_ests), cfg.gpu),
+    );
+    engine.run(cfg.total_steps);
+    engine.flat_params()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("easyscale-faultsim-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fault_free_schedule_matches_reference() {
+        let dir = tmp("nofault");
+        let cfg = HarnessConfig::default_chaos(dir.clone());
+        let reference = run_fault_free(&cfg);
+        let report = FaultHarness::new(cfg, FaultSchedule::fault_free()).run();
+        assert_eq!(report.final_params, reference);
+        assert_eq!(report.crashes, 0);
+        assert_eq!(report.replayed_steps, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_replays_and_converges() {
+        let dir = tmp("crash");
+        let cfg = HarnessConfig::default_chaos(dir.clone());
+        let reference = run_fault_free(&cfg);
+        let schedule =
+            FaultSchedule::from_events(vec![FaultEvent { step: 3, kind: FaultKind::WorkerCrash }]);
+        let report = FaultHarness::new(cfg, schedule).run();
+        assert_eq!(report.crashes, 1);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.replayed_steps, 1, "crash at step 3 rewinds to the step-2 checkpoint");
+        assert_eq!(report.final_params, reference);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn straggler_dilates_time_but_not_bits() {
+        let dir_a = tmp("straggler-a");
+        let dir_b = tmp("straggler-b");
+        let cfg_a = HarnessConfig::default_chaos(dir_a.clone());
+        let cfg_b = HarnessConfig::default_chaos(dir_b.clone());
+        let clean = FaultHarness::new(cfg_a, FaultSchedule::fault_free()).run();
+        let slow = FaultHarness::new(
+            cfg_b,
+            FaultSchedule::from_events(vec![FaultEvent {
+                step: 1,
+                kind: FaultKind::Straggler { worker: 0, factor_milli: 3000, steps: 4 },
+            }]),
+        )
+        .run();
+        assert_eq!(clean.params_bits(), slow.params_bits());
+        assert!(
+            slow.sim_elapsed_us > clean.sim_elapsed_us,
+            "dilation must cost simulated time: {} vs {}",
+            slow.sim_elapsed_us,
+            clean.sim_elapsed_us
+        );
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn scale_out_is_granted_when_gpus_are_free() {
+        let dir = tmp("scaleout");
+        let cfg = HarnessConfig::default_chaos(dir.clone());
+        let reference = run_fault_free(&cfg);
+        let schedule = FaultSchedule::from_events(vec![FaultEvent {
+            step: 2,
+            kind: FaultKind::ScaleOut { gpus: 2 },
+        }]);
+        let report = FaultHarness::new(cfg, schedule).run();
+        assert!(report.final_gpus > 2, "2 free GPUs existed; the grant must land");
+        assert_eq!(report.final_params, reference, "scale-out is bitwise invisible");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

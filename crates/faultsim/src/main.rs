@@ -1,0 +1,145 @@
+//! faultsim CLI: run one chaos schedule against the fault-free reference
+//! and report whether the byte-identity invariant held.
+//!
+//! ```text
+//! faultsim [--seed N] [--steps N] [--events N]
+//!          [--schedule PATH] [--emit-schedule PATH] [--json]
+//! ```
+//!
+//! `--schedule` replays a JSON schedule (e.g. a CI artifact) instead of
+//! generating one from the seed; `--emit-schedule` writes the schedule used
+//! so a failure is replayable. Exit status 1 means the invariant broke.
+
+use faultsim::{run_fault_free, FaultHarness, FaultSchedule, HarnessConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Summary {
+    seed: u64,
+    steps: u64,
+    events: usize,
+    kinds: Vec<String>,
+    crashes: u32,
+    recoveries: u32,
+    replayed_steps: u64,
+    torn_files_skipped: u32,
+    sim_elapsed_us: u64,
+    final_gpus: u32,
+    bitwise_identical: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: faultsim [--seed N] [--steps N] [--events N] \
+         [--schedule PATH] [--emit-schedule PATH] [--json]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut seed: u64 = 4242;
+    let mut steps: u64 = 10;
+    let mut events: usize = 5;
+    let mut schedule_path: Option<String> = None;
+    let mut emit_path: Option<String> = None;
+    let mut json = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--seed" => seed = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--steps" => steps = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--events" => events = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--schedule" => schedule_path = Some(take(&mut i)),
+            "--emit-schedule" => emit_path = Some(take(&mut i)),
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+
+    let schedule = match &schedule_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read schedule {path}: {e}"));
+            FaultSchedule::from_json(&text)
+                .unwrap_or_else(|e| panic!("cannot parse schedule {path}: {e:?}"))
+        }
+        None => FaultSchedule::generate(seed, steps, events),
+    };
+    if let Some(path) = &emit_path {
+        std::fs::write(path, schedule.to_json())
+            .unwrap_or_else(|e| panic!("cannot write schedule {path}: {e}"));
+    }
+
+    // Unique per-invocation store dir: seed + pid (no wall clock).
+    let dir = std::env::temp_dir().join(format!(
+        "easyscale-faultsim-cli-{}-{}",
+        schedule.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cfg = HarnessConfig::default_chaos(dir.clone());
+    cfg.total_steps = steps;
+
+    let reference = run_fault_free(&cfg);
+    let report = FaultHarness::new(cfg, schedule.clone()).run();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let identical = report.final_params == reference;
+    let summary = Summary {
+        seed: schedule.seed,
+        steps,
+        events: schedule.events.len(),
+        kinds: schedule.kinds().into_iter().map(str::to_string).collect(),
+        crashes: report.crashes,
+        recoveries: report.recoveries,
+        replayed_steps: report.replayed_steps,
+        torn_files_skipped: report.torn_files_skipped,
+        sim_elapsed_us: report.sim_elapsed_us,
+        final_gpus: report.final_gpus,
+        bitwise_identical: identical,
+    };
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&summary).expect("summary json"));
+    } else {
+        println!(
+            "faultsim seed={} steps={} events={} kinds=[{}]",
+            summary.seed,
+            summary.steps,
+            summary.events,
+            summary.kinds.join(", ")
+        );
+        for ev in &report.injected {
+            println!("  step {:>3}  {:<18} {}", ev.step, ev.kind, ev.outcome);
+        }
+        println!(
+            "  crashes={} recoveries={} replayed={} torn_skipped={} sim_elapsed={}us final_gpus={}",
+            summary.crashes,
+            summary.recoveries,
+            summary.replayed_steps,
+            summary.torn_files_skipped,
+            summary.sim_elapsed_us,
+            summary.final_gpus
+        );
+        println!(
+            "  invariant: final params {} the fault-free run",
+            if identical { "BYTE-IDENTICAL to" } else { "DIVERGED from" }
+        );
+    }
+
+    if !identical {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Fault schedules: what goes wrong, and when.
+//!
+//! A [`FaultSchedule`] is a step-indexed list of [`FaultEvent`]s, either
+//! generated from a seed (one `esrng` Philox stream per schedule, so seed →
+//! schedule is a pure function) or loaded from JSON (for replaying a
+//! schedule from a CI artifact). Events fire at global-step boundaries —
+//! the only points where EasyScale's elasticity machinery acts — and each
+//! event fires exactly once even when a crash rewinds the step counter.
+
+use esrng::{EsRng, StreamKey, StreamKind};
+use serde::{Deserialize, Serialize};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The training process dies; work since the last durable checkpoint is
+    /// lost and replayed after recovery.
+    WorkerCrash,
+    /// One physical worker runs dilated (simulated-time slowdown; bits are
+    /// unaffected, the timeline is).
+    Straggler {
+        /// Index of the slowed physical worker (modulo the live count).
+        worker: u32,
+        /// Dilation in milli-units (3000 = 3× slower).
+        factor_milli: u64,
+        /// Global steps the slowdown lasts.
+        steps: u32,
+    },
+    /// The cluster revokes GPUs with no negotiation (spot reclaim). The
+    /// scheduler degrades the allocation and the job rescales in place.
+    Preemption {
+        /// GPUs revoked.
+        gpus: u32,
+    },
+    /// The job wins a scale-out grant (if free GPUs and headroom exist).
+    ScaleOut {
+        /// GPUs requested.
+        gpus: u32,
+    },
+    /// The job releases GPUs back to the pool.
+    ScaleIn {
+        /// GPUs released (never below one survivor).
+        gpus: u32,
+    },
+    /// Transient all-reduce failures. Fewer than the retry budget: retried
+    /// and bitwise-invisible. At least the budget: the step fails and the
+    /// job takes the crash-recovery path.
+    CommFailure {
+        /// Consecutive failing attempts injected.
+        failures: u32,
+    },
+    /// A checkpoint write is interrupted partway, leaving a torn file as
+    /// the newest checkpoint; the process then dies. Recovery must detect
+    /// the tear (checksum) and fall back to the last good checkpoint.
+    TornCheckpoint {
+        /// Fraction of bytes that landed, in milli-units (0..=999).
+        keep_frac_milli: u32,
+    },
+    /// The newest durable checkpoint suffers at-rest bit damage; the
+    /// process then dies. Same detection + fallback path as a torn write.
+    BitFlippedCheckpoint {
+        /// Which bit of the file to flip (modulo file size).
+        bit_index: u64,
+    },
+}
+
+impl FaultKind {
+    /// Stable short name (metric labels, reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::WorkerCrash => "crash",
+            FaultKind::Straggler { .. } => "straggler",
+            FaultKind::Preemption { .. } => "preemption",
+            FaultKind::ScaleOut { .. } => "scale_out",
+            FaultKind::ScaleIn { .. } => "scale_in",
+            FaultKind::CommFailure { .. } => "comm_failure",
+            FaultKind::TornCheckpoint { .. } => "torn_checkpoint",
+            FaultKind::BitFlippedCheckpoint { .. } => "bitflip_checkpoint",
+        }
+    }
+}
+
+/// One fault at one global-step boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Global step the fault fires before (first time the step is reached).
+    pub step: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A complete, replayable fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Seed the schedule was generated from (0 for hand-authored ones).
+    pub seed: u64,
+    /// Events, sorted by step (stable order within a step).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule — the fault-free reference run.
+    pub fn fault_free() -> Self {
+        FaultSchedule { seed: 0, events: Vec::new() }
+    }
+
+    /// A hand-authored schedule.
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.step);
+        FaultSchedule { seed: 0, events }
+    }
+
+    /// Generate `n_events` faults over `total_steps` steps from a seed.
+    /// Pure function of its arguments: the generator draws from one
+    /// dedicated Philox stream, so the same seed always yields the same
+    /// schedule — the property that makes a chaos-matrix failure
+    /// reproducible from its seed alone.
+    pub fn generate(seed: u64, total_steps: u64, n_events: usize) -> Self {
+        assert!(total_steps >= 2, "need at least two steps to schedule faults");
+        let mut rng = EsRng::for_stream(seed, StreamKey::global(StreamKind::User));
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            // Fire between step 1 and the last step so every schedule has a
+            // fault-free first step (a checkpointable prefix) — mirrors real
+            // clusters, where jobs at least start.
+            let step = 1 + rng.next_below((total_steps - 1) as u32) as u64;
+            let kind = match rng.next_below(8) {
+                0 => FaultKind::WorkerCrash,
+                1 => FaultKind::Straggler {
+                    worker: rng.next_below(8),
+                    factor_milli: 1500 + rng.next_below(4500) as u64,
+                    steps: 1 + rng.next_below(3),
+                },
+                2 => FaultKind::Preemption { gpus: 1 + rng.next_below(3) },
+                3 => FaultKind::ScaleOut { gpus: 1 + rng.next_below(3) },
+                4 => FaultKind::ScaleIn { gpus: 1 + rng.next_below(2) },
+                // Mostly transient (1..=3 < default budget 4), sometimes
+                // fatal (4..=5) to exercise the crash path through comm.
+                5 => FaultKind::CommFailure { failures: 1 + rng.next_below(5) },
+                6 => FaultKind::TornCheckpoint { keep_frac_milli: 100 + rng.next_below(800) },
+                _ => FaultKind::BitFlippedCheckpoint { bit_index: rng.next_u64() % 100_000 },
+            };
+            events.push(FaultEvent { step, kind });
+        }
+        events.sort_by_key(|e| e.step);
+        FaultSchedule { seed, events }
+    }
+
+    /// Serialize to pretty JSON (the CI artifact format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("schedule serializes")
+    }
+
+    /// Parse a schedule back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// The set of distinct fault kind names in this schedule.
+    pub fn kinds(&self) -> std::collections::BTreeSet<&'static str> {
+        self.events.iter().map(|e| e.kind.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed() {
+        let a = FaultSchedule::generate(42, 10, 6);
+        let b = FaultSchedule::generate(42, 10, 6);
+        assert_eq!(a, b);
+        let c = FaultSchedule::generate(43, 10, 6);
+        assert_ne!(a, c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn events_are_sorted_and_in_range() {
+        let s = FaultSchedule::generate(7, 12, 10);
+        assert_eq!(s.events.len(), 10);
+        assert!(s.events.windows(2).all(|w| w[0].step <= w[1].step));
+        assert!(s.events.iter().all(|e| e.step >= 1 && e.step < 12));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_variant() {
+        let s = FaultSchedule::from_events(vec![
+            FaultEvent { step: 1, kind: FaultKind::WorkerCrash },
+            FaultEvent {
+                step: 2,
+                kind: FaultKind::Straggler { worker: 1, factor_milli: 3000, steps: 2 },
+            },
+            FaultEvent { step: 3, kind: FaultKind::Preemption { gpus: 2 } },
+            FaultEvent { step: 4, kind: FaultKind::ScaleOut { gpus: 2 } },
+            FaultEvent { step: 5, kind: FaultKind::ScaleIn { gpus: 1 } },
+            FaultEvent { step: 6, kind: FaultKind::CommFailure { failures: 2 } },
+            FaultEvent { step: 7, kind: FaultKind::TornCheckpoint { keep_frac_milli: 500 } },
+            FaultEvent { step: 8, kind: FaultKind::BitFlippedCheckpoint { bit_index: 99 } },
+        ]);
+        let back = FaultSchedule::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.kinds().len(), 8);
+    }
+
+    #[test]
+    fn from_events_sorts_by_step() {
+        let s = FaultSchedule::from_events(vec![
+            FaultEvent { step: 5, kind: FaultKind::WorkerCrash },
+            FaultEvent { step: 2, kind: FaultKind::WorkerCrash },
+        ]);
+        assert_eq!(s.events[0].step, 2);
+    }
+}

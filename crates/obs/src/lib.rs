@@ -146,6 +146,20 @@ pub fn snapshot() -> Vec<MetricSnapshot> {
     st.metrics.iter().map(|(name, m)| m.snapshot(name)).collect()
 }
 
+/// Current value of a named counter, if it exists.
+///
+/// A *report-side* read: tests and harness reports (e.g. faultsim's
+/// injected/recovered event accounting) verify instrumentation through it.
+/// Code on the deterministic path must never call this — metrics stay
+/// observation-only (see DESIGN.md, "Metrics stay off the merge path").
+pub fn counter_value(name: &str) -> Option<u64> {
+    let st = REGISTRY.state.lock();
+    match st.metrics.get(name)?.snapshot(name) {
+        MetricSnapshot::Counter { value, .. } => Some(value),
+        _ => None,
+    }
+}
+
 /// Export every metric as one JSON line each to the installed sink, then
 /// flush the sink. A no-op when disabled.
 pub fn flush() {
@@ -217,6 +231,20 @@ mod tests {
         assert!(lines[0].contains("\"metric\":\"t.calls\"") && lines[0].contains("\"value\":5"));
         assert!(lines[1].contains("\"t.lat_us\"") && lines[1].contains("\"count\":2"));
         assert!(lines[2].contains("\"t.util\"") && lines[2].contains("0.75"));
+    }
+
+    #[test]
+    fn counter_value_reads_back_counters_only() {
+        let _g = TEST_GUARD.lock();
+        let sink = MemorySink::shared();
+        enable(Box::new(sink));
+        reset();
+        counter_add("t.events", 4);
+        gauge_set("t.level", 2.0);
+        assert_eq!(counter_value("t.events"), Some(4));
+        assert_eq!(counter_value("t.level"), None, "gauges are not counters");
+        assert_eq!(counter_value("t.missing"), None);
+        disable();
     }
 
     #[test]

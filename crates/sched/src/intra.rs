@@ -206,6 +206,38 @@ impl IntraJobScheduler {
         }
     }
 
+    /// Graceful degradation under preemption: the cluster revoked `count`
+    /// GPUs of `ty` from this job with no negotiation (spot reclaim,
+    /// serving-side co-location surge). The allocation shrinks in place —
+    /// but never below one GPU while the job holds any, so an EasyScale job
+    /// degrades to time-slicing all its ESTs on the survivor instead of
+    /// failing like gang-scheduled Sync-SGD (paper §2.1). Returns the new
+    /// allocation; the caller reschedules ESTs onto it (Role 1).
+    pub fn apply_preemption(&mut self, ty: GpuType, count: u32) -> Alloc {
+        let had_any = self.current.iter().any(|&(_, n)| n > 0);
+        let mut alloc = std::mem::take(&mut self.current);
+        if let Some(slot) = alloc.iter_mut().find(|(t, _)| *t == ty) {
+            slot.1 = slot.1.saturating_sub(count);
+        }
+        alloc.retain(|&(_, n)| n > 0);
+        if had_any && alloc.is_empty() {
+            // Degradation floor: keep one survivor GPU of the revoked type
+            // (the reclaimer takes count-1; a full park would need the
+            // inter-job scheduler to re-admit the job later).
+            alloc.push((ty, 1));
+        }
+        obs::counter_add("sched.preemptions_total", 1);
+        obs::gauge_set(
+            "sched.gpus_after_preemption",
+            alloc.iter().map(|&(_, n)| n).sum::<u32>() as f64,
+        );
+        // Throughput memory from before the preemption is meaningless for
+        // the fallback comparison; drop it.
+        self.previous = None;
+        self.current = alloc.clone();
+        alloc
+    }
+
     /// Role 3 fallback: after observing `measured` throughput on the current
     /// (recently grown) allocation, fall back to the previous allocation if
     /// the new one is actually slower. Returns the released allocation diff
@@ -306,6 +338,44 @@ mod tests {
         assert_eq!(released, vec![(GpuType::T4, 2)]);
         assert_eq!(s.current(), &vec![(GpuType::V100, 2)]);
         // No previous left: further fallback is a no-op.
+        assert!(s.fallback_if_slower(0.0).is_none());
+    }
+
+    #[test]
+    fn preemption_shrinks_in_place() {
+        let mut s = IntraJobScheduler::new(1, companion(8), true);
+        s.apply_allocation(vec![(GpuType::V100, 4), (GpuType::T4, 2)]);
+        let alloc = s.apply_preemption(GpuType::V100, 3);
+        assert_eq!(alloc, vec![(GpuType::V100, 1), (GpuType::T4, 2)]);
+        assert_eq!(s.current(), &alloc);
+    }
+
+    #[test]
+    fn preemption_never_drops_below_one_gpu() {
+        let mut s = IntraJobScheduler::new(1, companion(8), false);
+        s.apply_allocation(vec![(GpuType::P100, 2)]);
+        let alloc = s.apply_preemption(GpuType::P100, 5);
+        assert_eq!(alloc, vec![(GpuType::P100, 1)], "degrades to a single survivor, never parks");
+        // Repeated preemption of the survivor still leaves one.
+        let alloc = s.apply_preemption(GpuType::P100, 1);
+        assert_eq!(alloc, vec![(GpuType::P100, 1)]);
+    }
+
+    #[test]
+    fn preemption_of_absent_type_is_a_noop_shrink() {
+        let mut s = IntraJobScheduler::new(1, companion(8), true);
+        s.apply_allocation(vec![(GpuType::V100, 2)]);
+        let alloc = s.apply_preemption(GpuType::T4, 4);
+        assert_eq!(alloc, vec![(GpuType::V100, 2)]);
+    }
+
+    #[test]
+    fn preemption_clears_fallback_memory() {
+        let mut s = IntraJobScheduler::new(1, companion(8), true);
+        s.apply_allocation(vec![(GpuType::V100, 2)]);
+        s.apply_allocation(vec![(GpuType::V100, 4)]);
+        s.apply_preemption(GpuType::V100, 2);
+        // No stale "previous" to fall back to after a forced shrink.
         assert!(s.fallback_if_slower(0.0).is_none());
     }
 

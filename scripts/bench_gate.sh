@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Bench regression gate: run the fixed bench_gate suite, record this PR's
+# medians to BENCH_PR3.json (committed at the repo root), and fail if any
+# bench's median regressed more than the threshold against the newest prior
+# BENCH_*.json. With no prior baseline the gate records and passes.
+#
+#   scripts/bench_gate.sh [OUT_JSON]            (default: BENCH_PR3.json)
+#   BENCH_GATE_THRESHOLD=1.15                   (ratio; 1.15 = +15%)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR3.json}"
+THRESHOLD="${BENCH_GATE_THRESHOLD:-1.15}"
+
+# Newest prior baseline: version-sorted BENCH_*.json, excluding our own
+# output file.
+BASELINE="$(ls BENCH_*.json 2>/dev/null | grep -vx "$(basename "$OUT")" | sort -V | tail -1 || true)"
+
+cargo build --release --offline -q -p bench --bin bench_gate
+
+if [ -n "$BASELINE" ]; then
+  echo "bench_gate: gating against baseline $BASELINE (threshold ${THRESHOLD}x)"
+  ./target/release/bench_gate --out "$OUT" --baseline "$BASELINE" --threshold "$THRESHOLD"
+else
+  echo "bench_gate: no prior BENCH_*.json baseline; recording $OUT only"
+  ./target/release/bench_gate --out "$OUT"
+fi

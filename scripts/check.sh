@@ -1,20 +1,6 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, and the tier-1 verify from ROADMAP.md.
-# Everything runs offline (see README "Offline builds").
+# Repo gate: thin wrapper over the quick stages of the CI pipeline
+# (fmt → clippy → detlint → build → test). Full pipeline, including the
+# faultsim chaos matrix and the bench regression gate: scripts/ci.sh.
 set -euo pipefail
-cd "$(dirname "$0")/.."
-
-echo "==> cargo fmt --check"
-cargo fmt --all --check
-
-echo "==> cargo clippy (workspace, deny warnings)"
-cargo clippy --workspace --all-targets --offline -- -D warnings
-
-echo "==> detlint (determinism contract, see docs/DETLINT.md)"
-cargo run --offline -q -p detlint
-
-echo "==> tier-1 verify: cargo build --release && cargo test -q"
-cargo build --release
-cargo test -q
-
-echo "OK: fmt, clippy, detlint, and tier-1 all green"
+exec "$(dirname "$0")/ci.sh" --quick

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Staged CI pipeline (see docs/CI.md). Runs entirely offline.
+#
+#   scripts/ci.sh           full pipeline: fmt → clippy → detlint → build →
+#                           test → faultsim chaos matrix → bench gate
+#   scripts/ci.sh --quick   quick stages only (what scripts/check.sh runs):
+#                           fmt → clippy → detlint → build → test
+#
+# Per-stage wall-clock timings are written to results/ci_report.json whether
+# the pipeline passes or fails; the script exits non-zero on the first
+# failing stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=full
+if [ "${1:-}" = "--quick" ]; then
+  MODE=quick
+elif [ -n "${1:-}" ]; then
+  echo "usage: scripts/ci.sh [--quick]" >&2
+  exit 2
+fi
+
+REPORT=results/ci_report.json
+mkdir -p results
+STAGES=""
+STATUS=ok
+
+write_report() {
+  printf '{"pipeline":"easyscale-ci","mode":"%s","stages":[%s],"status":"%s"}\n' \
+    "$MODE" "${STAGES%,}" "$STATUS" >"$REPORT"
+}
+
+stage() {
+  local name="$1"
+  shift
+  echo
+  echo "==> $name"
+  local t0 t1 secs rc=0
+  t0=$(date +%s%N)
+  "$@" || rc=$?
+  t1=$(date +%s%N)
+  secs=$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", (b-a)/1e9}')
+  if [ "$rc" -eq 0 ]; then
+    STAGES+="$(printf '{"stage":"%s","status":"ok","seconds":%s}' "$name" "$secs"),"
+  else
+    STAGES+="$(printf '{"stage":"%s","status":"fail","seconds":%s}' "$name" "$secs"),"
+    STATUS=fail
+    write_report
+    echo
+    echo "CI: stage '$name' failed (rc=$rc); report in $REPORT" >&2
+    exit "$rc"
+  fi
+}
+
+stage fmt        cargo fmt --all --check
+stage clippy     cargo clippy --workspace --all-targets --offline -- -D warnings
+stage detlint    cargo run --offline -q -p detlint -- --quiet --out results/detlint_report.json
+stage build      cargo build --release --offline
+stage test       cargo test -q --offline --workspace --exclude faultsim
+
+if [ "$MODE" = full ]; then
+  # The chaos matrix: every fault schedule must converge byte-identically
+  # (crates/faultsim/tests/chaos_matrix.rs).
+  stage chaos      cargo test -q --offline -p faultsim
+  stage bench_gate scripts/bench_gate.sh
+fi
+
+write_report
+echo
+echo "CI ($MODE): all stages green; report in $REPORT"

@@ -12,11 +12,11 @@ BINS=(
   abl_bucket_cap abl_overlap abl_est_balance
 )
 
-cargo build --release -p bench
+cargo build --release --offline -p bench
 for b in "${BINS[@]}"; do
   echo
   echo "################ $b ################"
-  cargo run --release -q -p bench --bin "$b"
+  cargo run --release --offline -q -p bench --bin "$b"
 done
 echo
 echo "All experiments regenerated. JSON in results/."

@@ -105,6 +105,67 @@ fn older_checkpoints_are_also_valid_recovery_points() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A torn checkpoint write (truncated file at the final path) is detected
+/// on load, and recovery falls back to the last good checkpoint — then
+/// replays to exactly the bits the lost steps had produced.
+#[test]
+fn torn_checkpoint_falls_back_and_replays_exactly() {
+    let dir = tmpdir("torn");
+    let store = CheckpointStore::open(&dir, "job").unwrap().with_keep_last(5);
+    let mut e = Engine::new(cfg(), Placement::homogeneous(4, 2, GpuType::V100));
+    e.run(3);
+    store.save(&e.checkpoint()).unwrap(); // step 3: good
+    e.run(2);
+    let after_5 = e.flat_params();
+    // 💥 the step-5 checkpoint write is interrupted partway, then the
+    // process dies: the newest file on disk is torn.
+    store.save_torn(&e.checkpoint(), 500).unwrap();
+    drop(e);
+
+    // The newest file must not load; the fallback walk must land on step 3.
+    assert!(store.load(5).is_err(), "torn file must fail verification");
+    let (ckpt, skipped) = store.load_latest_valid().unwrap().expect("good checkpoint exists");
+    assert_eq!(skipped, 1);
+    assert_eq!(ckpt.global_step, 3);
+    let mut recovered =
+        Engine::from_checkpoint(cfg(), Placement::homogeneous(4, 1, GpuType::V100), &ckpt);
+    recovered.run(2);
+    assert_eq!(recovered.flat_params(), after_5, "replay past the torn file is bitwise exact");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// At-rest bit damage in the newest checkpoint is caught by the payload
+/// checksum, and resuming from the undamaged predecessor is bitwise
+/// identical to never having crashed.
+#[test]
+fn bitflipped_checkpoint_is_detected_and_survivable() {
+    let dir = tmpdir("bitflip");
+    let store = CheckpointStore::open(&dir, "job").unwrap().with_keep_last(5);
+    let mut e = Engine::new(cfg(), Placement::homogeneous(4, 2, GpuType::V100));
+    e.run(2);
+    store.save(&e.checkpoint()).unwrap(); // step 2: good
+    e.run(2);
+    store.save(&e.checkpoint()).unwrap(); // step 4: about to rot
+    let after_6 = {
+        e.run(2);
+        e.flat_params()
+    };
+    drop(e); // 💥
+
+    // Bit 100 lands in the envelope header, where any flip is detectable
+    // (a flip in a float's low-significance digits can be value-preserving).
+    store.inject_bitflip(4, 100).unwrap();
+    assert!(store.load(4).is_err(), "bit-flipped file must fail verification");
+    let (ckpt, skipped) = store.load_latest_valid().unwrap().expect("good checkpoint exists");
+    assert_eq!(skipped, 1);
+    assert_eq!(ckpt.global_step, 2);
+    let mut recovered =
+        Engine::from_checkpoint(cfg(), Placement::homogeneous(4, 4, GpuType::V100), &ckpt);
+    recovered.run(4);
+    assert_eq!(recovered.flat_params(), after_6, "resume from last good is bitwise exact");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Recovery works across workload families (conv with BN state, attention
 /// with dropout/LayerNorm, embedding MLP).
 #[test]
