@@ -17,27 +17,13 @@
 
 use std::time::Instant;
 
+use bench::gate::{load_baseline, regressions, BenchResult, GateReport};
 use comm::ElasticDdp;
 use device::GpuType;
 use models::Workload;
 use sched::{Companion, IntraJobScheduler};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::hint::black_box;
-
-#[derive(Serialize, Deserialize)]
-struct BenchResult {
-    name: String,
-    median_ns_per_iter: f64,
-    samples: u32,
-    iters_per_sample: u32,
-}
-
-#[derive(Serialize, Deserialize)]
-struct GateReport {
-    suite: String,
-    benches: Vec<BenchResult>,
-}
 
 /// Median ns/iter of `samples` timed samples of `iters` iterations each,
 /// after `warmup` untimed iterations.
@@ -169,22 +155,25 @@ fn main() {
         eprintln!("bench_gate: no baseline given; gate passes trivially");
         return;
     };
-    let text = std::fs::read_to_string(&baseline_path)
-        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-    let baseline: GateReport = serde_json::from_str(&text)
-        .unwrap_or_else(|e| panic!("cannot parse baseline {baseline_path}: {e:?}"));
+    // A missing baseline is the normal first-PR state, not an error: warn
+    // and pass. A corrupt baseline is an error.
+    let baseline = match load_baseline(std::path::Path::new(&baseline_path)) {
+        Ok(Some(b)) => b,
+        Ok(None) => {
+            eprintln!(
+                "bench_gate: warning: baseline {baseline_path} does not exist; \
+                 skipping the gate (recorded {out_path} for the next PR)"
+            );
+            return;
+        }
+        Err(e) => panic!("{e}"),
+    };
 
-    let mut regressions = 0u32;
     for cur in &report.benches {
         match baseline.benches.iter().find(|b| b.name == cur.name) {
             Some(base) => {
                 let ratio = cur.median_ns_per_iter / base.median_ns_per_iter;
-                let verdict = if ratio > threshold {
-                    regressions += 1;
-                    "REGRESSED"
-                } else {
-                    "ok"
-                };
+                let verdict = if ratio > threshold { "REGRESSED" } else { "ok" };
                 eprintln!(
                     "  {:<40} {:>7.3}x vs {} ({verdict})",
                     cur.name,
@@ -195,9 +184,12 @@ fn main() {
             None => eprintln!("  {:<40} (new bench; not gated)", cur.name),
         }
     }
-    if regressions > 0 {
+    let regressed = regressions(&report, &baseline, threshold);
+    if !regressed.is_empty() {
         eprintln!(
-            "bench_gate: {regressions} bench(es) regressed past {threshold}x the baseline median"
+            "bench_gate: {} bench(es) regressed past {threshold}x the baseline median: {}",
+            regressed.len(),
+            regressed.join(", ")
         );
         std::process::exit(1);
     }

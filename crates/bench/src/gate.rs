@@ -1,0 +1,115 @@
+//! The bench regression gate's comparison logic, separated from the
+//! `bench_gate` binary so its edge cases are unit-testable — in
+//! particular the *first-PR* case: with no prior `BENCH_*.json` baseline
+//! on disk the gate must warn and pass, never panic.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One bench's recorded median.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Stable bench name (the gate joins on it).
+    pub name: String,
+    /// Median wall nanoseconds per iteration.
+    pub median_ns_per_iter: f64,
+    /// Timed samples the median was taken over.
+    pub samples: u32,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u32,
+}
+
+/// A whole suite run, as serialized to `BENCH_*.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GateReport {
+    /// Suite identifier.
+    pub suite: String,
+    /// Every bench's result.
+    pub benches: Vec<BenchResult>,
+}
+
+/// Load a baseline report. Returns `Ok(None)` when the file does not
+/// exist — the caller must treat that as "no baseline: skip the gate with
+/// a warning", not as a failure. Any other I/O or parse problem is a real
+/// error (a *corrupt* baseline should fail loudly, not silently pass).
+pub fn load_baseline(path: &Path) -> Result<Option<GateReport>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read baseline {}: {e}", path.display())),
+    };
+    serde_json::from_str(&text)
+        .map(Some)
+        .map_err(|e| format!("cannot parse baseline {}: {e}", path.display()))
+}
+
+/// Names of benches whose current median exceeds `baseline * threshold`.
+/// Benches present in only one of the two reports never gate (the suite
+/// is allowed to grow or shrink).
+pub fn regressions(current: &GateReport, baseline: &GateReport, threshold: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for cur in &current.benches {
+        if let Some(base) = baseline.benches.iter().find(|b| b.name == cur.name) {
+            if base.median_ns_per_iter > 0.0
+                && cur.median_ns_per_iter / base.median_ns_per_iter > threshold
+            {
+                out.push(cur.name.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pairs: &[(&str, f64)]) -> GateReport {
+        GateReport {
+            suite: "test".to_string(),
+            benches: pairs
+                .iter()
+                .map(|&(name, median)| BenchResult {
+                    name: name.to_string(),
+                    median_ns_per_iter: median,
+                    samples: 1,
+                    iters_per_sample: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn missing_baseline_is_a_skip_not_an_error() {
+        let path = std::env::temp_dir()
+            .join(format!("easyscale-no-such-baseline-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(load_baseline(&path), Ok(None)), "absent baseline must skip the gate");
+    }
+
+    #[test]
+    fn corrupt_baseline_is_an_error_not_a_pass() {
+        let path = std::env::temp_dir()
+            .join(format!("easyscale-corrupt-baseline-{}.json", std::process::id()));
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(load_baseline(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn present_baseline_round_trips() {
+        let path = std::env::temp_dir()
+            .join(format!("easyscale-good-baseline-{}.json", std::process::id()));
+        std::fs::write(&path, serde_json::to_string(&report(&[("a", 100.0)])).unwrap()).unwrap();
+        let loaded = load_baseline(&path).unwrap().expect("present");
+        assert_eq!(loaded.benches.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn only_past_threshold_regressions_gate() {
+        let base = report(&[("a", 100.0), ("b", 100.0), ("gone", 50.0)]);
+        let cur = report(&[("a", 114.0), ("b", 116.0), ("new", 999.0)]);
+        assert_eq!(regressions(&cur, &base, 1.15), vec!["b".to_string()]);
+    }
+}

@@ -4,6 +4,8 @@
 
 #![deny(missing_docs)]
 
+pub mod gate;
+
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;

@@ -1,0 +1,119 @@
+//! Worker heartbeats: the liveness/progress signal the AIMaster's failure
+//! detector consumes.
+//!
+//! Every physical worker emits a [`Heartbeat`] after each local step (and a
+//! bare liveness ping while idle). Beats are timestamped on the virtual
+//! [`SimClock`](../device/simtime) — never a wall clock — and carry the
+//! worker's *deterministic* step duration (derived from its EST load
+//! through the perf model), so the entire detection path is a pure function
+//! of the run's inputs.
+//!
+//! The [`HeartbeatBus`] is the one place delivery order could leak
+//! nondeterminism into detection: workers finish in arbitrary thread order,
+//! so the bus **canonicalizes** on drain — beats come out sorted by
+//! `(sent_at_us, device, step)` no matter what order they were published
+//! in. This is what makes the health-event log byte-identical across
+//! shuffled worker start orders.
+//!
+//! Payloads are integers only: `comm` is float-accumulation-linted
+//! (detlint `no-raw-float-accum`), and nothing about liveness needs floats.
+
+use serde::{Deserialize, Serialize};
+
+/// One heartbeat from one physical worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Stable physical device id (survives rescales; not a worker index).
+    pub device: u32,
+    /// Global step the beat reports on (last completed, or current while
+    /// idle).
+    pub step: u64,
+    /// Virtual send time (`SimClock` microseconds).
+    pub sent_at_us: u64,
+    /// Deterministic duration of the worker's last local step, if it
+    /// stepped this round; `None` for idle liveness pings.
+    pub step_time_us: Option<u64>,
+}
+
+/// An in-memory heartbeat channel with canonical drain order.
+#[derive(Debug, Clone, Default)]
+pub struct HeartbeatBus {
+    inflight: Vec<Heartbeat>,
+}
+
+impl HeartbeatBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish one beat. Publication order carries no meaning.
+    pub fn publish(&mut self, beat: Heartbeat) {
+        self.inflight.push(beat);
+    }
+
+    /// Beats currently in flight.
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether no beats are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Drain every in-flight beat in canonical order: `(sent_at_us, device,
+    /// step)`. Two runs that published the same *set* of beats — in any
+    /// order — drain identically, which is what keeps the detector
+    /// deterministic.
+    pub fn drain_sorted(&mut self) -> Vec<Heartbeat> {
+        let mut out = std::mem::take(&mut self.inflight);
+        out.sort_by_key(|b| (b.sent_at_us, b.device, b.step));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beat(device: u32, step: u64, at: u64) -> Heartbeat {
+        Heartbeat { device, step, sent_at_us: at, step_time_us: Some(100 + device as u64) }
+    }
+
+    #[test]
+    fn drain_order_is_independent_of_publish_order() {
+        let beats = [beat(2, 1, 50), beat(0, 1, 50), beat(1, 1, 40), beat(3, 2, 60)];
+        let orders: [[usize; 4]; 4] = [[0, 1, 2, 3], [3, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1]];
+        let mut drains = Vec::new();
+        for order in orders {
+            let mut bus = HeartbeatBus::new();
+            for i in order {
+                bus.publish(beats[i]);
+            }
+            drains.push(bus.drain_sorted());
+        }
+        for d in &drains[1..] {
+            assert_eq!(d, &drains[0], "drain order must not depend on publish order");
+        }
+        assert_eq!(drains[0][0], beat(1, 1, 40), "earliest send time first");
+    }
+
+    #[test]
+    fn drain_empties_the_bus() {
+        let mut bus = HeartbeatBus::new();
+        bus.publish(beat(0, 0, 1));
+        assert_eq!(bus.len(), 1);
+        assert!(!bus.is_empty());
+        assert_eq!(bus.drain_sorted().len(), 1);
+        assert!(bus.is_empty());
+    }
+
+    #[test]
+    fn heartbeat_serializes_round_trip() {
+        let b = beat(7, 42, 12345);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Heartbeat = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

@@ -23,10 +23,12 @@
 
 pub mod allreduce;
 pub mod bucket;
+pub mod heartbeat;
 pub mod retry;
 
 pub use allreduce::{ring_allreduce, RingSpec};
 pub use bucket::{BucketLayout, DEFAULT_BUCKET_CAP_BYTES};
+pub use heartbeat::{Heartbeat, HeartbeatBus};
 pub use retry::{CommError, FaultScript, RetryPolicy, RetryStats};
 
 use serde::{Deserialize, Serialize};

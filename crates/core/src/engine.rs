@@ -32,6 +32,10 @@ pub struct StepResult {
     pub losses: Vec<f32>,
     /// Mean loss across ESTs.
     pub mean_loss: f32,
+    /// ESTs each physical worker carried this step, in slot order — the
+    /// heartbeat payload: per-worker step timings are derived from these
+    /// loads through the perf model, never from a wall clock.
+    pub per_worker_load: Vec<u32>,
 }
 
 impl StepResult {
@@ -172,6 +176,15 @@ impl Engine {
         self.workers[0].flat_params()
     }
 
+    /// ESTs hosted by each physical worker, in slot order. This is the
+    /// deterministic "step timing" source for heartbeats: a worker's local
+    /// step time is its EST count pushed through the perf model, so two
+    /// runs of the same schedule report identical timings regardless of
+    /// real thread scheduling.
+    pub fn worker_loads(&self) -> Vec<u32> {
+        self.workers.iter().map(|w| w.n_ests()).collect()
+    }
+
     /// Arm transient comm faults for upcoming all-reduces (fault injection;
     /// see `comm::retry`). Production callers never touch this.
     pub fn inject_comm_faults(&mut self, script: FaultScript) {
@@ -263,7 +276,8 @@ impl Engine {
         let step = self.global_step;
         self.global_step += 1;
         let mean_loss = losses.iter().sum::<f32>() / losses.len() as f32;
-        Ok(StepResult { step, epoch, lr, losses, mean_loss })
+        let per_worker_load = self.worker_loads();
+        Ok(StepResult { step, epoch, lr, losses, mean_loss, per_worker_load })
     }
 
     /// Run `n` global steps, returning the per-step results.

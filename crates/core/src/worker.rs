@@ -130,6 +130,11 @@ impl EasyScaleWorker {
         &self.contexts
     }
 
+    /// Number of ESTs this worker hosts — its heartbeat load.
+    pub fn n_ests(&self) -> u32 {
+        self.contexts.len() as u32
+    }
+
     /// Replace the assigned EST contexts (used on restore/rescale).
     pub fn set_contexts(&mut self, contexts: Vec<EstContext>) {
         self.contexts = contexts;

@@ -17,7 +17,7 @@ pub mod simtime;
 pub use cluster::{ClusterSpec, Gpu, GpuId, Server, ServerId};
 pub use memory::{MemoryModel, OomError, CUDA_CONTEXT_BYTES};
 pub use perf::PerfModel;
-pub use simtime::{SimClock, DILATION_ONE};
+pub use simtime::{Lease, SimClock, DILATION_ONE};
 
 use serde::{Deserialize, Serialize};
 

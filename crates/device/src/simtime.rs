@@ -46,6 +46,60 @@ impl SimClock {
     }
 }
 
+/// A heartbeat lease on simulated time.
+///
+/// A worker holds a lease for `duration_us` virtual microseconds and renews
+/// it with every heartbeat. The failure detector never asks "is the worker
+/// alive?" — it asks "how many full lease periods have elapsed since the
+/// last renewal?", which is pure integer arithmetic over [`SimClock`]
+/// timestamps and therefore bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lease {
+    granted_at_us: u64,
+    duration_us: u64,
+}
+
+impl Lease {
+    /// Grant a lease at `granted_at_us` for `duration_us` (must be ≥ 1).
+    pub fn new(granted_at_us: u64, duration_us: u64) -> Self {
+        assert!(duration_us >= 1, "a zero-length lease would always be missed");
+        Lease { granted_at_us, duration_us }
+    }
+
+    /// When the lease was last granted or renewed.
+    pub fn granted_at_us(&self) -> u64 {
+        self.granted_at_us
+    }
+
+    /// Lease period length.
+    pub fn duration_us(&self) -> u64 {
+        self.duration_us
+    }
+
+    /// The instant the current period expires.
+    pub fn deadline_us(&self) -> u64 {
+        self.granted_at_us.saturating_add(self.duration_us)
+    }
+
+    /// Whether the lease is still within its first period at `now_us`.
+    pub fn is_live(&self, now_us: u64) -> bool {
+        now_us < self.deadline_us()
+    }
+
+    /// Complete lease periods elapsed without a renewal — the detector's
+    /// "missed heartbeats" count. Zero while the lease is live.
+    pub fn missed_periods(&self, now_us: u64) -> u64 {
+        now_us.saturating_sub(self.granted_at_us) / self.duration_us
+    }
+
+    /// Renew the lease (a heartbeat arrived at `at_us`). Renewal never
+    /// moves the grant backwards, so late-delivered beats cannot resurrect
+    /// an expired deadline retroactively.
+    pub fn renew(&mut self, at_us: u64) {
+        self.granted_at_us = self.granted_at_us.max(at_us);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +137,35 @@ mod tests {
         c.advance_us(u64::MAX - 1);
         c.advance_dilated(u64::MAX, 2000);
         assert_eq!(c.now_us(), u64::MAX);
+    }
+
+    #[test]
+    fn lease_counts_full_missed_periods() {
+        let l = Lease::new(100, 50);
+        assert!(l.is_live(100));
+        assert!(l.is_live(149));
+        assert!(!l.is_live(150));
+        assert_eq!(l.deadline_us(), 150);
+        assert_eq!(l.missed_periods(149), 0);
+        assert_eq!(l.missed_periods(150), 1);
+        assert_eq!(l.missed_periods(299), 3);
+    }
+
+    #[test]
+    fn lease_renewal_is_monotone() {
+        let mut l = Lease::new(100, 50);
+        l.renew(180);
+        assert_eq!(l.granted_at_us(), 180);
+        assert_eq!(l.missed_periods(180), 0);
+        // A stale beat (timestamped before the current grant) cannot move
+        // the deadline backwards.
+        l.renew(120);
+        assert_eq!(l.granted_at_us(), 180);
+    }
+
+    #[test]
+    fn lease_before_grant_misses_nothing() {
+        let l = Lease::new(1000, 10);
+        assert_eq!(l.missed_periods(0), 0, "time before the grant is not a miss");
     }
 }

@@ -1,0 +1,162 @@
+//! The silent-fault detection matrix: the suite of schedules the
+//! self-healing control plane must handle *without being told anything*.
+//!
+//! Every case injects only silent fault kinds ([`FaultKind::is_silent`]) —
+//! crash-without-notification, creeping straggler, heartbeat drop — and
+//! asserts the two halves of the paper's §4 claim:
+//!
+//! 1. **bounded detection**: each non-superseded fault is flagged by the
+//!    supervisor within its precomputed SimClock latency bound;
+//! 2. **consistency**: the final model parameters are byte-identical to
+//!    the fault-free run — detection and self-healing live entirely on the
+//!    allocation path, never on the numeric path.
+//!
+//! [`run_matrix`] is what `scripts/ci.sh detect` runs; its report is
+//! serialized to `results/detect_report.json`.
+
+use std::path::Path;
+
+use serde::Serialize;
+
+use crate::harness::{run_fault_free, DetectionRecord, FaultHarness, HarnessConfig};
+use crate::schedule::{FaultEvent, FaultKind, FaultSchedule};
+use sched::HealthEvent;
+
+/// Seeds for the generated half of the matrix.
+pub const DETECT_SEEDS: [u64; 3] = [70, 71, 72];
+
+/// One matrix case: a named silent-fault schedule.
+#[derive(Debug, Clone)]
+pub struct DetectCase {
+    /// Stable case name (used in reports and failure messages).
+    pub name: String,
+    /// The schedule to inject. Must contain only silent kinds.
+    pub schedule: FaultSchedule,
+}
+
+/// The full silent-fault matrix: three hand-authored schedules covering
+/// each silent kind in isolation, plus one generated schedule per seed in
+/// [`DETECT_SEEDS`].
+pub fn silent_matrix() -> Vec<DetectCase> {
+    let mut cases = vec![
+        DetectCase {
+            name: "silent-crash".to_string(),
+            schedule: FaultSchedule::from_events(vec![FaultEvent {
+                step: 3,
+                kind: FaultKind::SilentCrash { worker: 1 },
+            }]),
+        },
+        DetectCase {
+            name: "creeping-straggler".to_string(),
+            schedule: FaultSchedule::from_events(vec![FaultEvent {
+                step: 2,
+                kind: FaultKind::CreepingStraggler {
+                    worker: 0,
+                    start_milli: 1200,
+                    ramp_milli: 400,
+                },
+            }]),
+        },
+        DetectCase {
+            name: "heartbeat-drop".to_string(),
+            schedule: FaultSchedule::from_events(vec![
+                FaultEvent { step: 0, kind: FaultKind::HeartbeatDrop { worker: 1, beats: 12 } },
+                // A benign-length drop on the other device: short enough
+                // that the lease may survive it — the detector must not be
+                // required to flag it, and the run must stay byte-identical
+                // either way.
+                FaultEvent { step: 8, kind: FaultKind::HeartbeatDrop { worker: 0, beats: 2 } },
+            ]),
+        },
+    ];
+    for seed in DETECT_SEEDS {
+        cases.push(DetectCase {
+            name: format!("seeded-{seed}"),
+            schedule: FaultSchedule::generate_silent(seed, 14, 2),
+        });
+    }
+    cases
+}
+
+/// One case's full outcome, serializable for `results/detect_report.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaseOutcome {
+    /// Case name from [`DetectCase`].
+    pub name: String,
+    /// Schedule seed (0 for hand-authored cases).
+    pub seed: u64,
+    /// Final params byte-identical to the fault-free reference.
+    pub bitwise_identical: bool,
+    /// Every non-superseded silent fault detected within its bound.
+    pub all_detected_within_bound: bool,
+    /// Per-fault detection records.
+    pub detections: Vec<DetectionRecord>,
+    /// The deterministic health-event log.
+    pub health_events: Vec<HealthEvent>,
+    /// Supervisor evictions taken.
+    pub evictions: u32,
+    /// Supervisor readmissions taken.
+    pub readmissions: u32,
+    /// Simulated run duration.
+    pub sim_elapsed_us: u64,
+}
+
+impl CaseOutcome {
+    /// Both halves of the invariant held.
+    pub fn passed(&self) -> bool {
+        self.bitwise_identical && self.all_detected_within_bound
+    }
+}
+
+/// The matrix report `scripts/ci.sh detect` gates on.
+#[derive(Debug, Clone, Serialize)]
+pub struct DetectReport {
+    /// Every case outcome, in matrix order.
+    pub cases: Vec<CaseOutcome>,
+    /// `"pass"` when every case passed, `"fail"` otherwise.
+    pub status: String,
+}
+
+impl DetectReport {
+    /// Whether every case passed.
+    pub fn passed(&self) -> bool {
+        self.cases.iter().all(CaseOutcome::passed)
+    }
+}
+
+/// Run one case against the detection default config, comparing against
+/// the fault-free reference. `store_dir` must be unique per case.
+pub fn run_case(case: &DetectCase, store_dir: &Path) -> CaseOutcome {
+    let cfg = HarnessConfig::default_detect(store_dir.to_path_buf());
+    let reference = run_fault_free(&cfg);
+    let report = FaultHarness::new(cfg, case.schedule.clone()).run();
+    CaseOutcome {
+        name: case.name.clone(),
+        seed: case.schedule.seed,
+        bitwise_identical: report.final_params == reference,
+        all_detected_within_bound: report.all_detected_within_bound(),
+        detections: report.detections,
+        health_events: report.health_events,
+        evictions: report.evictions,
+        readmissions: report.readmissions,
+        sim_elapsed_us: report.sim_elapsed_us,
+    }
+}
+
+/// Run the whole matrix under `base_dir` (one store subdirectory per case).
+pub fn run_matrix(base_dir: &Path) -> DetectReport {
+    let mut cases = Vec::new();
+    for case in silent_matrix() {
+        let dir = base_dir.join(&case.name);
+        let _ = std::fs::remove_dir_all(&dir);
+        let outcome = run_case(&case, &dir);
+        obs::counter_add("faultsim.detect_cases_total", 1);
+        if !outcome.passed() {
+            obs::counter_add("faultsim.detect_cases_failed", 1);
+        }
+        cases.push(outcome);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let status = if cases.iter().all(CaseOutcome::passed) { "pass" } else { "fail" };
+    DetectReport { cases, status: status.to_string() }
+}

@@ -17,18 +17,46 @@
 //! | scale-out / scale-in | proposal → grant → `Engine::rescale`             |
 //! | straggler            | nothing to absorb: slowdown dilates simulated    |
 //! |                      | time only, never bits                            |
+//! | **silent** crash /   | nothing announces these: the AIMaster            |
+//! | creeping straggler / | supervisor ([`sched::Supervisor`]) must discover |
+//! | heartbeat drop       | them from heartbeat leases and straggler scores, |
+//! |                      | then evict / roll back / readmit on its own      |
+//!
+//! Unlike the announced faults, the silent kinds close the paper's §4
+//! detection loop: each physical device gets a *stable id* (it survives
+//! rescales), emits a [`comm::Heartbeat`] after every step on virtual time,
+//! and a [`sched::Supervisor`] turns missed leases and straggler scores
+//! into evictions, checkpoint fallbacks, and probational readmissions — no
+//! harness hint anywhere in that path. The harness additionally computes a
+//! *detection-latency bound* for every injected silent fault (from the
+//! health policy and the schedule itself) and records whether detection
+//! met it.
 //!
 //! Time is simulated ([`device::SimClock`]): the harness never reads a wall
-//! clock, so a chaos run is a pure function of `(config, schedule)`.
+//! clock, so a chaos run is a pure function of `(config, schedule)` — the
+//! health-event log included, byte for byte.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
+use comm::{Heartbeat, HeartbeatBus};
 use device::{GpuType, PerfModel, SimClock, DILATION_ONE};
 use easyscale::{CheckpointStore, Engine, JobConfig, Placement};
 use models::Workload;
-use sched::{Companion, FreePool, InterJobScheduler, IntraJobScheduler};
+use sched::{
+    Companion, FreePool, HealthEvent, HealthPolicy, HealthState, InterJobScheduler,
+    IntraJobScheduler, Supervisor, SupervisorAction,
+};
+use serde::Serialize;
 
 use crate::schedule::{FaultEvent, FaultKind, FaultSchedule};
+
+/// Dilation ratio at which the straggler z-score crosses the detection
+/// threshold: with the score's σ floored at median/4 and the default
+/// 2000 m-σ threshold, a device running at ≥ 1.5× the population median
+/// scores as slow (see `sched::health`). Latency bounds for creeping
+/// stragglers count ramp rounds until this ratio is reached.
+const STRAGGLER_FIRE_RATIO_MILLI: u64 = 1500;
 
 /// Harness configuration: the job under test plus its simulated cluster.
 #[derive(Debug, Clone)]
@@ -47,6 +75,15 @@ pub struct HarnessConfig {
     pub cluster_gpus: u32,
     /// Directory for durable checkpoints (unique per run).
     pub store_dir: PathBuf,
+    /// Failure-detection policy for the AIMaster supervisor. The lease is
+    /// sized to twice the worst-case step (all ESTs time-slicing one GPU),
+    /// so a healthy-but-overloaded worker can never miss it.
+    pub health: HealthPolicy,
+    /// Order the initial devices announce themselves in. Detection must be
+    /// byte-identical under any permutation (the heartbeat bus
+    /// canonicalizes) — the shuffled-start-order determinism test drives
+    /// this knob.
+    pub start_order: Vec<u32>,
 }
 
 impl HarnessConfig {
@@ -56,6 +93,7 @@ impl HarnessConfig {
         let job = JobConfig::new(Workload::NeuMF, 4242, 4)
             .with_dataset_len(128)
             .with_determinism(easyscale::Determinism::d1_d2());
+        let lease_us = 2 * Self::worst_step_us(&job, GpuType::V100);
         HarnessConfig {
             job,
             total_steps: 10,
@@ -64,7 +102,30 @@ impl HarnessConfig {
             initial_gpus: 2,
             cluster_gpus: 4,
             store_dir,
+            health: HealthPolicy::with_lease(lease_us),
+            start_order: (0..2).collect(),
         }
+    }
+
+    /// The silent-fault detection-matrix default: same cluster as
+    /// [`HarnessConfig::default_chaos`] but a longer run (14 steps), so a
+    /// creeping straggler injected in the first half always has enough
+    /// timed rounds left for its score to converge.
+    pub fn default_detect(store_dir: PathBuf) -> Self {
+        let mut cfg = Self::default_chaos(store_dir);
+        cfg.total_steps = 14;
+        cfg
+    }
+
+    /// Worst-case simulated duration of one global step for this job on
+    /// one GPU of type `gpu`: all ESTs time-slice a single device. The
+    /// heartbeat lease is sized from this.
+    pub fn worst_step_us(job: &JobConfig, gpu: GpuType) -> u64 {
+        let spec = job.workload.spec();
+        let overhead = if job.determinism.hardware_agnostic { spec.d2_overhead } else { 1.0 };
+        let perf = PerfModel::default();
+        let mb = perf.minibatch_time(spec.base_v100_secs, gpu, overhead);
+        (perf.easyscale_global_step(mb, job.n_ests) * 1e6) as u64
     }
 }
 
@@ -77,6 +138,34 @@ pub struct InjectedEvent {
     pub kind: &'static str,
     /// Human-readable outcome ("recovered from step 4", "grant denied", …).
     pub outcome: String,
+}
+
+/// One silent fault's detection outcome: when it was injected, when (and
+/// whether) the supervisor noticed, and whether the latency bound held.
+#[derive(Debug, Clone, Serialize)]
+pub struct DetectionRecord {
+    /// Device the fault targeted.
+    pub device: u32,
+    /// Fault-kind name.
+    pub kind: String,
+    /// Virtual time of injection.
+    pub injected_at_us: u64,
+    /// Latency bound computed at injection (µs of SimClock time), from the
+    /// health policy, the perf model, and the schedule's own event count —
+    /// never from the detector's behaviour.
+    pub bound_us: u64,
+    /// Virtual time of the first Suspect-or-worse transition for the
+    /// device at or after injection, if any.
+    pub detected_at_us: Option<u64>,
+    /// `detected_at_us - injected_at_us`, when detected.
+    pub latency_us: Option<u64>,
+    /// Detected within the bound.
+    pub within_bound: bool,
+    /// The fault mutated before detection could be attributed (a later
+    /// silent fault hit the same device, or the device left through a
+    /// planned path). Superseded records are exempt from the bound
+    /// assertion; the byte-identity invariant still applies in full.
+    pub superseded: bool,
 }
 
 /// Everything a chaos run reports.
@@ -102,6 +191,15 @@ pub struct RunReport {
     pub final_gpus: u32,
     /// Final flat model parameters (the invariant's subject).
     pub final_params: Vec<f32>,
+    /// The supervisor's full health-event log, in firing order — the
+    /// deterministic detection record (byte-identical across repeat runs).
+    pub health_events: Vec<HealthEvent>,
+    /// Detection outcome of every armed silent fault.
+    pub detections: Vec<DetectionRecord>,
+    /// Devices the supervisor evicted from the allocation.
+    pub evictions: u32,
+    /// Devices the supervisor readmitted after probation.
+    pub readmissions: u32,
 }
 
 impl RunReport {
@@ -110,6 +208,23 @@ impl RunReport {
     pub fn params_bits(&self) -> Vec<u32> {
         self.final_params.iter().map(|p| p.to_bits()).collect()
     }
+
+    /// Whether every non-superseded silent fault was detected within its
+    /// latency bound.
+    pub fn all_detected_within_bound(&self) -> bool {
+        self.detections.iter().all(|d| d.superseded || d.within_bound)
+    }
+}
+
+/// A silent fault awaiting attribution to a health transition.
+#[derive(Debug, Clone)]
+struct PendingDetection {
+    device: u32,
+    kind: &'static str,
+    injected_at_us: u64,
+    bound_us: u64,
+    detected_at_us: Option<u64>,
+    superseded: bool,
 }
 
 /// The harness itself. Build with [`FaultHarness::new`], run with
@@ -128,8 +243,27 @@ pub struct FaultHarness {
     /// Next unfired schedule entry. Monotone: a crash rewinds the engine's
     /// step counter but never this index, so each event fires exactly once.
     next_event: usize,
-    /// Active slowdown: (dilation factor in milli-units, steps remaining).
-    straggler: Option<(u64, u32)>,
+    /// Active slowdown: (target device, dilation milli, steps remaining).
+    straggler: Option<(u32, u64, u32)>,
+    /// The AIMaster's self-healing loop (detector + action mapping).
+    supervisor: Supervisor,
+    /// Heartbeat transport (canonicalizing drain order).
+    bus: HeartbeatBus,
+    /// Stable ids of the devices currently in the allocation.
+    active: BTreeSet<u32>,
+    /// Stable ids of free (never-allocated or released) devices. Mirrors
+    /// the free-pool *count* the scheduler sees.
+    free_ids: BTreeSet<u32>,
+    /// Evicted-but-tracked devices sitting out a quarantine.
+    parked_sick: BTreeSet<u32>,
+    /// Devices that died silently (no beats ever again).
+    silent_crashed: BTreeSet<u32>,
+    /// Remaining heartbeats to swallow, per muted device.
+    hb_drop: BTreeMap<u32, u32>,
+    /// Creeping stragglers: device → (current dilation milli, ramp milli).
+    creeping: BTreeMap<u32, (u64, u64)>,
+    /// Armed silent faults awaiting detection.
+    pending: Vec<PendingDetection>,
     report: RunReport,
 }
 
@@ -161,7 +295,30 @@ impl FaultHarness {
             sim_elapsed_us: 0,
             final_gpus: cfg.initial_gpus,
             final_params: Vec::new(),
+            health_events: Vec::new(),
+            detections: Vec::new(),
+            evictions: 0,
+            readmissions: 0,
         };
+        let mut supervisor = Supervisor::new(cfg.health);
+        let active: BTreeSet<u32> = (0..cfg.initial_gpus).collect();
+        let free_ids: BTreeSet<u32> = (cfg.initial_gpus..cfg.cluster_gpus).collect();
+        let mut bus = HeartbeatBus::new();
+        // Devices announce themselves in `start_order` — a permutation that
+        // MUST be invisible to detection (the bus canonicalizes, the
+        // tracker is BTreeMap-keyed). Unknown ids in the order are ignored.
+        for &d in &cfg.start_order {
+            if active.contains(&d) {
+                supervisor.register(d, 0);
+                bus.publish(Heartbeat { device: d, step: 0, sent_at_us: 0, step_time_us: None });
+            }
+        }
+        for &d in &active {
+            if !cfg.start_order.contains(&d) {
+                supervisor.register(d, 0);
+                bus.publish(Heartbeat { device: d, step: 0, sent_at_us: 0, step_time_us: None });
+            }
+        }
         FaultHarness {
             cfg,
             schedule,
@@ -174,6 +331,15 @@ impl FaultHarness {
             perf: PerfModel::default(),
             next_event: 0,
             straggler: None,
+            supervisor,
+            bus,
+            active,
+            free_ids,
+            parked_sick: BTreeSet::new(),
+            silent_crashed: BTreeSet::new(),
+            hb_drop: BTreeMap::new(),
+            creeping: BTreeMap::new(),
+            pending: Vec::new(),
             report,
         }
     }
@@ -189,24 +355,43 @@ impl FaultHarness {
         self.intra.current().iter().map(|&(_, n)| n).sum()
     }
 
-    /// Simulated duration of one global step on the current allocation: the
-    /// busiest GPU time-slices `ceil(nEST / gpus)` ESTs, dilated if a
-    /// straggler is active (D2 hardware-agnostic kernels pay the catalog's
-    /// overhead factor).
-    fn step_time_us(&self) -> u64 {
+    /// Deterministic per-device duration of one local step carrying `load`
+    /// ESTs (D2 kernels pay the catalog's overhead factor).
+    fn device_step_us(&self, load: u32) -> u64 {
         let spec = self.cfg.job.workload.spec();
         let overhead =
             if self.cfg.job.determinism.hardware_agnostic { spec.d2_overhead } else { 1.0 };
         let mb = self.perf.minibatch_time(spec.base_v100_secs, self.cfg.gpu, overhead);
+        (self.perf.easyscale_global_step(mb, load.max(1)) * 1e6) as u64
+    }
+
+    /// Simulated duration of one global step on the current allocation:
+    /// the busiest GPU time-slices `ceil(nEST / gpus)` ESTs.
+    fn step_time_us(&self) -> u64 {
         let gpus = self.current_gpus().max(1);
-        let ests_on_busiest = self.cfg.job.n_ests.div_ceil(gpus);
-        (self.perf.easyscale_global_step(mb, ests_on_busiest) * 1e6) as u64
+        self.device_step_us(self.cfg.job.n_ests.div_ceil(gpus))
+    }
+
+    /// Map a schedule's worker index onto a live device id (n-th active,
+    /// modulo the live count) — schedules address *positions*, devices
+    /// have stable ids.
+    fn nth_active(&self, worker: u32) -> u32 {
+        let devices: Vec<u32> = self.active.iter().copied().collect();
+        devices[worker as usize % devices.len()]
     }
 
     fn record(&mut self, step: u64, kind: &'static str, outcome: String) {
         obs::counter_add("faultsim.injected_total", 1);
         obs::counter_add(&format!("faultsim.injected.{kind}"), 1);
         self.report.injected.push(InjectedEvent { step, kind, outcome });
+    }
+
+    /// Simulated process-restart latency (data-worker respawn dominates,
+    /// paper §5.1.2).
+    fn restart_us(&self) -> u64 {
+        let spec = self.cfg.job.workload.spec();
+        (self.perf.first_minibatch_latency(spec.base_v100_secs, self.cfg.job.data_workers) * 1e6)
+            as u64
     }
 
     /// Kill the process and recover from the newest *valid* durable
@@ -236,12 +421,7 @@ impl FaultHarness {
         obs::counter_add("faultsim.recoveries", 1);
         obs::counter_add("faultsim.replayed_steps", step_at_death.saturating_sub(resumed_from));
 
-        // Restart latency: data-worker respawn dominates (§5.1.2).
-        let spec = self.cfg.job.workload.spec();
-        let restart_secs =
-            self.perf.first_minibatch_latency(spec.base_v100_secs, self.cfg.job.data_workers);
-        self.clock.advance_us((restart_secs * 1e6) as u64);
-
+        self.clock.advance_us(self.restart_us());
         self.engine = Some(engine);
         format!("{why}: recovered from checkpoint step {resumed_from} (skipped {skipped} corrupt)")
     }
@@ -255,10 +435,268 @@ impl FaultHarness {
         self.engine = Some(engine.rescale(placement));
         obs::counter_add("faultsim.rescales", 1);
         // Reconfiguration also pays the restart latency.
-        let spec = self.cfg.job.workload.spec();
-        let restart_secs =
-            self.perf.first_minibatch_latency(spec.base_v100_secs, self.cfg.job.data_workers);
-        self.clock.advance_us((restart_secs * 1e6) as u64);
+        self.clock.advance_us(self.restart_us());
+    }
+
+    // ---- silent-fault bookkeeping -------------------------------------
+
+    /// Arm a detection expectation for a silent fault on `device`. With
+    /// `assert_bound == false` the record is born superseded: detection is
+    /// still tracked, but the latency bound is not asserted (used when an
+    /// overlapping fault makes attribution ambiguous).
+    fn arm_detection(&mut self, device: u32, kind: &'static str, assert_bound: bool) {
+        let bound_us = self.detection_bound_us(kind, device);
+        self.pending.push(PendingDetection {
+            device,
+            kind,
+            injected_at_us: self.clock.now_us(),
+            bound_us,
+            detected_at_us: None,
+            superseded: !assert_bound,
+        });
+    }
+
+    /// Mark every unresolved pending on `device` superseded (a later fault
+    /// or a planned removal changed the device's failure mode).
+    fn supersede_pending(&mut self, device: u32) {
+        for p in &mut self.pending {
+            if p.device == device && p.detected_at_us.is_none() {
+                p.superseded = true;
+            }
+        }
+    }
+
+    /// The detection-latency bound for a silent fault injected *now*.
+    ///
+    /// Bounds are computed from the health policy, the perf model, and the
+    /// *schedule's* event count — never from anything the detector does —
+    /// so they are a legitimate test oracle. Terms (all SimClock µs,
+    /// saturating):
+    ///
+    /// * crash: `quarantine_misses` full leases must lapse, plus detection
+    ///   rounds on either side;
+    /// * heartbeat drop: detected at the first *suspect* transition — one
+    ///   lapsed lease plus round slack;
+    /// * creeping straggler: ramp rounds until the dilation crosses
+    ///   [`STRAGGLER_FIRE_RATIO_MILLI`], then `suspect_windows` slow
+    ///   rounds, each at most a worst-case step at the final dilation;
+    /// * every bound adds an *interference allowance* per scheduled event:
+    ///   other faults (and the supervisor's own recoveries/rescales) spend
+    ///   simulated time — blocked rounds, checkpoint rollbacks, restart
+    ///   latencies — that delays attribution without being this fault's
+    ///   doing.
+    fn detection_bound_us(&self, kind: &'static str, device: u32) -> u64 {
+        let p = &self.cfg.health;
+        let worst = self.device_step_us(self.cfg.job.n_ests);
+        let restart = self.restart_us();
+        let per_event = p
+            .quarantine_misses
+            .saturating_mul(p.lease_us)
+            .saturating_add(worst.saturating_mul(4))
+            .saturating_add(restart.saturating_mul(8));
+        let interference = per_event.saturating_mul(self.schedule.events.len() as u64);
+        let own = match kind {
+            "silent_crash" => {
+                p.quarantine_misses.saturating_mul(p.lease_us).saturating_add(worst * 4)
+            }
+            "heartbeat_drop" => p.lease_us.saturating_add(worst * 4),
+            "creeping_straggler" => {
+                let (start, ramp) = self.creeping.get(&device).copied().unwrap_or((1500, 300));
+                let cross_rounds = if start >= STRAGGLER_FIRE_RATIO_MILLI {
+                    0
+                } else {
+                    (STRAGGLER_FIRE_RATIO_MILLI - start).div_ceil(ramp.max(1))
+                };
+                let rounds = cross_rounds + p.suspect_windows as u64 + 2;
+                let final_factor = start.saturating_add(ramp.saturating_mul(rounds));
+                rounds
+                    .saturating_mul(worst.saturating_mul(final_factor) / DILATION_ONE)
+                    .saturating_add(p.lease_us)
+            }
+            _ => p.quarantine_misses.saturating_mul(p.lease_us).saturating_add(worst * 4),
+        };
+        own.saturating_add(interference)
+    }
+
+    /// Whether a heartbeat drop of `beats` is guaranteed to lapse a lease
+    /// even at the fastest possible round cadence (every device hosting a
+    /// single EST). Shorter drops are benign — the detector may or may not
+    /// flag them, so no bound is asserted.
+    fn drop_is_detectable(&self, beats: u32) -> bool {
+        let min_round = self.device_step_us(1);
+        (beats as u64).saturating_mul(min_round)
+            >= self.cfg.health.lease_us.saturating_add(2 * min_round)
+    }
+
+    /// Whether stepping is impossible: a silently-dead device is still in
+    /// the allocation, so the all-reduce would hang on it. The harness
+    /// models the hang as blocked rounds — the clock advances, survivors
+    /// ping, the detector works — until the supervisor evicts the corpse.
+    fn blocked(&self) -> bool {
+        self.active.iter().any(|d| self.silent_crashed.contains(d))
+    }
+
+    /// A device joins the allocation. Reprovisioning repairs silent fault
+    /// state: a fresh process on a fresh (or restarted) device neither
+    /// creeps nor drops beats.
+    fn activate_device(&mut self, id: u32) {
+        self.active.insert(id);
+        self.silent_crashed.remove(&id);
+        self.creeping.remove(&id);
+        self.hb_drop.remove(&id);
+        self.supervisor.register(id, self.clock.now_us());
+    }
+
+    /// A device leaves through a *planned* path (scale-in, preemption): the
+    /// detector forgets it and any armed detection on it is superseded.
+    fn deactivate_planned(&mut self, id: u32) {
+        self.active.remove(&id);
+        self.supervisor.deregister(id);
+        self.supersede_pending(id);
+        self.silent_crashed.remove(&id);
+        self.creeping.remove(&id);
+        self.hb_drop.remove(&id);
+    }
+
+    /// The `count` highest active device ids (the deterministic choice for
+    /// releases/revocations).
+    fn highest_active(&self, count: u32) -> Vec<u32> {
+        self.active.iter().rev().take(count as usize).copied().collect()
+    }
+
+    // ---- heartbeats + detection rounds --------------------------------
+
+    /// Emit this round's heartbeats: every live device in the allocation
+    /// (with its step timing if it stepped), plus liveness pings from
+    /// parked-sick devices (their path back is probation). Silently
+    /// crashed devices never beat; muted devices consume their drop
+    /// budget instead of beating.
+    fn emit_beats(&mut self, step: u64, times: Option<&BTreeMap<u32, u64>>) {
+        let now = self.clock.now_us();
+        let devices: Vec<u32> =
+            self.active.iter().chain(self.parked_sick.iter()).copied().collect();
+        for d in devices {
+            if self.silent_crashed.contains(&d) {
+                continue;
+            }
+            if let Some(left) = self.hb_drop.get_mut(&d) {
+                *left -= 1;
+                if *left == 0 {
+                    self.hb_drop.remove(&d);
+                }
+                obs::counter_add("health.heartbeats_dropped", 1);
+                continue;
+            }
+            let step_time_us = times.and_then(|m| m.get(&d).copied()).filter(|&t| t > 0);
+            self.bus.publish(Heartbeat { device: d, step, sent_at_us: now, step_time_us });
+        }
+    }
+
+    /// One detection round: drain the bus into the supervisor, tick it,
+    /// attribute new transitions to pending silent faults, and apply the
+    /// allocation actions it ordered.
+    fn health_round(&mut self) {
+        for beat in self.bus.drain_sorted() {
+            self.supervisor.observe(&beat);
+        }
+        let before = self.supervisor.events().len();
+        let actions = self.supervisor.tick(self.clock.now_us());
+        self.resolve_detections(before);
+        self.apply_actions(actions);
+    }
+
+    /// Attribute transitions (Suspect or worse) appended since `from` to
+    /// the pending silent faults on the same device.
+    fn resolve_detections(&mut self, from: usize) {
+        let new_events: Vec<HealthEvent> = self.supervisor.events()[from..].to_vec();
+        for ev in new_events {
+            if !matches!(ev.to, HealthState::Suspect | HealthState::Quarantined) {
+                continue;
+            }
+            for p in &mut self.pending {
+                if p.device == ev.device
+                    && p.detected_at_us.is_none()
+                    && ev.at_us >= p.injected_at_us
+                {
+                    p.detected_at_us = Some(ev.at_us);
+                    let latency = ev.at_us - p.injected_at_us;
+                    obs::observe("health.detection_latency_us", latency as f64);
+                }
+            }
+        }
+    }
+
+    /// Apply the supervisor's allocation actions. Everything here goes
+    /// through the same rescale/recover paths as announced faults, so it
+    /// is bitwise-invisible by construction.
+    fn apply_actions(&mut self, actions: Vec<SupervisorAction>) {
+        for action in actions {
+            match action {
+                SupervisorAction::Evict { device, assume_crash } => {
+                    if !self.active.contains(&device) {
+                        continue; // already out (e.g. planned removal raced)
+                    }
+                    obs::counter_add("health.evictions", 1);
+                    self.report.evictions += 1;
+                    if self.active.len() == 1 && self.free_ids.is_empty() {
+                        // Nothing to fail over to: restart the worker
+                        // process in place on the last device. The restart
+                        // reprovisions it (clears silent fault state) and
+                        // recovers from the last-good checkpoint.
+                        self.supervisor.deregister(device);
+                        self.activate_device(device);
+                        self.crash_and_recover("supervisor: restarted last device in place");
+                        continue;
+                    }
+                    self.active.remove(&device);
+                    self.parked_sick.insert(device);
+                    // Claim a spare as a replacement when one is free.
+                    if let Some(&spare) = self.free_ids.iter().next() {
+                        self.free_ids.remove(&spare);
+                        if let Some(n) = self.free.get_mut(&self.cfg.gpu) {
+                            *n = n.saturating_sub(1);
+                        }
+                        self.activate_device(spare);
+                    }
+                    self.intra.apply_allocation(vec![(self.cfg.gpu, self.active.len() as u32)]);
+                    if assume_crash {
+                        // Lost lease ⇒ presumed dead ⇒ in-memory state on
+                        // that device is gone: fall back to the last-good
+                        // durable checkpoint on the survivors.
+                        self.crash_and_recover("supervisor: evicted device on lost lease");
+                    } else {
+                        // Straggler ⇒ alive, nothing lost: plain rescale.
+                        self.rescale_to_current();
+                    }
+                }
+                SupervisorAction::Readmit { device } => {
+                    if !self.parked_sick.contains(&device) || self.silent_crashed.contains(&device)
+                    {
+                        continue;
+                    }
+                    obs::counter_add("health.readmissions", 1);
+                    self.report.readmissions += 1;
+                    self.parked_sick.remove(&device);
+                    // NOT activate_device: the device is on probation, its
+                    // fault state (e.g. a creeping slowdown) persists — the
+                    // detector must re-confirm or re-quarantine it.
+                    self.active.insert(device);
+                    self.intra.apply_allocation(vec![(self.cfg.gpu, self.active.len() as u32)]);
+                    self.rescale_to_current();
+                }
+            }
+        }
+    }
+
+    /// A blocked round: the job cannot step (a silent corpse is in the
+    /// all-reduce), but virtual time still passes, survivors still ping,
+    /// and the detector still runs — this is exactly the window the
+    /// detection-latency bound measures.
+    fn blocked_tick(&mut self) {
+        let step = self.engine.as_ref().map(|e| e.global_step()).unwrap_or(0);
+        self.clock.advance_us(self.step_time_us().max(1));
+        self.emit_beats(step, None);
+        self.health_round();
     }
 
     fn apply_event(&mut self, ev: FaultEvent) {
@@ -267,8 +705,9 @@ impl FaultHarness {
         let outcome = match ev.kind {
             FaultKind::WorkerCrash => self.crash_and_recover("crash"),
             FaultKind::Straggler { worker, factor_milli, steps } => {
-                self.straggler = Some((factor_milli.max(DILATION_ONE), steps));
-                format!("worker {worker} dilated {factor_milli}/1000 for {steps} steps")
+                let dev = self.nth_active(worker);
+                self.straggler = Some((dev, factor_milli.max(DILATION_ONE), steps));
+                format!("device {dev} dilated {factor_milli}/1000 for {steps} steps")
             }
             FaultKind::Preemption { gpus } => {
                 let before = self.current_gpus();
@@ -276,6 +715,9 @@ impl FaultHarness {
                 let after: u32 = alloc.iter().map(|&(_, n)| n).sum();
                 // Revoked GPUs go to the reclaimer (serving side), not back
                 // to the elastic free pool.
+                for id in self.highest_active(before - after) {
+                    self.deactivate_planned(id);
+                }
                 self.rescale_to_current();
                 format!("revoked {gpus}: {before} → {after} GPUs")
             }
@@ -291,6 +733,12 @@ impl FaultHarness {
                             None => alloc.push((d.gpu, d.count)),
                         }
                         let granted = d.count;
+                        for _ in 0..granted {
+                            if let Some(&spare) = self.free_ids.iter().next() {
+                                self.free_ids.remove(&spare);
+                                self.activate_device(spare);
+                            }
+                        }
                         self.intra.apply_allocation(alloc);
                         self.rescale_to_current();
                         format!("granted {granted}: {before} → {} GPUs", self.current_gpus())
@@ -305,6 +753,10 @@ impl FaultHarness {
                     "already at one GPU; nothing to release".to_string()
                 } else {
                     *self.free.entry(self.cfg.gpu).or_insert(0) += before - after;
+                    for id in self.highest_active(before - after) {
+                        self.deactivate_planned(id);
+                        self.free_ids.insert(id);
+                    }
                     self.intra.apply_allocation(vec![(self.cfg.gpu, after)]);
                     self.rescale_to_current();
                     format!("released {}: {before} → {after} GPUs", before - after)
@@ -327,6 +779,64 @@ impl FaultHarness {
                     self.store.inject_bitflip(newest, bit_index).expect("store io");
                 }
                 self.crash_and_recover("bit-flipped checkpoint")
+            }
+            FaultKind::SilentCrash { worker } => {
+                let dev = self.nth_active(worker);
+                if self.silent_crashed.contains(&dev) {
+                    format!("device {dev} is already silently dead; no-op")
+                } else {
+                    // The crash changes the device's failure mode: earlier
+                    // armed faults on it can no longer be attributed.
+                    self.supersede_pending(dev);
+                    self.silent_crashed.insert(dev);
+                    self.creeping.remove(&dev);
+                    self.hb_drop.remove(&dev);
+                    self.arm_detection(dev, "silent_crash", true);
+                    format!("device {dev} died silently — nobody was told")
+                }
+            }
+            FaultKind::CreepingStraggler { worker, start_milli, ramp_milli } => {
+                let dev = self.nth_active(worker);
+                let start = start_milli.max(DILATION_ONE);
+                if self.silent_crashed.contains(&dev) {
+                    format!("device {dev} is silently dead; creep is moot")
+                } else if let std::collections::btree_map::Entry::Vacant(slot) =
+                    self.creeping.entry(dev)
+                {
+                    slot.insert((start, ramp_milli));
+                    // A concurrent beat mute makes score-based attribution
+                    // unbounded (no timings arrive) — track, don't assert.
+                    let bounded = !self.hb_drop.contains_key(&dev);
+                    self.arm_detection(dev, "creeping_straggler", bounded);
+                    format!(
+                        "device {dev} creeping from {start}/1000, +{ramp_milli}/step — silently"
+                    )
+                } else {
+                    format!("device {dev} is already creeping; no-op")
+                }
+            }
+            FaultKind::HeartbeatDrop { worker, beats } => {
+                let dev = self.nth_active(worker);
+                if self.silent_crashed.contains(&dev) {
+                    format!("device {dev} is silently dead; nothing to mute")
+                } else if self.hb_drop.contains_key(&dev) {
+                    format!("device {dev} is already muted; no-op")
+                } else if beats == 0 {
+                    "zero-beat drop; no-op".to_string()
+                } else {
+                    // Muting a creeping device stalls its score — any armed
+                    // creep detection on it loses its bound.
+                    if self.creeping.contains_key(&dev) {
+                        self.supersede_pending(dev);
+                    }
+                    self.hb_drop.insert(dev, beats);
+                    let detectable = self.drop_is_detectable(beats);
+                    self.arm_detection(dev, "heartbeat_drop", detectable);
+                    format!(
+                        "device {dev} mutes its next {beats} heartbeats ({})",
+                        if detectable { "must be detected" } else { "benign-length drop" }
+                    )
+                }
             }
         };
         self.record(step, kind, outcome);
@@ -354,12 +864,18 @@ impl FaultHarness {
                 self.next_event += 1;
                 self.apply_event(ev);
             }
+            // A silent corpse in the allocation blocks the all-reduce: no
+            // step happens, but time passes and the detector hunts.
+            if self.blocked() {
+                self.blocked_tick();
+                continue;
+            }
             // A fired event may have rewound the step counter (crash) —
             // re-read before stepping.
             let engine = self.engine.as_mut().expect("live engine");
             let comm_pending = engine.pending_comm_faults();
             match engine.try_step() {
-                Ok(_) => {
+                Ok(result) => {
                     // Armed comm faults below the retry budget were absorbed
                     // in-step; account their backoff in simulated time.
                     if comm_pending > 0 {
@@ -369,21 +885,45 @@ impl FaultHarness {
                         }
                         obs::counter_add("faultsim.comm_faults_absorbed", 1);
                     }
-                    let base = self.step_time_us();
-                    match self.straggler {
-                        Some((factor, left)) => {
-                            self.clock.advance_dilated(base, factor);
-                            self.straggler = (left > 1).then_some((factor, left - 1));
+                    // Deterministic per-device step timings: EST load
+                    // through the perf model, dilated per-device by any
+                    // straggler fault. The round lasts as long as the
+                    // slowest device (synchronous training).
+                    let devices: Vec<u32> = self.active.iter().copied().collect();
+                    let loads = &result.per_worker_load;
+                    let mut times: BTreeMap<u32, u64> = BTreeMap::new();
+                    for (i, &d) in devices.iter().enumerate() {
+                        let load = loads.get(i).copied().unwrap_or(0);
+                        let mut t = if load == 0 { 0 } else { self.device_step_us(load) };
+                        if let Some((sdev, factor, _)) = self.straggler {
+                            if sdev == d {
+                                t = t.saturating_mul(factor) / DILATION_ONE;
+                            }
                         }
-                        None => {
-                            self.clock.advance_us(base);
+                        if let Some(&(factor, _)) = self.creeping.get(&d) {
+                            t = t.saturating_mul(factor) / DILATION_ONE;
                         }
+                        times.insert(d, t);
+                    }
+                    let round = times.values().copied().max().unwrap_or(0).max(1);
+                    self.clock.advance_us(round);
+                    if let Some((sdev, factor, left)) = self.straggler {
+                        self.straggler = (left > 1).then_some((sdev, factor, left - 1));
                     }
                     let done = self.engine.as_ref().expect("live engine").global_step();
+                    self.emit_beats(done, Some(&times));
+                    // The creep creeps: active creepers degrade further
+                    // with every completed step.
+                    for (d, f) in self.creeping.iter_mut() {
+                        if self.active.contains(d) {
+                            f.0 = f.0.saturating_add(f.1);
+                        }
+                    }
                     if done.is_multiple_of(self.cfg.checkpoint_every) {
                         let ckpt = self.engine.as_ref().expect("live engine").checkpoint();
                         self.store.save(&ckpt).expect("store io");
                     }
+                    self.health_round();
                 }
                 Err(e) => {
                     // Retries exhausted: the engine is poisoned (paper
@@ -399,6 +939,21 @@ impl FaultHarness {
         self.report.final_gpus = self.current_gpus();
         self.report.sim_elapsed_us = self.clock.now_us();
         self.report.final_params = engine.flat_params();
+        self.report.health_events = self.supervisor.events().to_vec();
+        self.report.detections = self
+            .pending
+            .iter()
+            .map(|p| DetectionRecord {
+                device: p.device,
+                kind: p.kind.to_string(),
+                injected_at_us: p.injected_at_us,
+                bound_us: p.bound_us,
+                detected_at_us: p.detected_at_us,
+                latency_us: p.detected_at_us.map(|d| d - p.injected_at_us),
+                within_bound: p.detected_at_us.is_some_and(|d| d - p.injected_at_us <= p.bound_us),
+                superseded: p.superseded,
+            })
+            .collect();
         obs::gauge_set("faultsim.sim_elapsed_us", self.report.sim_elapsed_us as f64);
         self.report
     }
@@ -437,6 +992,7 @@ mod tests {
         assert_eq!(report.final_params, reference);
         assert_eq!(report.crashes, 0);
         assert_eq!(report.replayed_steps, 0);
+        assert!(report.health_events.is_empty(), "no faults, no transitions");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -493,6 +1049,26 @@ mod tests {
         let report = FaultHarness::new(cfg, schedule).run();
         assert!(report.final_gpus > 2, "2 free GPUs existed; the grant must land");
         assert_eq!(report.final_params, reference, "scale-out is bitwise invisible");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn silent_crash_blocks_until_detected_then_recovers() {
+        let dir = tmp("silent-crash");
+        let cfg = HarnessConfig::default_detect(dir.clone());
+        let reference = run_fault_free(&cfg);
+        let schedule = FaultSchedule::from_events(vec![FaultEvent {
+            step: 3,
+            kind: FaultKind::SilentCrash { worker: 1 },
+        }]);
+        let report = FaultHarness::new(cfg, schedule).run();
+        assert_eq!(report.final_params, reference, "recovery must stay byte-identical");
+        assert_eq!(report.evictions, 1, "the corpse is evicted exactly once");
+        assert_eq!(report.crashes, 1, "lost lease ⇒ checkpoint fallback");
+        assert_eq!(report.detections.len(), 1);
+        let d = &report.detections[0];
+        assert!(d.within_bound, "detection must respect the latency bound: {d:?}");
+        assert!(report.health_events.iter().any(|e| e.to == sched::HealthState::Quarantined));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -10,6 +10,13 @@
 //! determinism (D1+D2), the final model parameters after any fault schedule
 //! are byte-identical to the fault-free run.**
 //!
+//! The *silent* fault kinds (crash-without-notification, creeping
+//! straggler, heartbeat drop — [`FaultKind::is_silent`]) announce nothing:
+//! the AIMaster's self-healing loop ([`sched::Supervisor`]) must discover
+//! them from heartbeat leases and straggler scores alone, and the
+//! [`detect`] matrix additionally asserts **bounded detection latency** on
+//! SimClock time.
+//!
 //! Everything is a pure function of `(config, schedule)`: schedules come
 //! from `esrng` Philox streams or JSON, time is simulated
 //! ([`device::SimClock`]), and no wall clock is ever read — so any chaos
@@ -31,8 +38,12 @@
 
 #![deny(missing_docs)]
 
+pub mod detect;
 pub mod harness;
 pub mod schedule;
 
-pub use harness::{run_fault_free, FaultHarness, HarnessConfig, InjectedEvent, RunReport};
+pub use detect::{run_case, run_matrix, silent_matrix, CaseOutcome, DetectCase, DetectReport};
+pub use harness::{
+    run_fault_free, DetectionRecord, FaultHarness, HarnessConfig, InjectedEvent, RunReport,
+};
 pub use schedule::{FaultEvent, FaultKind, FaultSchedule};

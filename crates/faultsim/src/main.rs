@@ -4,11 +4,17 @@
 //! ```text
 //! faultsim [--seed N] [--steps N] [--events N]
 //!          [--schedule PATH] [--emit-schedule PATH] [--json]
+//! faultsim --detect [--seed N]
+//! faultsim --detect-matrix [--out PATH]
 //! ```
 //!
 //! `--schedule` replays a JSON schedule (e.g. a CI artifact) instead of
 //! generating one from the seed; `--emit-schedule` writes the schedule used
-//! so a failure is replayable. Exit status 1 means the invariant broke.
+//! so a failure is replayable. `--detect` runs one seeded *silent* fault
+//! schedule and prints the supervisor's health-event log. `--detect-matrix`
+//! runs the full silent-fault detection matrix (optionally writing the
+//! JSON report to `--out`). Exit status 1 means an invariant broke: byte
+//! divergence, or (detect modes) a missed detection-latency bound.
 
 use faultsim::{run_fault_free, FaultHarness, FaultSchedule, HarnessConfig};
 use serde::Serialize;
@@ -31,9 +37,98 @@ struct Summary {
 fn usage() -> ! {
     eprintln!(
         "usage: faultsim [--seed N] [--steps N] [--events N] \
-         [--schedule PATH] [--emit-schedule PATH] [--json]"
+         [--schedule PATH] [--emit-schedule PATH] [--json]\n\
+         \x20      faultsim --detect [--seed N]\n\
+         \x20      faultsim --detect-matrix [--out PATH]"
     );
     std::process::exit(2)
+}
+
+/// `--detect`: run one seeded silent-fault schedule and print the
+/// supervisor's deterministic health-event log plus detection outcomes.
+fn run_detect(seed: u64) -> ! {
+    let schedule = FaultSchedule::generate_silent(seed, 14, 2);
+    let case = faultsim::DetectCase { name: format!("cli-seed-{seed}"), schedule };
+    let dir = std::env::temp_dir()
+        .join(format!("easyscale-faultsim-detect-{seed}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let outcome = faultsim::run_case(&case, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "detect seed={seed} events={} evictions={} readmissions={}",
+        case.schedule.events.len(),
+        outcome.evictions,
+        outcome.readmissions
+    );
+    println!("health events:");
+    for ev in &outcome.health_events {
+        println!(
+            "  t={:>12}us  device {}  {} -> {}  ({})",
+            ev.at_us,
+            ev.device,
+            ev.from.name(),
+            ev.to.name(),
+            ev.cause.name()
+        );
+    }
+    println!("detections:");
+    for d in &outcome.detections {
+        let latency = d.latency_us.map(|l| format!("{l}us")).unwrap_or_else(|| "never".to_string());
+        println!(
+            "  device {}  {:<18} injected={}us latency={} bound={}us {}",
+            d.device,
+            d.kind,
+            d.injected_at_us,
+            latency,
+            d.bound_us,
+            if d.superseded {
+                "(superseded)"
+            } else if d.within_bound {
+                "OK"
+            } else {
+                "MISSED BOUND"
+            }
+        );
+    }
+    println!(
+        "invariant: final params {} the fault-free run; bounds {}",
+        if outcome.bitwise_identical { "BYTE-IDENTICAL to" } else { "DIVERGED from" },
+        if outcome.all_detected_within_bound { "held" } else { "VIOLATED" }
+    );
+    std::process::exit(if outcome.passed() { 0 } else { 1 })
+}
+
+/// `--detect-matrix`: run the full silent-fault matrix, optionally writing
+/// the JSON report, and gate on it.
+fn run_detect_matrix(out: Option<&str>) -> ! {
+    let base =
+        std::env::temp_dir().join(format!("easyscale-faultsim-matrix-{}", std::process::id()));
+    let report = faultsim::run_matrix(&base);
+    let _ = std::fs::remove_dir_all(&base);
+
+    for case in &report.cases {
+        println!(
+            "  {:<22} seed={:<4} bitwise={} bounds={} detections={} evictions={} readmissions={}",
+            case.name,
+            case.seed,
+            if case.bitwise_identical { "ok" } else { "DIVERGED" },
+            if case.all_detected_within_bound { "ok" } else { "MISSED" },
+            case.detections.len(),
+            case.evictions,
+            case.readmissions
+        );
+    }
+    println!("detect matrix: {}", report.status);
+    if let Some(path) = out {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, serde_json::to_string_pretty(&report).expect("report json"))
+            .unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
+        println!("report written to {path}");
+    }
+    std::process::exit(if report.passed() { 0 } else { 1 })
 }
 
 fn main() {
@@ -43,6 +138,9 @@ fn main() {
     let mut schedule_path: Option<String> = None;
     let mut emit_path: Option<String> = None;
     let mut json = false;
+    let mut detect = false;
+    let mut detect_matrix = false;
+    let mut out_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -58,6 +156,9 @@ fn main() {
             "--schedule" => schedule_path = Some(take(&mut i)),
             "--emit-schedule" => emit_path = Some(take(&mut i)),
             "--json" => json = true,
+            "--detect" => detect = true,
+            "--detect-matrix" => detect_matrix = true,
+            "--out" => out_path = Some(take(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -65,6 +166,13 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if detect_matrix {
+        run_detect_matrix(out_path.as_deref());
+    }
+    if detect {
+        run_detect(seed);
     }
 
     let schedule = match &schedule_path {

@@ -62,6 +62,39 @@ pub enum FaultKind {
         /// Which bit of the file to flip (modulo file size).
         bit_index: u64,
     },
+    /// **Silent** crash: one device dies *without any notification to the
+    /// harness*. The job cannot make progress (the all-reduce hangs on the
+    /// dead member) until the AIMaster's failure detector notices the lost
+    /// heartbeat lease, quarantines the device, and recovers from the
+    /// last-good checkpoint on the survivors.
+    SilentCrash {
+        /// Index of the dying device (modulo the live count).
+        worker: u32,
+    },
+    /// **Silent** creeping straggler: one device degrades progressively —
+    /// its dilation starts at `start_milli` and grows by `ramp_milli`
+    /// every step, forever, until the detector's straggler score
+    /// quarantines it. Nothing announces the slowdown; it must be scored
+    /// out of the heartbeat timings.
+    CreepingStraggler {
+        /// Index of the degrading device (modulo the live count).
+        worker: u32,
+        /// Initial dilation in milli-units (1200 = 1.2× slower).
+        start_milli: u64,
+        /// Dilation added per completed step (the "creep").
+        ramp_milli: u64,
+    },
+    /// **Silent** heartbeat drop: the device keeps training, but its next
+    /// `beats` heartbeats are lost in transit. A long enough drop is
+    /// indistinguishable from a crash to the detector — which is the
+    /// point: the detector may quarantine (and even roll back) a healthy
+    /// device, and the run must *still* be byte-identical.
+    HeartbeatDrop {
+        /// Index of the muted device (modulo the live count).
+        worker: u32,
+        /// Consecutive heartbeats swallowed.
+        beats: u32,
+    },
 }
 
 impl FaultKind {
@@ -76,7 +109,22 @@ impl FaultKind {
             FaultKind::CommFailure { .. } => "comm_failure",
             FaultKind::TornCheckpoint { .. } => "torn_checkpoint",
             FaultKind::BitFlippedCheckpoint { .. } => "bitflip_checkpoint",
+            FaultKind::SilentCrash { .. } => "silent_crash",
+            FaultKind::CreepingStraggler { .. } => "creeping_straggler",
+            FaultKind::HeartbeatDrop { .. } => "heartbeat_drop",
         }
+    }
+
+    /// Whether this fault is *silent*: nothing tells the harness it
+    /// happened — the AIMaster's detector must discover it from heartbeats
+    /// alone.
+    pub fn is_silent(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::SilentCrash { .. }
+                | FaultKind::CreepingStraggler { .. }
+                | FaultKind::HeartbeatDrop { .. }
+        )
     }
 }
 
@@ -146,6 +194,50 @@ impl FaultSchedule {
         FaultSchedule { seed, events }
     }
 
+    /// Generate `n_events` *silent* faults over `total_steps` steps from a
+    /// seed — the detection matrix's schedule source. Same purity contract
+    /// as [`FaultSchedule::generate`], drawn from a decorrelated stream so
+    /// adding this generator cannot perturb existing seeded schedules.
+    ///
+    /// Constraints that keep every drawn fault *detectable within its
+    /// latency bound*:
+    ///
+    /// * events land in the first half of the run, so straggler scoring
+    ///   has enough timed rounds left to converge;
+    /// * heartbeat drops are long (12–16 beats ≥ several lease periods at
+    ///   the fastest possible round), so the lease detector is guaranteed
+    ///   to notice;
+    /// * at most one creeping straggler per schedule — two concurrent
+    ///   creepers would contaminate each other's scoring population
+    ///   (extra draws degrade to heartbeat drops).
+    pub fn generate_silent(seed: u64, total_steps: u64, n_events: usize) -> Self {
+        assert!(total_steps >= 4, "need room for a detectable silent fault");
+        // Decorrelate from `generate`: same stream kind, different key
+        // material via a fixed seed salt.
+        let mut rng = EsRng::for_stream(seed ^ 0x5117_E47F, StreamKey::global(StreamKind::User));
+        let mut events = Vec::with_capacity(n_events);
+        let mut creeper_drawn = false;
+        for _ in 0..n_events {
+            let step = 1 + rng.next_below((total_steps / 2) as u32) as u64;
+            let worker = rng.next_below(8);
+            let kind = match rng.next_below(3) {
+                0 => FaultKind::SilentCrash { worker },
+                1 if !creeper_drawn => {
+                    creeper_drawn = true;
+                    FaultKind::CreepingStraggler {
+                        worker,
+                        start_milli: 1100 + rng.next_below(600) as u64,
+                        ramp_milli: 300 + rng.next_below(400) as u64,
+                    }
+                }
+                _ => FaultKind::HeartbeatDrop { worker, beats: 12 + rng.next_below(5) },
+            };
+            events.push(FaultEvent { step, kind });
+        }
+        events.sort_by_key(|e| e.step);
+        FaultSchedule { seed, events }
+    }
+
     /// Serialize to pretty JSON (the CI artifact format).
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("schedule serializes")
@@ -201,6 +293,63 @@ mod tests {
         let back = FaultSchedule::from_json(&s.to_json()).unwrap();
         assert_eq!(s, back);
         assert_eq!(back.kinds().len(), 8);
+    }
+
+    #[test]
+    fn silent_json_roundtrip_preserves_every_silent_variant() {
+        let s = FaultSchedule::from_events(vec![
+            FaultEvent { step: 1, kind: FaultKind::SilentCrash { worker: 1 } },
+            FaultEvent {
+                step: 2,
+                kind: FaultKind::CreepingStraggler {
+                    worker: 0,
+                    start_milli: 1200,
+                    ramp_milli: 400,
+                },
+            },
+            FaultEvent { step: 3, kind: FaultKind::HeartbeatDrop { worker: 1, beats: 12 } },
+        ]);
+        let back = FaultSchedule::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(
+            back.kinds().into_iter().collect::<Vec<_>>(),
+            vec!["creeping_straggler", "heartbeat_drop", "silent_crash"]
+        );
+        assert!(back.events.iter().all(|e| e.kind.is_silent()));
+    }
+
+    #[test]
+    fn silent_generation_is_a_pure_function_of_the_seed() {
+        let a = FaultSchedule::generate_silent(7, 14, 3);
+        let b = FaultSchedule::generate_silent(7, 14, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultSchedule::generate_silent(8, 14, 3));
+        // Decorrelated from the legacy generator under the same seed.
+        assert_ne!(a.events, FaultSchedule::generate(7, 14, 3).events);
+    }
+
+    #[test]
+    fn silent_generation_keeps_faults_detectable() {
+        for seed in 0..32u64 {
+            let s = FaultSchedule::generate_silent(seed, 14, 3);
+            assert!(s.events.iter().all(|e| e.kind.is_silent()));
+            assert!(
+                s.events.iter().all(|e| e.step >= 1 && e.step <= 7),
+                "silent faults land in the first half: {:?}",
+                s.events
+            );
+            let creepers = s
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::CreepingStraggler { .. }))
+                .count();
+            assert!(creepers <= 1, "at most one creeper per schedule: {:?}", s.events);
+            for e in &s.events {
+                if let FaultKind::HeartbeatDrop { beats, .. } = e.kind {
+                    assert!((12..=16).contains(&beats), "drops must be long enough: {beats}");
+                }
+            }
+        }
     }
 
     #[test]

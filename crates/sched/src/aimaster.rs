@@ -10,6 +10,7 @@
 //! and applies the Role-3 slowdown fallback with real numbers.
 
 use crate::companion::{Alloc, Companion};
+use crate::health::{HealthEvent, HealthPolicy, HealthState, HealthTracker, TransitionCause};
 use crate::intra::{IntraJobScheduler, ResourceProposal};
 use device::GpuType;
 use easyscale::{Engine, JobConfig};
@@ -156,6 +157,153 @@ impl AiMaster {
     /// Total parameters of the proxy (diagnostics).
     pub fn n_params(&self) -> usize {
         zoo::build_proxy(self.config.workload, self.config.seed).num_params()
+    }
+}
+
+/// An allocation-level action the supervisor derives from a health
+/// transition. Actions only ever change *placement* — which bitwise
+/// placement-invariance keeps invisible to the learned parameters — so the
+/// self-healing loop stays off the consistency path by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SupervisorAction {
+    /// Remove a quarantined device from the allocation and rescale.
+    Evict {
+        /// The quarantined device.
+        device: u32,
+        /// `true` when the quarantine came from a lost lease: the device is
+        /// presumed crashed, so the job must also fall back to its
+        /// last-good durable checkpoint (in-memory state on that device is
+        /// gone). `false` for straggler quarantines: the device is alive,
+        /// nothing was lost, a plain rescale suffices.
+        assume_crash: bool,
+    },
+    /// A quarantined device finished its backoff and proved itself alive:
+    /// readmit it (on probation) into the allocation.
+    Readmit {
+        /// The paroled device.
+        device: u32,
+    },
+}
+
+/// The AIMaster's self-healing loop (paper §4's detection role): wraps a
+/// [`HealthTracker`] and converts its state transitions into allocation
+/// actions. No human and no harness hint is in this loop — the only inputs
+/// are the heartbeats themselves.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    tracker: HealthTracker,
+}
+
+impl Supervisor {
+    /// A supervisor with the given detection policy and no known devices.
+    pub fn new(policy: HealthPolicy) -> Self {
+        Supervisor { tracker: HealthTracker::new(policy) }
+    }
+
+    /// The underlying tracker (states, policy, event log).
+    pub fn tracker(&self) -> &HealthTracker {
+        &self.tracker
+    }
+
+    /// Start tracking a device (fresh lease granted at `now_us`).
+    pub fn register(&mut self, device: u32, now_us: u64) {
+        self.tracker.register(device, now_us);
+    }
+
+    /// Stop tracking a device that left through a planned path (scale-in,
+    /// preemption) — not a health decision.
+    pub fn deregister(&mut self, device: u32) {
+        self.tracker.deregister(device);
+    }
+
+    /// Ingest one heartbeat.
+    pub fn observe(&mut self, beat: &comm::Heartbeat) {
+        self.tracker.observe(beat);
+    }
+
+    /// Run one detection round and return the allocation actions implied by
+    /// this round's transitions: entering Quarantined ⇒ [`SupervisorAction::Evict`]
+    /// (crash assumed iff the cause was a lost lease), entering Probation ⇒
+    /// [`SupervisorAction::Readmit`]. All other transitions are
+    /// observation-only.
+    pub fn tick(&mut self, now_us: u64) -> Vec<SupervisorAction> {
+        self.tracker
+            .end_of_round(now_us)
+            .iter()
+            .filter_map(|ev| match ev.to {
+                HealthState::Quarantined => Some(SupervisorAction::Evict {
+                    device: ev.device,
+                    assume_crash: matches!(ev.cause, TransitionCause::LeaseMiss { .. }),
+                }),
+                HealthState::Probation => Some(SupervisorAction::Readmit { device: ev.device }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The full health-event log, in firing order.
+    pub fn events(&self) -> &[HealthEvent] {
+        self.tracker.events()
+    }
+}
+
+#[cfg(test)]
+mod supervisor_tests {
+    use super::*;
+    use comm::Heartbeat;
+
+    const LEASE: u64 = 1_000;
+
+    fn supervisor(devices: u32) -> Supervisor {
+        let mut s = Supervisor::new(HealthPolicy::with_lease(LEASE));
+        for d in 0..devices {
+            s.register(d, 0);
+        }
+        s
+    }
+
+    fn beat(device: u32, at: u64, time: Option<u64>) -> Heartbeat {
+        Heartbeat { device, step: 0, sent_at_us: at, step_time_us: time }
+    }
+
+    #[test]
+    fn lost_lease_evicts_with_crash_assumed() {
+        let mut s = supervisor(2);
+        let mut actions = Vec::new();
+        for round in 1..=4u64 {
+            let now = round * LEASE;
+            s.observe(&beat(1, now, Some(100)));
+            actions.extend(s.tick(now));
+        }
+        assert_eq!(actions, vec![SupervisorAction::Evict { device: 0, assume_crash: true }]);
+    }
+
+    #[test]
+    fn persistent_straggler_evicts_without_rollback() {
+        let mut s = supervisor(2);
+        let mut actions = Vec::new();
+        for round in 1..=5u64 {
+            let now = round * 500;
+            s.observe(&beat(0, now, Some(100)));
+            s.observe(&beat(1, now, Some(300)));
+            actions.extend(s.tick(now));
+        }
+        assert_eq!(actions, vec![SupervisorAction::Evict { device: 1, assume_crash: false }]);
+    }
+
+    #[test]
+    fn backoff_elapsed_readmits() {
+        let mut s = supervisor(2);
+        for round in 1..=4u64 {
+            s.observe(&beat(1, round * LEASE, Some(100)));
+            s.tick(round * LEASE);
+        }
+        // Device 0 resurfaces well after the backoff.
+        let later = 100 * LEASE;
+        s.observe(&beat(0, later, Some(100)));
+        s.observe(&beat(1, later, Some(100)));
+        let actions = s.tick(later);
+        assert_eq!(actions, vec![SupervisorAction::Readmit { device: 0 }]);
     }
 }
 

@@ -5,6 +5,10 @@
 //!
 //! * [`companion`] — the per-job companion module: a database of scheduling
 //!   plans and the Eq 1 analytical throughput model (`waste`, `f_overload`).
+//! * [`health`] — the failure detector: heartbeat leases, straggler
+//!   z-scores, and the Healthy → Suspect → Quarantined → Probation state
+//!   machine whose transitions the AIMaster supervisor turns into
+//!   evictions, checkpoint fallbacks, and probational readmissions.
 //! * [`intra`] — the intra-job scheduler: picks the best EST-to-GPU mapping
 //!   for the current allocation (Role 1), forms scale-out resource proposals
 //!   (Role 2), and applies inter-job decisions (Role 3).
@@ -19,12 +23,14 @@
 
 pub mod aimaster;
 pub mod companion;
+pub mod health;
 pub mod inter;
 pub mod intra;
 pub mod sim;
 
-pub use aimaster::AiMaster;
+pub use aimaster::{AiMaster, Supervisor, SupervisorAction};
 pub use companion::{Companion, Plan};
+pub use health::{HealthEvent, HealthPolicy, HealthState, HealthTracker, TransitionCause};
 pub use inter::{Decision, InterJobScheduler};
 pub use intra::{FreePool, IntraJobScheduler, ResourceProposal};
 pub use sim::{ClusterSim, JobRecord, JobSpec, Policy, SimOutcome};

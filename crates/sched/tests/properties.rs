@@ -1,8 +1,10 @@
-//! Property-based tests for the Eq 1 plan model and the schedulers.
+//! Property-based tests for the Eq 1 plan model, the schedulers, and the
+//! failure detector.
 
+use comm::{Heartbeat, HeartbeatBus};
 use device::GpuType;
 use proptest::prelude::*;
-use sched::{Companion, InterJobScheduler, IntraJobScheduler};
+use sched::{Companion, HealthPolicy, HealthTracker, InterJobScheduler, IntraJobScheduler};
 use std::collections::BTreeMap;
 
 fn caps_strategy() -> impl Strategy<Value = BTreeMap<GpuType, f64>> {
@@ -152,5 +154,87 @@ proptest! {
             prop_assert!(p.speedup_total > 0.0);
             prop_assert!(p.speedup_per_gpu > 0.0);
         }
+    }
+
+    /// The health-event log is invariant under heartbeat *publication*
+    /// order: beats reach the bus in whatever order worker threads race
+    /// them in, but `drain_sorted` canonicalizes, so any permutation of
+    /// each round's beats yields a byte-identical log — the property that
+    /// keeps failure detection deterministic at all.
+    #[test]
+    fn health_log_ignores_heartbeat_publication_order(
+        behaviors in prop::collection::vec(
+            prop::collection::vec((any::<bool>(), any::<bool>()), 4),
+            1..10,
+        ),
+        order in Just(vec![0u32, 1, 2, 3]).prop_shuffle(),
+    ) {
+        const LEASE: u64 = 1_000_000;
+        const ROUND: u64 = 600_000;
+        let run = |device_order: &[u32]| -> String {
+            let mut bus = HeartbeatBus::new();
+            let mut tracker = HealthTracker::new(HealthPolicy::with_lease(LEASE));
+            for &d in device_order {
+                tracker.register(d, 0);
+            }
+            for (r, round) in behaviors.iter().enumerate() {
+                let now = (r as u64 + 1) * ROUND;
+                for &d in device_order {
+                    let (beats, slow) = round[d as usize];
+                    if beats {
+                        bus.publish(Heartbeat {
+                            device: d,
+                            step: r as u64,
+                            sent_at_us: now,
+                            step_time_us: Some(if slow { 1_600_000 } else { 1_000_000 }),
+                        });
+                    }
+                }
+                for beat in bus.drain_sorted() {
+                    tracker.observe(&beat);
+                }
+                tracker.end_of_round(now);
+            }
+            serde_json::to_string(tracker.events()).unwrap()
+        };
+        let canonical = run(&[0, 1, 2, 3]);
+        let shuffled = run(&order);
+        prop_assert_eq!(canonical, shuffled,
+            "publication order {:?} leaked into the health log", order);
+    }
+
+    /// Repeat-run determinism of the detector: the same beat trace always
+    /// produces the same event log, byte for byte (no interior hash state,
+    /// no wall clock, no ambient randomness).
+    #[test]
+    fn health_log_is_byte_identical_across_repeat_runs(
+        behaviors in prop::collection::vec(
+            prop::collection::vec((any::<bool>(), any::<bool>()), 3),
+            1..12,
+        ),
+    ) {
+        const LEASE: u64 = 800_000;
+        let run = || -> String {
+            let mut tracker = HealthTracker::new(HealthPolicy::with_lease(LEASE));
+            for d in 0..3u32 {
+                tracker.register(d, 0);
+            }
+            for (r, round) in behaviors.iter().enumerate() {
+                let now = (r as u64 + 1) * 500_000;
+                for (d, &(beats, slow)) in round.iter().enumerate() {
+                    if beats {
+                        tracker.observe(&Heartbeat {
+                            device: d as u32,
+                            step: r as u64,
+                            sent_at_us: now,
+                            step_time_us: Some(if slow { 900_000 } else { 500_000 }),
+                        });
+                    }
+                }
+                tracker.end_of_round(now);
+            }
+            serde_json::to_string(tracker.events()).unwrap()
+        };
+        prop_assert_eq!(run(), run());
     }
 }

@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
 # Bench regression gate: run the fixed bench_gate suite, record this PR's
-# medians to BENCH_PR3.json (committed at the repo root), and fail if any
+# medians to BENCH_PR4.json (committed at the repo root), and fail if any
 # bench's median regressed more than the threshold against the newest prior
-# BENCH_*.json. With no prior baseline the gate records and passes.
+# BENCH_*.json. With no prior baseline the gate warns, records, and passes.
 #
-#   scripts/bench_gate.sh [OUT_JSON]            (default: BENCH_PR3.json)
+#   scripts/bench_gate.sh [OUT_JSON]            (default: BENCH_PR4.json)
 #   BENCH_GATE_THRESHOLD=1.15                   (ratio; 1.15 = +15%)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 THRESHOLD="${BENCH_GATE_THRESHOLD:-1.15}"
 
 # Newest prior baseline: version-sorted BENCH_*.json, excluding our own
@@ -18,10 +18,18 @@ BASELINE="$(ls BENCH_*.json 2>/dev/null | grep -vx "$(basename "$OUT")" | sort -
 
 cargo build --release --offline -q -p bench --bin bench_gate
 
+# A listed-but-vanished baseline (racing checkout, manual delete) is the
+# same as no baseline: warn and record only. The binary double-checks this
+# (missing file ⇒ warn + exit 0), so neither layer can panic a fresh repo.
+if [ -n "$BASELINE" ] && [ ! -f "$BASELINE" ]; then
+  echo "bench_gate: warning: baseline $BASELINE vanished; treating as no baseline" >&2
+  BASELINE=""
+fi
+
 if [ -n "$BASELINE" ]; then
   echo "bench_gate: gating against baseline $BASELINE (threshold ${THRESHOLD}x)"
   ./target/release/bench_gate --out "$OUT" --baseline "$BASELINE" --threshold "$THRESHOLD"
 else
-  echo "bench_gate: no prior BENCH_*.json baseline; recording $OUT only"
+  echo "bench_gate: warning: no prior BENCH_*.json baseline; skipping gate, recording $OUT only" >&2
   ./target/release/bench_gate --out "$OUT"
 fi

@@ -2,7 +2,8 @@
 # Staged CI pipeline (see docs/CI.md). Runs entirely offline.
 #
 #   scripts/ci.sh           full pipeline: fmt → clippy → detlint → build →
-#                           test → faultsim chaos matrix → bench gate
+#                           test → faultsim chaos matrix → silent-fault
+#                           detection matrix → bench gate
 #   scripts/ci.sh --quick   quick stages only (what scripts/check.sh runs):
 #                           fmt → clippy → detlint → build → test
 #
@@ -62,6 +63,13 @@ if [ "$MODE" = full ]; then
   # The chaos matrix: every fault schedule must converge byte-identically
   # (crates/faultsim/tests/chaos_matrix.rs).
   stage chaos      cargo test -q --offline -p faultsim
+  # The silent-fault detection matrix: faults nobody announces must be
+  # detected by the AIMaster supervisor within their SimClock latency
+  # bounds, still byte-identically (crates/faultsim/src/detect.rs). Fails
+  # on any missed bound or byte divergence; report in
+  # results/detect_report.json.
+  stage detect     cargo run --release --offline -q -p faultsim -- \
+                     --detect-matrix --out results/detect_report.json
   stage bench_gate scripts/bench_gate.sh
 fi
 
