@@ -282,7 +282,7 @@ impl EasyScaleWorker {
                 let pred = row
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(k, _)| k)
                     .unwrap();
                 total[label as usize] += 1;

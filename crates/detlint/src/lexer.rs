@@ -154,9 +154,11 @@ pub fn lex(src: &str) -> Lexed {
         }
         // Lifetime or char literal.
         if c == '\'' {
-            // Escaped char: '\n', '\u{..}'.
+            // Escaped char: '\n', '\'', '\u{..}'. The character after the
+            // backslash is consumed unconditionally so `'\''` and `'\\'`
+            // terminate at their own closing quote, not at the escape.
             if i + 1 < n && b[i + 1] == '\\' {
-                let mut j = i + 2;
+                let mut j = (i + 3).min(n);
                 while j < n && b[j] != '\'' {
                     j += 1;
                 }
@@ -322,6 +324,51 @@ mod tests {
                 TokKind::Int,
             ]
         );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_content_and_terminate_correctly() {
+        // Multi-hash raw string containing a shorter close-like sequence:
+        // `"#` inside `r##"…"##` must not terminate the literal.
+        let l = lex("let s = r##\"Instant \"# HashMap\"##; after");
+        assert!(l.toks.iter().all(|t| t.text != "Instant" && t.text != "HashMap"));
+        assert!(l.toks.iter().any(|t| t.text == "after"), "lexer must resume after the literal");
+        // Byte raw strings behave identically.
+        let l = lex("let s = br#\"SystemTime\"#; after");
+        assert!(l.toks.iter().all(|t| t.text != "SystemTime"));
+        assert!(l.toks.iter().any(|t| t.text == "after"));
+        // Raw identifiers are not raw strings: `r#match` lexes as idents,
+        // and the following real code is still seen.
+        let l = lex("let r#match = Instant::now();");
+        assert!(l.toks.iter().any(|t| t.text == "Instant"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_hide_content() {
+        let l = lex("/* a /* b /* c */ d */ e */ after");
+        assert_eq!(l.toks.len(), 1);
+        assert_eq!(l.toks[0].text, "after");
+        // `/*/` opens-then-closes ambiguity: rustc treats the `/` after the
+        // opener as content, so `/*/ */` is one complete comment.
+        let l = lex("/*/ */ after");
+        assert_eq!(l.toks.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(), vec!["after"]);
+        // Line numbers keep tracking across nested multiline comments.
+        let l = lex("/* line1\n /* line2\n */ line3\n */\nafter");
+        assert_eq!(l.toks[0].line, 5);
+    }
+
+    #[test]
+    fn char_literals_containing_quotes_do_not_open_strings() {
+        // `'"'` is a char literal; the quote inside must not start a string
+        // that swallows the rest of the file.
+        let l = lex("let q = '\"'; let t = Instant::now();");
+        assert!(l.toks.iter().any(|t| t.text == "Instant"), "code after '\"' must still lex");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+        // Escaped forms: '\'' and '\"' and '\\' all close at their own quote.
+        let l = lex(r"let a = '\''; let b = '\x22'; let c = '\\'; done");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 3);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 0);
+        assert!(l.toks.iter().any(|t| t.text == "done"));
     }
 
     #[test]

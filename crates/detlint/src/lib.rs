@@ -14,9 +14,12 @@
 //! rendered as human text or JSON ([`report`]), and are suppressed per-site
 //! with `// detlint::allow(rule): reason` comments.
 
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod taint;
 
 use std::path::Path;
 
@@ -41,8 +44,15 @@ pub struct Config {
     /// order-parameterized kernel: its accumulation order is explicit
     /// state, so `no-raw-float-accum` does not fire inside it.
     pub order_param_types: Vec<String>,
+    /// Identifiers that bless a float ordering as total (`no-float-key-sort`
+    /// stands down when one appears in the comparator/statement).
+    pub total_order_helpers: Vec<String>,
     /// Skip findings inside `#[cfg(test)] mod … { … }` regions.
     pub skip_test_code: bool,
+    /// Report `detlint::allow` comments that suppressed nothing as
+    /// `unused-suppression` findings. The taint pass runs the rules with a
+    /// permissive scope purely to harvest sources and turns this off there.
+    pub report_unused_suppressions: bool,
 }
 
 fn strs(v: &[&str]) -> Vec<String> {
@@ -59,7 +69,28 @@ impl Config {
             wall_clock_exempt: strs(&["obs", "bench"]),
             float_accum_crates: strs(&["tensor", "comm", "models"]),
             order_param_types: strs(&["KernelProfile", "ExecCtx", "RingSpec"]),
+            total_order_helpers: strs(&["total_cmp"]),
             skip_test_code: true,
+            report_unused_suppressions: true,
+        }
+    }
+
+    /// The scope the taint pass harvests sources with: the order/entropy
+    /// rules active in every listed crate, so a source is visible wherever
+    /// it lives — the barrier/sink policy, not rule scoping, decides what
+    /// matters. Float accumulation stays scoped to the numeric-contract
+    /// crates: a sequential `+=` in single-threaded bookkeeping code is
+    /// order-explicit by construction, and seeding taint from it would
+    /// drown the report in deterministic accumulators.
+    pub fn permissive(crate_names: &[String]) -> Self {
+        Config {
+            deterministic_path: crate_names.to_vec(),
+            wall_clock_exempt: Vec::new(),
+            float_accum_crates: strs(&["tensor", "comm", "models"]),
+            order_param_types: strs(&["KernelProfile", "ExecCtx", "RingSpec"]),
+            total_order_helpers: strs(&["total_cmp"]),
+            skip_test_code: true,
+            report_unused_suppressions: false,
         }
     }
 }
@@ -86,11 +117,22 @@ pub fn analyze_source(src: &str, crate_name: &str, file: &str, cfg: &Config) -> 
     rules::check_file(&lexed, crate_name, file, cfg)
 }
 
-/// Lint every `crates/*/src/**/*.rs` under `root`, in sorted order, and
-/// return all findings sorted by `(file, line, rule)`. IO errors on the
-/// crates directory itself are returned; unreadable individual files are
-/// skipped (generated artifacts, broken symlinks).
-pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+/// One source file fed to analysis: the crate directory name it belongs
+/// to, its workspace-relative path, and its text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Directory name under `crates/`.
+    pub crate_name: String,
+    /// Workspace-relative path, as reported in findings.
+    pub file: String,
+    /// File contents.
+    pub src: String,
+}
+
+/// Read every `crates/*/src/**/*.rs` under `root`, in sorted order. IO
+/// errors on the crates directory itself are returned; unreadable
+/// individual files are skipped (generated artifacts, broken symlinks).
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<std::path::PathBuf> = std::fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok())
@@ -99,7 +141,7 @@ pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Findi
         .collect();
     crate_dirs.sort();
 
-    let mut findings = Vec::new();
+    let mut out = Vec::new();
     for dir in crate_dirs {
         let crate_name = match dir.file_name().and_then(|n| n.to_str()) {
             Some(n) => n.to_string(),
@@ -115,8 +157,18 @@ pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Findi
         for path in files {
             let Ok(src) = std::fs::read_to_string(&path) else { continue };
             let rel = path.strip_prefix(root).unwrap_or(&path).display().to_string();
-            findings.extend(analyze_source(&src, &crate_name, &rel, cfg));
+            out.push(SourceFile { crate_name: crate_name.clone(), file: rel, src });
         }
+    }
+    Ok(out)
+}
+
+/// Lint every `crates/*/src/**/*.rs` under `root`, in sorted order, and
+/// return all findings sorted by `(file, line, rule)`.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for sf in workspace_sources(root)? {
+        findings.extend(analyze_source(&sf.src, &sf.crate_name, &sf.file, cfg));
     }
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(findings)
@@ -160,10 +212,34 @@ mod tests {
 
     #[test]
     fn suppression_is_rule_specific() {
-        // An allow for a *different* rule must not mask the violation.
+        // An allow for a *different* rule must not mask the violation — and
+        // since it masks nothing, it is itself flagged as stale.
         let src = "// detlint::allow(no-hash-iter): wrong rule\n\
                    fn f() { let t = std::time::Instant::now(); }\n";
-        assert_eq!(analyze_source(src, "sched", "x.rs", &cfg()).len(), 1);
+        let found = analyze_source(src, "sched", "x.rs", &cfg());
+        let rules: Vec<&str> = found.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["unused-suppression", "no-wall-clock"]);
+    }
+
+    #[test]
+    fn used_suppressions_are_not_reported_stale() {
+        let src = "// detlint::allow(no-wall-clock): measured for logs only\n\
+                   fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(analyze_source(src, "sched", "x.rs", &cfg()).is_empty());
+    }
+
+    #[test]
+    fn float_key_sort_scopes_to_deterministic_path() {
+        let src = "fn f(v: &mut Vec<(u32, f64)>) { v.sort_by(|a, b| \
+                   a.1.partial_cmp(&b.1).unwrap()); }\n";
+        let found = analyze_source(src, "sched", "x.rs", &cfg());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "no-float-key-sort");
+        // Same code off the deterministic path is out of scope.
+        assert!(analyze_source(src, "trace", "x.rs", &cfg()).is_empty());
+        // total_cmp is the blessed total order.
+        let fixed = "fn f(v: &mut Vec<(u32, f64)>) { v.sort_by(|a, b| a.1.total_cmp(&b.1)); }\n";
+        assert!(analyze_source(fixed, "sched", "x.rs", &cfg()).is_empty());
     }
 
     #[test]

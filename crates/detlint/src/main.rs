@@ -1,11 +1,13 @@
-//! `cargo run -p detlint [-- --json] [--quiet] [--out PATH] [--root PATH]`
+//! `cargo run -p detlint [-- --taint] [--json] [--quiet] [--out PATH] [--root PATH]`
 //!
 //! Lints every `crates/*/src/**/*.rs` in the workspace against the
 //! determinism rule catalog and exits non-zero on findings, so it can gate
 //! CI (scripts/ci.sh) exactly like clippy does. `--out` writes the JSON
 //! report to a file (the CI artifact) independently of what is printed.
+//! `--taint` runs the interprocedural source→sink flow analysis instead of
+//! the leaf rules.
 
-use detlint::{analyze_workspace, report, Config};
+use detlint::{analyze_workspace, report, taint, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -14,18 +16,22 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "detlint: static determinism lint for the EasyScale workspace\n\n\
-             USAGE: detlint [--json] [--quiet] [--out PATH] [--root PATH]\n\n\
+             USAGE: detlint [--taint] [--json] [--quiet] [--out PATH] [--root PATH]\n\n\
+             --taint       run the interprocedural taint analysis (source\n\
+             \x20              -> sink flows over the workspace call graph)\n\
              --json        emit the JSON report instead of human text\n\
              --quiet       print nothing (pair with --out for CI gating)\n\
              --out PATH    also write the JSON report to PATH\n\
              --root PATH   workspace root (default: the enclosing workspace)\n\n\
              Exits 1 when findings exist. Suppress a site with\n\
-             `// detlint::allow(rule): reason` on the line or the line above."
+             `// detlint::allow(rule): reason` on the line or the line above;\n\
+             taint flows use `detlint::allow(taint)` / `taint-<kind>`."
         );
         return ExitCode::SUCCESS;
     }
     let json = args.iter().any(|a| a == "--json");
     let quiet = args.iter().any(|a| a == "--quiet");
+    let taint_mode = args.iter().any(|a| a == "--taint");
     let path_arg = |flag: &str| {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(PathBuf::from)
     };
@@ -37,6 +43,35 @@ fn main() -> ExitCode {
             std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("../.."))
         })
         .unwrap_or_else(|| PathBuf::from("."));
+
+    if taint_mode {
+        let tcfg = taint::TaintConfig::workspace_default();
+        let rep = match taint::analyze_workspace_taint(&root, &tcfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("detlint: cannot walk {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(path) = &out {
+            if let Err(e) = std::fs::write(path, report::taint_json(&rep)) {
+                eprintln!("detlint: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if !quiet {
+            if json {
+                println!("{}", report::taint_json(&rep));
+            } else {
+                print!("{}", report::taint_human(&rep));
+            }
+        }
+        return if rep.flows.is_empty() && rep.unused_suppressions.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     let cfg = Config::workspace_default();
     let findings = match analyze_workspace(&root, &cfg) {

@@ -2,6 +2,7 @@
 //! (`{"count": N, "findings": [{file, line, rule, level, message}…]}`) for
 //! tooling to consume.
 
+use crate::taint::TaintReport;
 use crate::Finding;
 use serde::Value;
 
@@ -41,9 +42,106 @@ pub fn json(findings: &[Finding]) -> String {
     serde_json::to_string_pretty(&root).expect("value tree serializes")
 }
 
+/// Human rendering of a taint report: one block per flow with the full
+/// call-path witness, then the stale-suppression list, then a summary.
+pub fn taint_human(r: &TaintReport) -> String {
+    let mut out = String::new();
+    for (i, f) in r.flows.iter().enumerate() {
+        out.push_str(&format!(
+            "flow {}: {} -> {} ({})\n",
+            i + 1,
+            f.source_kind,
+            f.sink_kind,
+            f.sink_fn
+        ));
+        out.push_str(&format!(
+            "  source: {}:{} in {}\n",
+            f.source_file, f.source_line, f.source_fn
+        ));
+        for (k, hop) in f.path.iter().enumerate() {
+            let arrow = if k == 0 { "  " } else { "  -> " };
+            out.push_str(&format!("{}{} ({}:{})\n", arrow, hop.func, hop.file, hop.line));
+        }
+    }
+    for s in &r.unused_suppressions {
+        out.push_str(&format!("{}:{}: [{}/{}] {}\n", s.file, s.line, s.rule, s.level, s.message));
+    }
+    if r.flows.is_empty() && r.unused_suppressions.is_empty() {
+        out.push_str("detlint-taint: no flows\n");
+    } else {
+        out.push_str(&format!(
+            "detlint-taint: {} flow(s), {} unused taint suppression(s)\n",
+            r.flows.len(),
+            r.unused_suppressions.len()
+        ));
+    }
+    out
+}
+
+/// Pretty-printed JSON taint report
+/// (`{"count": N, "flows": […], "unused_suppressions": […]}`).
+pub fn taint_json(r: &TaintReport) -> String {
+    let flows: Vec<Value> = r
+        .flows
+        .iter()
+        .map(|f| {
+            let path: Vec<Value> = f
+                .path
+                .iter()
+                .map(|h| {
+                    Value::Map(vec![
+                        ("fn".to_string(), Value::Str(h.func.clone())),
+                        ("file".to_string(), Value::Str(h.file.clone())),
+                        ("line".to_string(), Value::U64(u64::from(h.line))),
+                    ])
+                })
+                .collect();
+            Value::Map(vec![
+                (
+                    "source".to_string(),
+                    Value::Map(vec![
+                        ("kind".to_string(), Value::Str(f.source_kind.clone())),
+                        ("file".to_string(), Value::Str(f.source_file.clone())),
+                        ("line".to_string(), Value::U64(u64::from(f.source_line))),
+                        ("fn".to_string(), Value::Str(f.source_fn.clone())),
+                    ]),
+                ),
+                (
+                    "sink".to_string(),
+                    Value::Map(vec![
+                        ("kind".to_string(), Value::Str(f.sink_kind.clone())),
+                        ("fn".to_string(), Value::Str(f.sink_fn.clone())),
+                        ("file".to_string(), Value::Str(f.sink_file.clone())),
+                        ("line".to_string(), Value::U64(u64::from(f.sink_line))),
+                    ]),
+                ),
+                ("path".to_string(), Value::Seq(path)),
+            ])
+        })
+        .collect();
+    let stale: Vec<Value> = r
+        .unused_suppressions
+        .iter()
+        .map(|s| {
+            Value::Map(vec![
+                ("file".to_string(), Value::Str(s.file.clone())),
+                ("line".to_string(), Value::U64(u64::from(s.line))),
+                ("message".to_string(), Value::Str(s.message.clone())),
+            ])
+        })
+        .collect();
+    let root = Value::Map(vec![
+        ("count".to_string(), Value::U64(r.flows.len() as u64)),
+        ("flows".to_string(), Value::Seq(flows)),
+        ("unused_suppressions".to_string(), Value::Seq(stale)),
+    ]);
+    serde_json::to_string_pretty(&root).expect("value tree serializes")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::taint::{Flow, Hop};
 
     fn sample() -> Vec<Finding> {
         vec![Finding {
@@ -70,5 +168,54 @@ mod tests {
         assert_eq!(v.get_field("count"), Some(&Value::U64(1)));
         let Some(Value::Seq(items)) = v.get_field("findings") else { panic!("findings array") };
         assert_eq!(items[0].get_field("line"), Some(&Value::U64(7)));
+    }
+
+    fn sample_taint() -> TaintReport {
+        TaintReport {
+            flows: vec![Flow {
+                source_kind: "wall-clock".to_string(),
+                source_file: "crates/sched/src/lib.rs".to_string(),
+                source_line: 4,
+                source_fn: "sched::leak".to_string(),
+                sink_kind: "sched-proposal".to_string(),
+                sink_fn: "sched::decide".to_string(),
+                sink_file: "crates/sched/src/lib.rs".to_string(),
+                sink_line: 9,
+                path: vec![
+                    Hop {
+                        func: "sched::leak".to_string(),
+                        file: "crates/sched/src/lib.rs".to_string(),
+                        line: 4,
+                    },
+                    Hop {
+                        func: "sched::decide".to_string(),
+                        file: "crates/sched/src/lib.rs".to_string(),
+                        line: 10,
+                    },
+                ],
+            }],
+            unused_suppressions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn taint_human_shows_the_witness_path() {
+        let text = taint_human(&sample_taint());
+        assert!(text.contains("flow 1: wall-clock -> sched-proposal (sched::decide)"));
+        assert!(text.contains("source: crates/sched/src/lib.rs:4 in sched::leak"));
+        assert!(text.contains("-> sched::decide (crates/sched/src/lib.rs:10)"));
+        assert!(text.contains("1 flow(s)"));
+        assert!(taint_human(&TaintReport::default()).contains("no flows"));
+    }
+
+    #[test]
+    fn taint_json_round_trips_the_shape() {
+        let text = taint_json(&sample_taint());
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.get_field("count"), Some(&Value::U64(1)));
+        let Some(Value::Seq(flows)) = v.get_field("flows") else { panic!("flows array") };
+        let Some(Value::Seq(path)) = flows[0].get_field("path") else { panic!("path array") };
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[1].get_field("fn"), Some(&Value::Str("sched::decide".to_string())));
     }
 }

@@ -49,6 +49,16 @@ pub const CATALOG: &[Rule] = &[
         level: "D0",
         summary: "spawn/channel patterns can leak thread completion order into results",
     },
+    Rule {
+        name: "no-float-key-sort",
+        level: "D1",
+        summary: "ordering by an f32/f64 key via partial_cmp is not a total order (NaN, -0.0)",
+    },
+    Rule {
+        name: "unused-suppression",
+        level: "meta",
+        summary: "a detlint::allow comment that matches no finding is a stale audit record",
+    },
 ];
 
 /// Look up a catalog rule by name.
@@ -112,26 +122,66 @@ pub fn check_file(lexed: &Lexed, crate_name: &str, file: &str, cfg: &Config) -> 
     if cfg.float_accum_crates.iter().any(|c| c == crate_name) {
         no_raw_float_accum(&ctx, &mut findings);
     }
+    if deterministic {
+        no_float_key_sort(&ctx, cfg, &mut findings);
+    }
 
     // Apply suppressions: `// detlint::allow(rule[, rule…]): reason` on the
     // finding's own line or the line directly above suppresses exactly the
-    // named rules.
+    // named rules. Each comment tracks whether it suppressed anything.
     let allows = parse_suppressions(lexed);
+    let mut used = vec![false; allows.len()];
     findings.retain(|f| {
-        !allows.iter().any(|(line, rules)| {
-            (*line == f.line || *line + 1 == f.line) && rules.iter().any(|r| r == f.rule)
-        })
+        let mut keep = true;
+        for (k, (line, rules)) in allows.iter().enumerate() {
+            if (*line == f.line || *line + 1 == f.line) && rules.iter().any(|r| r == f.rule) {
+                used[k] = true;
+                keep = false;
+            }
+        }
+        keep
     });
+
+    // Stale-audit hygiene: an allow that suppressed nothing is itself a
+    // finding, so dead suppressions cannot accumulate. Taint-level allows
+    // (`taint`, `taint-<kind>`) are owned by the taint pass, which does its
+    // own usage accounting; allows inside skipped test regions are inert by
+    // construction and not worth reporting.
+    if cfg.report_unused_suppressions {
+        for (k, (line, rules)) in allows.iter().enumerate() {
+            if used[k]
+                || rules.iter().any(|r| r == "taint" || r.starts_with("taint-"))
+                || (cfg.skip_test_code && ctx.in_test(*line))
+            {
+                continue;
+            }
+            findings.push(ctx.finding(
+                "unused-suppression",
+                *line,
+                format!(
+                    "`detlint::allow({})` matches no finding on this or the next line; \
+                     delete the stale suppression or fix its rule list",
+                    rules.join(", ")
+                ),
+            ));
+        }
+    }
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
 }
 
-/// Extract `(line, [rule…])` suppressions from line comments.
-fn parse_suppressions(lexed: &Lexed) -> Vec<(u32, Vec<String>)> {
+/// Extract `(line, [rule…])` suppressions from line comments. Only a
+/// comment that *is* a suppression counts — `detlint::allow(` must open the
+/// comment (standalone or trailing); prose that merely mentions the syntax
+/// (doc comments, this very sentence) is ignored.
+pub(crate) fn parse_suppressions(lexed: &Lexed) -> Vec<(u32, Vec<String>)> {
     let mut out = Vec::new();
     for (line, text) in &lexed.comments {
-        let Some(pos) = text.find("detlint::allow(") else { continue };
-        let rest = &text[pos + "detlint::allow(".len()..];
+        let trimmed = text.trim_start();
+        if !trimmed.starts_with("detlint::allow(") {
+            continue;
+        }
+        let rest = &trimmed["detlint::allow(".len()..];
         let Some(close) = rest.find(')') else { continue };
         let rules: Vec<String> = rest[..close]
             .split(',')
@@ -143,6 +193,11 @@ fn parse_suppressions(lexed: &Lexed) -> Vec<(u32, Vec<String>)> {
         }
     }
     out
+}
+
+/// [`test_regions`] for sibling modules (the item model marks test fns).
+pub(crate) fn test_regions_pub(toks: &[Tok]) -> Vec<(u32, u32)> {
+    test_regions(toks)
 }
 
 /// Find `#[cfg(test)] mod … { … }` line ranges by brace matching.
@@ -640,6 +695,90 @@ fn no_thread_order(ctx: &Ctx, out: &mut Vec<Finding>) {
                         .to_string(),
                 ),
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-float-key-sort (D1)
+// ---------------------------------------------------------------------------
+
+/// Ordering combinators whose key/comparator argument the rule inspects.
+const SORT_LIKE: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+    "sort_by_cached_key",
+    "max_by",
+    "min_by",
+    "max_by_key",
+    "min_by_key",
+    "binary_search_by",
+    "binary_search_by_key",
+];
+
+fn no_float_key_sort(ctx: &Ctx, cfg: &Config, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    let blessed =
+        |a: usize, b: usize| toks[a..b].iter().any(|t| cfg.total_order_helpers.contains(&t.text));
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.in_test(t.line) || ctx.exempt_fn(i) {
+            continue;
+        }
+        let method_call = i > 0 && toks[i - 1].text == "." && matches(toks, i + 1, &["("]);
+        // Any `.partial_cmp(…)` is a non-total float comparator: NaN gives
+        // `None` (panic or arbitrary winner) and -0.0/0.0 tie arbitrarily.
+        if t.text == "partial_cmp" && method_call {
+            let (a, b) = statement_bounds(toks, i);
+            if !blessed(a, b) {
+                out.push(
+                    ctx.finding(
+                        "no-float-key-sort",
+                        t.line,
+                        "`.partial_cmp()` comparator in a deterministic-path crate; use \
+                     `total_cmp` (a total order over all bit patterns) or an integer key"
+                            .to_string(),
+                    ),
+                );
+            }
+            continue;
+        }
+        // `.sort_by…/max_by…(…f32/f64…)` without a total-order helper: the
+        // key type is explicit in the argument, so the order is float-keyed.
+        if SORT_LIKE.contains(&t.text.as_str()) && method_call {
+            // Argument span: tokens to the matching close paren.
+            let open = i + 1;
+            let mut depth = 0i32;
+            let mut close = open;
+            while close < toks.len() {
+                match toks[close].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                close += 1;
+            }
+            let span_has_partial = slice_has(toks, open, close, &["partial_cmp"]);
+            if span_has_partial || blessed(open, close) {
+                continue; // partial_cmp branch reports it / helper blesses it
+            }
+            if slice_has(toks, open, close, &["f32", "f64"]) {
+                out.push(ctx.finding(
+                    "no-float-key-sort",
+                    t.line,
+                    format!(
+                        "`.{}()` orders by an f32/f64 key outside a blessed total-order \
+                         helper; use `total_cmp` or quantize to an integer key",
+                        t.text
+                    ),
+                ));
+            }
         }
     }
 }

@@ -1,0 +1,32 @@
+//! Fixture: seeded `no-float-key-sort` violations (and near-misses that
+//! must stay clean). Never compiled — read as text by rules_fire.rs.
+
+pub fn sorts_proposals_by_float(v: &mut Vec<(u32, f64)>) {
+    v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap()); // VIOLATION: partial_cmp comparator
+}
+
+pub fn picks_max_by_float_key(xs: &[f32]) -> Option<&f32> {
+    xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap()) // VIOLATION: partial_cmp in max_by
+}
+
+pub fn standalone_comparator(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap() // VIOLATION: non-total comparator helper
+}
+
+pub fn explicit_float_key(v: &mut Vec<Item>) {
+    v.sort_by_key(|x| x.score as f32 as u32); // VIOLATION: f32 key in sort_by_key
+}
+
+pub fn total_cmp_is_blessed(v: &mut Vec<(u32, f64)>) {
+    v.sort_by(|a, b| a.1.total_cmp(&b.1)); // clean: total order over all bit patterns
+}
+
+pub fn integer_keys_are_fine(v: &mut Vec<(u64, u32)>) {
+    v.sort_by_key(|x| (x.0, x.1)); // clean: integers order totally
+    v.sort_by(|a, b| b.0.cmp(&a.0)); // clean: Ord comparator
+}
+
+pub fn suppressed_site(v: &mut Vec<(u32, f64)>) {
+    // detlint::allow(no-float-key-sort): inputs proven NaN-free upstream
+    v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+}

@@ -1,0 +1,26 @@
+//! Fixture: seeded `unused-suppression` violations (and used allows that
+//! must stay clean). Never compiled — read as text by rules_fire.rs.
+
+// detlint::allow(no-wall-clock): stale — the clock read below was removed // VIOLATION: allow matches nothing
+pub fn clock_read_was_refactored_away(elapsed_us: u64) -> u64 {
+    elapsed_us * 2
+}
+
+pub fn wrong_rule_listed() -> u32 {
+    // detlint::allow(no-hash-iter): typo'd rule for the line below // VIOLATION: names the wrong rule
+    42
+}
+
+// detlint::allow(no-such-rule): rule id that does not exist // VIOLATION: unknown rule never matches
+pub fn unknown_rule_name() {}
+
+pub fn used_allow_is_not_stale() {
+    // detlint::allow(no-wall-clock): log-only timing, audited
+    let _t = std::time::Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    // detlint::allow(no-wall-clock): inert inside a skipped test region
+    fn helper() {}
+}

@@ -1,0 +1,42 @@
+//! Property-based tests for the taint analysis: the report is a pure
+//! function of the file *set*, never the file *visit order*. The walker
+//! feeds files in sorted order, but nothing may depend on that — graph
+//! node ids, BFS frontiers, and witness selection all have explicit
+//! tie-breaks, and this property pins them byte-for-byte.
+
+use detlint::report;
+use detlint::taint::{analyze_files, TaintConfig};
+use detlint::SourceFile;
+use proptest::prelude::*;
+
+/// The planted fixture mini-workspace: five crates, six flows, one stale
+/// suppression — enough structure for an order bug to change the bytes.
+fn corpus() -> Vec<SourceFile> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/taint_fixtures");
+    detlint::workspace_sources(&root).expect("fixture tree walks")
+}
+
+/// Fisher–Yates with an xorshift generator seeded by the property case.
+fn shuffle(files: &mut [SourceFile], seed: u64) {
+    let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15).max(1);
+    for i in (1..files.len()).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        files.swap(i, (s % (i as u64 + 1)) as usize);
+    }
+}
+
+proptest! {
+    /// Any permutation of the input files yields a byte-identical JSON
+    /// taint report.
+    #[test]
+    fn taint_report_is_byte_identical_under_any_file_visit_order(seed in 0u64..u64::MAX) {
+        let cfg = TaintConfig::workspace_default();
+        let baseline = report::taint_json(&analyze_files(&corpus(), &cfg));
+        let mut files = corpus();
+        shuffle(&mut files, seed);
+        let shuffled = report::taint_json(&analyze_files(&files, &cfg));
+        prop_assert_eq!(baseline, shuffled);
+    }
+}

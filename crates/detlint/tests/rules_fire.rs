@@ -73,6 +73,16 @@ fn no_thread_order_fires_on_marked_lines_only() {
 }
 
 #[test]
+fn no_float_key_sort_fires_on_marked_lines_only() {
+    assert_exact(include_str!("fixtures/float_key_sort.rs"), "sched", "no-float-key-sort");
+}
+
+#[test]
+fn unused_suppression_fires_on_marked_lines_only() {
+    assert_exact(include_str!("fixtures/unused_allow.rs"), "core", "unused-suppression");
+}
+
+#[test]
 fn clean_fixture_stays_clean_under_the_harshest_crate() {
     // `tensor` activates deterministic-path, wall-clock, and float-accum
     // rules at once; the canary fixture must survive all of them.
@@ -115,6 +125,8 @@ fn every_catalog_rule_has_a_fixture_exercising_it() {
         findings(include_str!("fixtures/float_accum.rs"), "tensor"),
         findings(include_str!("fixtures/adhoc_rng.rs"), "esrng"),
         findings(include_str!("fixtures/thread_order.rs"), "comm"),
+        findings(include_str!("fixtures/float_key_sort.rs"), "sched"),
+        findings(include_str!("fixtures/unused_allow.rs"), "core"),
     ]
     .iter()
     .flatten()

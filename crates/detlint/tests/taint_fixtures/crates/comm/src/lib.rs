@@ -1,0 +1,23 @@
+//! Taint fixture: one thread-order source flowing into the
+//! `comm::ring_allreduce` sink, and one absorbed by the `drain_sorted`
+//! barrier on the way to `allreduce_avg`. Never compiled.
+
+fn raw_merge(rx: &Receiver<u64>) -> u64 {
+    rx.try_recv().unwrap_or(0) // FLOW: thread-order source
+}
+
+pub fn ring_allreduce(rx: &Receiver<u64>) -> u64 {
+    raw_merge(rx)
+}
+
+fn gather(rx: &Receiver<u64>) -> u64 {
+    rx.recv().unwrap() // absorbed: only reachable through drain_sorted
+}
+
+pub fn drain_sorted(rx: &Receiver<u64>) -> u64 {
+    gather(rx)
+}
+
+pub fn allreduce_avg(rx: &Receiver<u64>) -> u64 {
+    drain_sorted(rx)
+}

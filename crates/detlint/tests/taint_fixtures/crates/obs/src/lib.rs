@@ -1,0 +1,7 @@
+//! Taint fixture: the blessed home for clocks — a barrier crate whose
+//! internal wall-clock reads must never seed a flow. Never compiled.
+
+pub fn stopwatch() -> u64 {
+    let _t = std::time::Instant::now(); // absorbed: barrier crates own the clock
+    2
+}

@@ -1,0 +1,11 @@
+//! Taint fixture: a wall-clock source directly inside the `optim::step`
+//! sink — the one-hop degenerate flow. Never compiled.
+
+pub struct Sgd;
+
+impl Sgd {
+    pub fn step(&mut self, lr: f64) -> f64 {
+        let _t = std::time::Instant::now(); // FLOW: wall-clock source in the sink itself
+        lr
+    }
+}

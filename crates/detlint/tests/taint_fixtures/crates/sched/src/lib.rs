@@ -1,0 +1,37 @@
+//! Taint fixture: a hash-iteration source three hops above the
+//! `sched::decide` sink, plus one audited (suppressed) clock read and one
+//! stale taint allow. Never compiled — read as text by taint_fixtures.rs.
+
+use std::collections::HashMap;
+
+fn weigh(m: &HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_k, v) in m {
+        // FLOW: hash-iter source (line above names `m`)
+        acc = acc + v;
+    }
+    acc
+}
+
+fn plan(m: &HashMap<u32, f64>) -> f64 {
+    weigh(m)
+}
+
+pub fn decide(m: &HashMap<u32, f64>) -> f64 {
+    plan(m)
+}
+
+fn stamped() -> u64 {
+    // detlint::allow(taint-wall-clock): observational only, audited upstream
+    let _t = std::time::Instant::now();
+    0
+}
+
+pub fn proposals(x: u64) -> u64 {
+    x + stamped()
+}
+
+// detlint::allow(taint): STALE — the entropy below was removed long ago
+pub fn quiet_path(x: u64) -> u64 {
+    x + 1
+}

@@ -97,12 +97,18 @@ impl Companion {
             }
         }
         for r in 0..self.max_p {
-            let (best, _) = gpus
-                .iter()
-                .enumerate()
-                .map(|(i, (ty, v))| (i, (v.len() + 1) as f64 / self.capability(*ty).max(1e-12)))
-                .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
-                .expect("nonempty gpu list");
+            // Argmin by strict `<`: costs are strictly positive, so this
+            // picks the first minimum exactly like a total-order comparator
+            // would, without per-pair comparator overhead on the hot path.
+            let mut best = 0;
+            let mut best_cost = f64::INFINITY;
+            for (i, (ty, v)) in gpus.iter().enumerate() {
+                let cost = (v.len() + 1) as f64 / self.capability(*ty).max(1e-12);
+                if cost < best_cost {
+                    best = i;
+                    best_cost = cost;
+                }
+            }
             gpus[best].1.push(r);
         }
         Some(gpus)

@@ -35,10 +35,7 @@ impl InterJobScheduler {
         free: &mut FreePool,
     ) -> Vec<Decision> {
         proposals.sort_by(|a, b| {
-            b.speedup_per_gpu
-                .partial_cmp(&a.speedup_per_gpu)
-                .unwrap()
-                .then(b.add_count.cmp(&a.add_count))
+            b.speedup_per_gpu.total_cmp(&a.speedup_per_gpu).then(b.add_count.cmp(&a.add_count))
         });
         let mut granted_jobs = std::collections::BTreeSet::new();
         let mut out = Vec::new();

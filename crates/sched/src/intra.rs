@@ -161,10 +161,7 @@ impl IntraJobScheduler {
             }
         }
         out.sort_by(|a, b| {
-            b.speedup_per_gpu
-                .partial_cmp(&a.speedup_per_gpu)
-                .unwrap()
-                .then(b.add_count.cmp(&a.add_count))
+            b.speedup_per_gpu.total_cmp(&a.speedup_per_gpu).then(b.add_count.cmp(&a.add_count))
         });
         out.truncate(top_k);
         if !out.is_empty() {

@@ -209,7 +209,7 @@ impl ClusterSim {
                 }
             })
             .collect();
-        states.sort_by(|a, b| a.spec.arrival.partial_cmp(&b.spec.arrival).unwrap());
+        states.sort_by(|a, b| a.spec.arrival.total_cmp(&b.spec.arrival));
 
         let inter = InterJobScheduler;
         let mut t = 0.0f64;
@@ -324,8 +324,7 @@ impl ClusterSim {
                                 s.intra
                                     .companion()
                                     .capability(**a)
-                                    .partial_cmp(&s.intra.companion().capability(**b))
-                                    .unwrap()
+                                    .total_cmp(&s.intra.companion().capability(**b))
                             })
                             .copied();
                         if let Some(ty) = best_ty {

@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
 # Bench regression gate: run the fixed bench_gate suite, record this PR's
-# medians to BENCH_PR4.json (committed at the repo root), and fail if any
+# medians to BENCH_PR5.json (committed at the repo root), and fail if any
 # bench's median regressed more than the threshold against the newest prior
 # BENCH_*.json. With no prior baseline the gate warns, records, and passes.
 #
-#   scripts/bench_gate.sh [OUT_JSON]            (default: BENCH_PR4.json)
+#   scripts/bench_gate.sh [OUT_JSON]            (default: BENCH_PR5.json)
 #   BENCH_GATE_THRESHOLD=1.15                   (ratio; 1.15 = +15%)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR5.json}"
 THRESHOLD="${BENCH_GATE_THRESHOLD:-1.15}"
 
 # Newest prior baseline: version-sorted BENCH_*.json, excluding our own

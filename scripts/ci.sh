@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Staged CI pipeline (see docs/CI.md). Runs entirely offline.
 #
-#   scripts/ci.sh           full pipeline: fmt → clippy → detlint → build →
-#                           test → faultsim chaos matrix → silent-fault
-#                           detection matrix → bench gate
+#   scripts/ci.sh           full pipeline: fmt → clippy → detlint → taint →
+#                           build → test → faultsim chaos matrix →
+#                           silent-fault detection matrix → bench gate
 #   scripts/ci.sh --quick   quick stages only (what scripts/check.sh runs):
-#                           fmt → clippy → detlint → build → test
+#                           fmt → clippy → detlint → taint → build → test
 #
 # Per-stage wall-clock timings are written to results/ci_report.json whether
 # the pipeline passes or fails; the script exits non-zero on the first
@@ -56,6 +56,12 @@ stage() {
 stage fmt        cargo fmt --all --check
 stage clippy     cargo clippy --workspace --all-targets --offline -- -D warnings
 stage detlint    cargo run --offline -q -p detlint -- --quiet --out results/detlint_report.json
+# Interprocedural source→sink flow analysis over the workspace call graph:
+# fails on any non-determinism source reaching a param-update / allreduce /
+# checkpoint / sched-proposal sink outside a declared barrier, and on stale
+# taint suppressions (docs/DETLINT.md).
+stage taint      cargo run --offline -q -p detlint -- --taint --quiet \
+                   --out results/taint_report.json
 stage build      cargo build --release --offline
 stage test       cargo test -q --offline --workspace --exclude faultsim
 

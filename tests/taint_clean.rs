@@ -1,0 +1,45 @@
+//! Tier-1 gate: the live workspace is taint-flow-clean. No harvested
+//! non-determinism source (wall clock, hash iteration, ad-hoc RNG,
+//! thread/channel order, reduction-order float accumulation) reaches a
+//! parameter update, allreduce merge, checkpoint serialization, or
+//! scheduler proposal except through a declared barrier — and every
+//! taint-level suppression in the tree is still earning its keep.
+
+use detlint::report;
+use detlint::taint::{analyze_workspace_taint, TaintConfig};
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_taint_flows() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let rep =
+        analyze_workspace_taint(root, &TaintConfig::workspace_default()).expect("workspace walks");
+    assert!(
+        rep.flows.is_empty() && rep.unused_suppressions.is_empty(),
+        "determinism taint flows reached state sinks:\n{}",
+        report::taint_human(&rep)
+    );
+}
+
+#[test]
+fn taint_machinery_sees_the_live_call_graph() {
+    // A zero-flow result is only meaningful if the graph really connects
+    // the workspace: spot-check that known hot paths resolved to edges.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = detlint::workspace_sources(root).expect("workspace walks");
+    let items: Vec<_> = files
+        .iter()
+        .map(|sf| detlint::items::parse_file(&sf.src, &sf.crate_name, &sf.file))
+        .collect();
+    let g = detlint::callgraph::Graph::build(items);
+    assert!(g.fns.len() > 300, "item model collapsed: only {} fns", g.fns.len());
+    let step_sinks = g.named("step");
+    assert!(!step_sinks.is_empty(), "optimizer step fns must be modeled");
+    // The engine's step path must arrive at the optimizer sink: the sink
+    // has at least one caller edge from the core crate.
+    let has_core_caller = step_sinks.iter().any(|&s| {
+        g.fns[s].crate_name == "optim"
+            && g.callers[s].iter().any(|e| g.fns[e.caller].crate_name == "core")
+    });
+    assert!(has_core_caller, "core -> optim::step edge missing from the call graph");
+}
