@@ -8,8 +8,12 @@
 //! when any bench regressed past the threshold.
 //!
 //! ```text
-//! bench_gate --out BENCH_PR3.json [--baseline BENCH_PR2.json] [--threshold 1.15]
+//! bench_gate --out BENCH_PR6.json [--baseline BENCH_PR5.json] [--threshold 1.15]
 //! ```
+//!
+//! The gate is two-sided: besides failing on regressions, medians that
+//! *beat* the baseline by the same margin are printed as wins and recorded
+//! in the output JSON's `improvements` array (see `bench::gate`).
 //!
 //! Exit status: 1 when a bench exceeds `baseline * threshold`, 2 on usage
 //! errors. Benches present in only one of the two files are reported but
@@ -17,9 +21,10 @@
 
 use std::time::Instant;
 
-use bench::gate::{load_baseline, regressions, BenchResult, GateReport};
+use bench::gate::{improvements, load_baseline, regressions, BenchResult, GateReport};
 use comm::ElasticDdp;
 use device::GpuType;
+use easyscale::{Engine, ExecMode, ExecOptions, JobConfig, Placement};
 use models::Workload;
 use sched::{Companion, IntraJobScheduler};
 use std::collections::BTreeMap;
@@ -112,6 +117,34 @@ fn run_suite() -> Vec<BenchResult> {
         }),
     );
 
+    // One full global step, persistent pool vs per-step scoped threads —
+    // the PR6 claim: reusing worker threads beats respawning W of them
+    // every step, and the margin grows with W. Identical job, identical
+    // placement; only the execution backend differs (and the math is
+    // bitwise identical, see faultsim/tests/nthread_eq_single.rs).
+    for workers in [4u32, 8] {
+        let step_engine = |mode: ExecMode| {
+            let cfg = JobConfig::new(Workload::NeuMF, 7, workers)
+                .with_dataset_len(512)
+                .with_batch_size(1);
+            let exec = ExecOptions { mode, device_ids: (0..workers).collect() };
+            let mut e =
+                Engine::new_opts(cfg, Placement::one_est_per_gpu(workers, GpuType::V100), exec);
+            e.step(); // warm: first step rebuilds the bucket layout
+            e
+        };
+        for (mode, tag) in [(ExecMode::Pool, "pool"), (ExecMode::Scoped, "scoped")] {
+            let mut e = step_engine(mode);
+            record(
+                &format!("engine_step_{tag}_w{workers}"),
+                10,
+                measure(SAMPLES, 10, 3, || {
+                    black_box(e.step());
+                }),
+            );
+        }
+    }
+
     out
 }
 
@@ -146,52 +179,75 @@ fn main() {
     let out_path = out_path.unwrap_or_else(|| usage());
 
     eprintln!("bench_gate: running the fixed suite");
-    let report = GateReport { suite: "easyscale-bench-gate".to_string(), benches: run_suite() };
+    let mut report = GateReport {
+        suite: "easyscale-bench-gate".to_string(),
+        benches: run_suite(),
+        improvements: Vec::new(),
+    };
+
+    // A missing baseline is the normal first-PR state, not an error: warn
+    // and pass. A corrupt baseline is an error.
+    let baseline = match &baseline_path {
+        None => None,
+        Some(p) => match load_baseline(std::path::Path::new(p)) {
+            Ok(Some(b)) => Some(b),
+            Ok(None) => {
+                eprintln!(
+                    "bench_gate: warning: baseline {p} does not exist; \
+                     skipping the gate (recording {out_path} for the next PR)"
+                );
+                None
+            }
+            Err(e) => panic!("{e}"),
+        },
+    };
+    if let Some(base) = &baseline {
+        // Recorded *into* the report, so the BENCH_*.json a PR ships is
+        // machine-readable evidence of the speedups it claims.
+        report.improvements = improvements(&report, base, threshold);
+    }
+
     std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("report json"))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!("bench_gate: wrote {out_path}");
 
-    let Some(baseline_path) = baseline_path else {
-        eprintln!("bench_gate: no baseline given; gate passes trivially");
+    let Some(baseline) = baseline else {
+        if baseline_path.is_none() {
+            eprintln!("bench_gate: no baseline given; gate passes trivially");
+        }
         return;
     };
-    // A missing baseline is the normal first-PR state, not an error: warn
-    // and pass. A corrupt baseline is an error.
-    let baseline = match load_baseline(std::path::Path::new(&baseline_path)) {
-        Ok(Some(b)) => b,
-        Ok(None) => {
-            eprintln!(
-                "bench_gate: warning: baseline {baseline_path} does not exist; \
-                 skipping the gate (recorded {out_path} for the next PR)"
-            );
-            return;
-        }
-        Err(e) => panic!("{e}"),
-    };
+    let baseline_name = baseline_path
+        .as_deref()
+        .map(|p| p.rsplit('/').next().unwrap_or(p).to_string())
+        .unwrap_or_default();
 
+    // The wins/regressions table: every bench, two-sided verdict.
+    let mut wins = 0u32;
     for cur in &report.benches {
         match baseline.benches.iter().find(|b| b.name == cur.name) {
             Some(base) => {
                 let ratio = cur.median_ns_per_iter / base.median_ns_per_iter;
-                let verdict = if ratio > threshold { "REGRESSED" } else { "ok" };
-                eprintln!(
-                    "  {:<40} {:>7.3}x vs {} ({verdict})",
-                    cur.name,
-                    ratio,
-                    baseline_path.rsplit('/').next().unwrap_or(&baseline_path)
-                );
+                let verdict = if ratio > threshold {
+                    "REGRESSED"
+                } else if ratio < 1.0 / threshold {
+                    wins += 1;
+                    "improved"
+                } else {
+                    "ok"
+                };
+                eprintln!("  {:<40} {ratio:>7.3}x vs {baseline_name} ({verdict})", cur.name);
             }
             None => eprintln!("  {:<40} (new bench; not gated)", cur.name),
         }
     }
     let regressed = regressions(&report, &baseline, threshold);
+    eprintln!(
+        "bench_gate: {wins} win(s) past 1/{threshold}x, {} regression(s) past {threshold}x",
+        regressed.len()
+    );
     if !regressed.is_empty() {
-        eprintln!(
-            "bench_gate: {} bench(es) regressed past {threshold}x the baseline median: {}",
-            regressed.len(),
-            regressed.join(", ")
-        );
+        eprintln!("bench_gate: regressed bench(es): {}", regressed.join(", "));
         std::process::exit(1);
     }
-    eprintln!("bench_gate: no regression past {threshold}x");
 }

@@ -2,8 +2,13 @@
 //! `bench_gate` binary so its edge cases are unit-testable — in
 //! particular the *first-PR* case: with no prior `BENCH_*.json` baseline
 //! on disk the gate must warn and pass, never panic.
+//!
+//! The gate is **two-sided**: regressions past the threshold fail CI, and
+//! medians that *beat* the baseline by the same margin are recorded as
+//! [`Improvement`]s in the report — so a PR that claims a speedup leaves
+//! machine-readable evidence in its `BENCH_*.json`.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::path::Path;
 
 /// One bench's recorded median.
@@ -19,13 +24,45 @@ pub struct BenchResult {
     pub iters_per_sample: u32,
 }
 
-/// A whole suite run, as serialized to `BENCH_*.json`.
+/// A bench whose median beat the baseline past the gate threshold.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Improvement {
+    /// Stable bench name.
+    pub name: String,
+    /// `current_median / baseline_median` — below `1/threshold` by
+    /// construction, so e.g. `0.42` means "2.4x faster than baseline".
+    pub ratio: f64,
+}
+
+/// A whole suite run, as serialized to `BENCH_*.json`.
+#[derive(Debug, Clone, Serialize)]
 pub struct GateReport {
     /// Suite identifier.
     pub suite: String,
     /// Every bench's result.
     pub benches: Vec<BenchResult>,
+    /// Benches that beat the gate's baseline past the threshold (empty
+    /// when there was no baseline to compare against).
+    pub improvements: Vec<Improvement>,
+}
+
+// Manual impl rather than derived: pre-PR6 `BENCH_*.json` baselines have
+// no `improvements` field, and the derive treats a missing field as an
+// error. Old baselines must keep parsing — default to "no improvements".
+impl Deserialize for GateReport {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| -> Result<&Value, DeError> {
+            v.get_field(name).ok_or_else(|| DeError::missing("GateReport", name))
+        };
+        Ok(GateReport {
+            suite: String::from_value(field("suite")?)?,
+            benches: Vec::from_value(field("benches")?)?,
+            improvements: match v.get_field("improvements") {
+                Some(imp) => Vec::from_value(imp)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// Load a baseline report. Returns `Ok(None)` when the file does not
@@ -60,6 +97,29 @@ pub fn regressions(current: &GateReport, baseline: &GateReport, threshold: f64) 
     out
 }
 
+/// The two-sided counterpart of [`regressions`]: benches whose current
+/// median beat `baseline / threshold` (i.e. improved by at least the same
+/// margin that would have failed the gate going the other way). Same join
+/// rule — benches present in only one report are skipped.
+pub fn improvements(
+    current: &GateReport,
+    baseline: &GateReport,
+    threshold: f64,
+) -> Vec<Improvement> {
+    let mut out = Vec::new();
+    for cur in &current.benches {
+        if let Some(base) = baseline.benches.iter().find(|b| b.name == cur.name) {
+            if base.median_ns_per_iter > 0.0 {
+                let ratio = cur.median_ns_per_iter / base.median_ns_per_iter;
+                if ratio < 1.0 / threshold {
+                    out.push(Improvement { name: cur.name.clone(), ratio });
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +136,7 @@ mod tests {
                     iters_per_sample: 1,
                 })
                 .collect(),
+            improvements: Vec::new(),
         }
     }
 
@@ -111,5 +172,46 @@ mod tests {
         let base = report(&[("a", 100.0), ("b", 100.0), ("gone", 50.0)]);
         let cur = report(&[("a", 114.0), ("b", 116.0), ("new", 999.0)]);
         assert_eq!(regressions(&cur, &base, 1.15), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn only_past_threshold_improvements_record() {
+        // 1/1.15 ≈ 0.8696: "a" (0.88) is inside the noise band, "b" (0.50)
+        // is a real improvement, "new" has no baseline to beat.
+        let base = report(&[("a", 100.0), ("b", 100.0)]);
+        let cur = report(&[("a", 88.0), ("b", 50.0), ("new", 1.0)]);
+        let imp = improvements(&cur, &base, 1.15);
+        assert_eq!(imp.len(), 1);
+        assert_eq!(imp[0].name, "b");
+        assert!((imp[0].ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_pr6_baseline_without_improvements_field_still_parses() {
+        // The exact shape bench_gate wrote before the field existed
+        // (BENCH_PR3..5.json on disk look like this).
+        let old = r#"{
+            "suite": "easyscale-bench-gate",
+            "benches": [
+                {"name": "a", "median_ns_per_iter": 100.0, "samples": 31, "iters_per_sample": 20}
+            ]
+        }"#;
+        let path = std::env::temp_dir()
+            .join(format!("easyscale-old-schema-baseline-{}.json", std::process::id()));
+        std::fs::write(&path, old).unwrap();
+        let loaded = load_baseline(&path).unwrap().expect("present");
+        assert_eq!(loaded.benches.len(), 1);
+        assert!(loaded.improvements.is_empty(), "missing field defaults to empty");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn improvements_field_round_trips_when_present() {
+        let mut rep = report(&[("a", 50.0)]);
+        rep.improvements = vec![Improvement { name: "a".to_string(), ratio: 0.5 }];
+        let text = serde_json::to_string(&rep).unwrap();
+        let back: GateReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.improvements.len(), 1);
+        assert_eq!(back.improvements[0].name, "a");
     }
 }

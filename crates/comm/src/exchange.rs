@@ -1,0 +1,172 @@
+//! A generic gradient/result exchange with a **canonical drain order**.
+//!
+//! Persistent worker threads (see `core::pool`) publish their per-step
+//! results concurrently; the engine must consume them in an order that does
+//! not depend on thread completion timing, or D1 (thread-order
+//! nondeterminism) leaks straight into the merged gradient. The
+//! [`Exchange`] is the channel-shaped sibling of
+//! [`HeartbeatBus::drain_sorted`](crate::HeartbeatBus::drain_sorted): any
+//! number of [`ExchangeTx`] handles publish `(key, payload)` pairs in
+//! arbitrary order, and [`Exchange::drain_sorted`] — a declared detlint
+//! taint barrier — blocks for an exact message count, then sorts by key, so
+//! two runs that published the same *set* of messages drain identically.
+//!
+//! The channel itself is `std::sync::mpsc`; its arrival order is exactly
+//! the thread-order entropy the barrier exists to absorb, which is why the
+//! raw receiver never escapes this module.
+
+// The one audited channel import — arrival order never escapes; every
+// consumer goes through `drain_sorted` below.
+// detlint::allow(no-thread-order): canonical-drain exchange, see module doc
+pub use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// A cloneable publish handle onto an [`Exchange`].
+#[derive(Debug)]
+pub struct ExchangeTx<T> {
+    tx: Sender<(u64, T)>,
+}
+
+// Manual impl: `#[derive(Clone)]` would require `T: Clone`, which publish
+// handles do not need (the Sender clones regardless).
+impl<T> Clone for ExchangeTx<T> {
+    fn clone(&self) -> Self {
+        ExchangeTx { tx: self.tx.clone() }
+    }
+}
+
+impl<T> ExchangeTx<T> {
+    /// Publish one payload under `key`. Publication order carries no
+    /// meaning; the key decides where the payload lands in the drain.
+    /// Panics if the exchange was dropped (the publisher outlived the
+    /// consumer — a protocol bug, not a recoverable condition).
+    pub fn publish(&self, key: u64, payload: T) {
+        self.tx.send((key, payload)).expect("exchange dropped while a publisher is live");
+    }
+}
+
+/// The consuming side: create, hand out [`ExchangeTx`] handles, [`seal`]
+/// once every publisher exists, then drain per round.
+///
+/// [`seal`]: Exchange::seal
+#[derive(Debug)]
+pub struct Exchange<T> {
+    /// The master sender; present until [`Exchange::seal`]. Kept so handles
+    /// can be minted at any time before sealing, dropped at seal time so a
+    /// dead publisher surfaces as a disconnect instead of a silent hang.
+    tx: Option<Sender<(u64, T)>>,
+    rx: Receiver<(u64, T)>,
+}
+
+impl<T> Default for Exchange<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Exchange<T> {
+    /// An empty, unsealed exchange.
+    pub fn new() -> Self {
+        let (tx, rx) = channel();
+        Exchange { tx: Some(tx), rx }
+    }
+
+    /// Mint a publish handle. Panics after [`Exchange::seal`].
+    pub fn handle(&self) -> ExchangeTx<T> {
+        ExchangeTx { tx: self.tx.as_ref().expect("exchange already sealed").clone() }
+    }
+
+    /// Drop the master sender: from now on, only the minted handles keep
+    /// the channel alive, so `drain_sorted` panics (instead of deadlocking)
+    /// when a publisher thread dies.
+    pub fn seal(&mut self) {
+        self.tx = None;
+    }
+
+    /// Receive exactly `expect` messages, then return them sorted by key —
+    /// the canonical order. Thread completion order is invisible past this
+    /// point, which is what lets the merge path consume concurrent workers
+    /// without ever observing their scheduling. Declared as a detlint taint
+    /// barrier (`TaintConfig::workspace_default`, docs/DETLINT.md).
+    pub fn drain_sorted(&self, expect: usize) -> Vec<(u64, T)> {
+        let mut out = Vec::with_capacity(expect);
+        for _ in 0..expect {
+            // This is the barrier itself — arrival order is erased by the
+            // sort below before anything reads it.
+            // detlint::allow(no-thread-order): sorted before consumption
+            out.push(self.rx.recv().expect("exchange publisher disconnected (worker died)"));
+        }
+        out.sort_by_key(|&(k, _)| k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_order_is_independent_of_publish_order() {
+        let publish_orders: [[u64; 4]; 3] = [[0, 1, 2, 3], [3, 1, 0, 2], [2, 3, 1, 0]];
+        let mut drains = Vec::new();
+        for order in publish_orders {
+            let ex: Exchange<String> = Exchange::new();
+            let tx = ex.handle();
+            for k in order {
+                tx.publish(k, format!("payload-{k}"));
+            }
+            drains.push(ex.drain_sorted(4));
+        }
+        for d in &drains[1..] {
+            assert_eq!(d, &drains[0]);
+        }
+        assert_eq!(drains[0][0], (0, "payload-0".to_string()));
+        assert_eq!(drains[0][3], (3, "payload-3".to_string()));
+    }
+
+    #[test]
+    fn concurrent_publishers_drain_canonically() {
+        let mut ex: Exchange<u64> = Exchange::new();
+        let handles: Vec<_> = (0..8u64)
+            .map(|k| {
+                let tx = ex.handle();
+                std::thread::spawn(move || tx.publish(k, k * 10))
+            })
+            .collect();
+        ex.seal();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let drained = ex.drain_sorted(8);
+        assert_eq!(drained, (0..8u64).map(|k| (k, k * 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_only_takes_the_expected_count() {
+        let ex: Exchange<u8> = Exchange::new();
+        let tx = ex.handle();
+        for k in 0..6u64 {
+            tx.publish(k, k as u8);
+        }
+        assert_eq!(ex.drain_sorted(3).len(), 3, "first round");
+        assert_eq!(ex.drain_sorted(3).len(), 3, "second round drains the rest");
+    }
+
+    #[test]
+    #[should_panic(expected = "already sealed")]
+    fn sealed_exchange_mints_no_handles() {
+        let mut ex: Exchange<u8> = Exchange::new();
+        let _tx = ex.handle();
+        ex.seal();
+        let _ = ex.handle();
+    }
+
+    #[test]
+    #[should_panic(expected = "publisher disconnected")]
+    fn dead_publisher_panics_the_drain() {
+        let mut ex: Exchange<u8> = Exchange::new();
+        let tx = ex.handle();
+        ex.seal();
+        drop(tx); // the only publisher dies without publishing
+        let _ = ex.drain_sorted(1);
+    }
+}

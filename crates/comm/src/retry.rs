@@ -112,6 +112,37 @@ pub struct RetryStats {
     pub backoff_us: u64,
 }
 
+/// Run any reduction closure under a bounded-retry policy with scripted
+/// fault injection. The closure runs only on a clean attempt, so a retried
+/// reduction is recomputed from scratch — for a pure reduction (everything
+/// in this workspace) the retried result is bitwise identical to a
+/// first-try success. This is the engine-agnostic core behind
+/// [`ElasticDdp::allreduce_avg_with_retry`]; the parallel engine hands it a
+/// closure that fans the reduction out across the worker pool instead.
+pub fn retry_reduce<T>(
+    policy: &RetryPolicy,
+    faults: &mut FaultScript,
+    mut reduce: impl FnMut() -> T,
+) -> Result<(T, RetryStats), CommError> {
+    assert!(policy.max_attempts >= 1, "policy must allow at least one attempt");
+    let mut backoff_us = 0u64;
+    for attempt in 1..=policy.max_attempts {
+        if faults.attempt_faults() {
+            obs::counter_add("comm.allreduce_faults_injected", 1);
+            if attempt < policy.max_attempts {
+                let wait = policy.backoff_us(attempt);
+                backoff_us += wait;
+                obs::counter_add("comm.allreduce_retries", 1);
+                obs::observe("comm.retry_backoff_us", wait as f64);
+            }
+            continue;
+        }
+        return Ok((reduce(), RetryStats { attempts: attempt, backoff_us }));
+    }
+    obs::counter_add("comm.allreduce_exhausted", 1);
+    Err(CommError::RetriesExhausted { attempts: policy.max_attempts })
+}
+
 impl ElasticDdp {
     /// [`ElasticDdp::allreduce_avg`] under a bounded-retry policy with
     /// scripted fault injection. On success the returned gradient is
@@ -125,23 +156,7 @@ impl ElasticDdp {
         policy: &RetryPolicy,
         faults: &mut FaultScript,
     ) -> Result<(Vec<f32>, RetryStats), CommError> {
-        assert!(policy.max_attempts >= 1, "policy must allow at least one attempt");
-        let mut backoff_us = 0u64;
-        for attempt in 1..=policy.max_attempts {
-            if faults.attempt_faults() {
-                obs::counter_add("comm.allreduce_faults_injected", 1);
-                if attempt < policy.max_attempts {
-                    let wait = policy.backoff_us(attempt);
-                    backoff_us += wait;
-                    obs::counter_add("comm.allreduce_retries", 1);
-                    obs::observe("comm.retry_backoff_us", wait as f64);
-                }
-                continue;
-            }
-            return Ok((self.allreduce_avg(grads), RetryStats { attempts: attempt, backoff_us }));
-        }
-        obs::counter_add("comm.allreduce_exhausted", 1);
-        Err(CommError::RetriesExhausted { attempts: policy.max_attempts })
+        retry_reduce(policy, faults, || self.allreduce_avg(grads))
     }
 }
 

@@ -4,20 +4,26 @@
 //! One global step = every EST runs one local step (mini-batch) on its
 //! current physical worker, the per-EST gradients are all-reduced over
 //! *virtual* ranks, and one optimizer update is applied to every worker's
-//! parameter replica. Physical workers execute concurrently (crossbeam
-//! scoped threads — each worker owns its state, so this is data-race-free
-//! by construction); results are merged in virtual-rank order, so thread
-//! interleaving cannot influence a single output bit.
+//! parameter replica. Physical workers run on **persistent OS threads**
+//! (`core::pool`) that live for the engine's lifetime and are respawned
+//! only on rescale; the engine drives them over per-worker command channels
+//! and consumes their results through canonical-order exchange drains, so
+//! thread interleaving cannot influence a single output bit (the N-thread
+//! ≡ 1-thread invariant — docs/PARALLELISM.md). The merge-side ring
+//! reduction is itself parallelized across workers over a fixed bucket
+//! partition, bitwise identical to the monolithic all-reduce.
 
 use crate::checkpoint::JobCheckpoint;
 use crate::determinism::{fresh_ready_order, restart_ready_order};
 use crate::est::EstContext;
 use crate::placement::Placement;
+use crate::pool::{ExecMode, ExecOptions, PoolStats, WorkerPool, WorkerSnapshot};
 use crate::worker::{EasyScaleWorker, LocalStep};
 use crate::JobConfig;
 use comm::{CommError, ElasticDdp, FaultScript, RetryPolicy};
 use data::{Dataset, DistributedSampler};
 use optim::{LrSchedule, Sgd};
+use std::sync::Arc;
 
 /// Outcome of one global step.
 #[derive(Debug, Clone)]
@@ -54,12 +60,110 @@ pub struct EvalResult {
     pub per_class: Vec<f64>,
 }
 
+/// How the engine executes workers: persistent pool (default), everything
+/// inline on the caller's thread, or the legacy per-step scoped threads
+/// (kept as a bench baseline).
+enum Backend {
+    /// Workers owned by the engine, stepped on the caller's thread
+    /// (sequentially, or via per-step scoped threads when `scoped`).
+    Inline { workers: Vec<EasyScaleWorker>, scoped: bool },
+    /// Workers moved onto persistent pool threads.
+    Pool(WorkerPool),
+}
+
+impl Backend {
+    fn build(workers: Vec<EasyScaleWorker>, exec: &ExecOptions) -> Backend {
+        match exec.mode {
+            ExecMode::Pool => Backend::Pool(WorkerPool::spawn(workers, &exec.device_ids)),
+            ExecMode::SingleThread => Backend::Inline { workers, scoped: false },
+            ExecMode::Scoped => Backend::Inline { workers, scoped: true },
+        }
+    }
+
+    /// One concurrent (or sequential) local-step round, in worker order.
+    fn run_steps(&mut self, epoch: u64, lr: f32) -> Vec<LocalStep> {
+        match self {
+            Backend::Inline { workers, scoped } => {
+                if *scoped && workers.len() > 1 {
+                    let handles: Vec<Vec<LocalStep>> = crossbeam::thread::scope(|s| {
+                        let joins: Vec<_> = workers
+                            .iter_mut()
+                            .map(|w| s.spawn(move |_| w.run_local_steps()))
+                            .collect();
+                        joins
+                            .into_iter()
+                            .map(|j| j.join().expect("worker thread panicked"))
+                            .collect()
+                    })
+                    .expect("crossbeam scope failed");
+                    handles.into_iter().flatten().collect()
+                } else {
+                    workers.iter_mut().flat_map(|w| w.run_local_steps()).collect()
+                }
+            }
+            Backend::Pool(pool) => pool.run_steps(epoch, lr),
+        }
+    }
+
+    /// The averaged flat gradient over virtual ranks. Monolithic on the
+    /// caller's thread for inline backends; partitioned across the pool
+    /// otherwise — bitwise identical either way.
+    fn reduce(&self, ddp: &Arc<ElasticDdp>, grads: &Arc<Vec<Vec<f32>>>) -> Vec<f32> {
+        match self {
+            Backend::Inline { .. } => ddp.allreduce_avg(grads),
+            Backend::Pool(pool) => pool.reduce(ddp, grads),
+        }
+    }
+
+    /// Apply the optimizer delta to every replica.
+    fn apply(&mut self, delta: &Arc<Vec<f32>>) {
+        match self {
+            Backend::Inline { workers, .. } => {
+                for w in workers.iter_mut() {
+                    w.apply_update(delta);
+                }
+            }
+            Backend::Pool(pool) => pool.apply(delta),
+        }
+    }
+
+    /// Checkpoint-relevant state of every worker, in worker order.
+    fn snapshots(&self) -> Vec<WorkerSnapshot> {
+        match self {
+            Backend::Inline { workers, .. } => {
+                workers.iter().map(WorkerSnapshot::capture).collect()
+            }
+            Backend::Pool(pool) => pool.snapshots(),
+        }
+    }
+
+    /// Run `f` with mutable access to worker `index` on the calling thread
+    /// (pool workers are lent across and restored afterwards).
+    fn with_worker_mut<R>(&mut self, index: usize, f: impl FnOnce(&mut EasyScaleWorker) -> R) -> R {
+        match self {
+            Backend::Inline { workers, .. } => f(&mut workers[index]),
+            Backend::Pool(pool) => {
+                let mut w = pool.lend(index);
+                let r = f(&mut w);
+                pool.restore(index, w);
+                r
+            }
+        }
+    }
+}
+
 /// The EasyScale job engine.
 pub struct Engine {
     config: JobConfig,
     placement: Placement,
-    workers: Vec<EasyScaleWorker>,
-    ddp: ElasticDdp,
+    backend: Backend,
+    /// Engine-side mirror of the flat parameters. Every replica applies the
+    /// identical elementwise delta, so the mirror stays bitwise equal to
+    /// all of them (asserted by `mirror_matches_replica_bitwise`).
+    params: Vec<f32>,
+    /// Number of parameter tensors (for bucket rebuild orders).
+    n_param_tensors: usize,
+    ddp: Arc<ElasticDdp>,
     opt: Sgd,
     global_step: u64,
     steps_per_epoch: u64,
@@ -71,23 +175,35 @@ pub struct Engine {
     /// Armed transient comm faults (empty in production; the faultsim
     /// harness arms scripts from its seeded schedule).
     comm_faults: FaultScript,
+    /// Execution options, preserved across rescale.
+    exec: ExecOptions,
 }
 
 impl Engine {
-    /// Start a fresh job on `placement`.
+    /// Start a fresh job on `placement` with the default execution mode
+    /// (persistent worker-thread pool).
     pub fn new(config: JobConfig, placement: Placement) -> Self {
+        Self::new_opts(config, placement, ExecOptions::default())
+    }
+
+    /// Start a fresh job on `placement` with explicit execution options.
+    pub fn new_opts(config: JobConfig, placement: Placement, exec: ExecOptions) -> Self {
         placement.validate(config.n_ests).unwrap_or_else(|e| panic!("invalid placement: {e}"));
         let workers: Vec<EasyScaleWorker> =
             placement.slots.iter().map(|s| EasyScaleWorker::new(&config, s)).collect();
         let param_sizes = workers[0].model().param_sizes();
         let n_params: usize = param_sizes.iter().sum();
-        let ddp = ElasticDdp::new(&param_sizes, config.n_ests, config.bucket_cap_bytes);
+        let params = workers[0].flat_params();
+        let ddp = Arc::new(ElasticDdp::new(&param_sizes, config.n_ests, config.bucket_cap_bytes));
         let opt = Sgd::new(n_params, config.momentum, config.weight_decay);
         let steps_per_epoch = Self::compute_steps_per_epoch(&config);
+        let backend = Backend::build(workers, &exec);
         Engine {
             config,
             placement,
-            workers,
+            backend,
+            params,
+            n_param_tensors: param_sizes.len(),
             ddp,
             opt,
             global_step: 0,
@@ -95,12 +211,23 @@ impl Engine {
             restarted_without_layout: false,
             comm_retry: RetryPolicy::default(),
             comm_faults: FaultScript::none(),
+            exec,
         }
     }
 
     /// Resume a job from an on-demand checkpoint on a (possibly different,
-    /// possibly heterogeneous) placement.
+    /// possibly heterogeneous) placement, with the default execution mode.
     pub fn from_checkpoint(config: JobConfig, placement: Placement, ckpt: &JobCheckpoint) -> Self {
+        Self::from_checkpoint_opts(config, placement, ckpt, ExecOptions::default())
+    }
+
+    /// [`Engine::from_checkpoint`] with explicit execution options.
+    pub fn from_checkpoint_opts(
+        config: JobConfig,
+        placement: Placement,
+        ckpt: &JobCheckpoint,
+        exec: ExecOptions,
+    ) -> Self {
         placement.validate(config.n_ests).unwrap_or_else(|e| panic!("invalid placement: {e}"));
         assert_eq!(ckpt.n_ests(), config.n_ests, "checkpoint EST count mismatch");
         let mut workers: Vec<EasyScaleWorker> =
@@ -125,17 +252,22 @@ impl Engine {
         let mut opt = Sgd::new(param_sizes.iter().sum(), config.momentum, config.weight_decay);
         opt.restore_state(&ckpt.opt_velocity);
         let steps_per_epoch = Self::compute_steps_per_epoch(&config);
+        let n_param_tensors = param_sizes.len();
+        let backend = Backend::build(workers, &exec);
         Engine {
             config,
             placement,
-            workers,
-            ddp,
+            backend,
+            params: ckpt.params.clone(),
+            n_param_tensors,
+            ddp: Arc::new(ddp),
             opt,
             global_step: ckpt.global_step,
             steps_per_epoch,
             restarted_without_layout,
             comm_retry: RetryPolicy::default(),
             comm_faults: FaultScript::none(),
+            exec,
         }
     }
 
@@ -171,9 +303,10 @@ impl Engine {
         self.steps_per_epoch
     }
 
-    /// Flat model parameters (identical bitwise on every worker replica).
+    /// Flat model parameters (identical bitwise on every worker replica;
+    /// served from the engine-side mirror, so it never blocks on workers).
     pub fn flat_params(&self) -> Vec<f32> {
-        self.workers[0].flat_params()
+        self.params.clone()
     }
 
     /// ESTs hosted by each physical worker, in slot order. This is the
@@ -182,7 +315,17 @@ impl Engine {
     /// runs of the same schedule report identical timings regardless of
     /// real thread scheduling.
     pub fn worker_loads(&self) -> Vec<u32> {
-        self.workers.iter().map(|w| w.n_ests()).collect()
+        self.placement.slots.iter().map(|s| s.vranks.len() as u32).collect()
+    }
+
+    /// Counters of the persistent worker pool, `None` for inline execution
+    /// modes. Tests use this (plus the pool's per-drain thread-id
+    /// assertions) to prove worker threads survive across global steps.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        match &self.backend {
+            Backend::Pool(pool) => Some(pool.stats()),
+            Backend::Inline { .. } => None,
+        }
     }
 
     /// Arm transient comm faults for upcoming all-reduces (fault injection;
@@ -220,22 +363,10 @@ impl Engine {
         let epoch = self.epoch();
         let lr = self.config.lr.lr(epoch);
 
-        // Local steps. Workers run in parallel; each owns its model replica,
-        // pool, and contexts, so no synchronization is needed until merge.
-        let mut locals: Vec<LocalStep> = if self.workers.len() > 1 {
-            let handles: Vec<Vec<LocalStep>> = crossbeam::thread::scope(|s| {
-                let joins: Vec<_> = self
-                    .workers
-                    .iter_mut()
-                    .map(|w| s.spawn(move |_| w.run_local_steps()))
-                    .collect();
-                joins.into_iter().map(|j| j.join().expect("worker thread panicked")).collect()
-            })
-            .expect("crossbeam scope failed");
-            handles.into_iter().flatten().collect()
-        } else {
-            self.workers[0].run_local_steps()
-        };
+        // Local steps. Workers run in parallel (persistent pool threads by
+        // default); each owns its model replica, pool, and contexts, so no
+        // synchronization is needed until merge.
+        let mut locals = self.backend.run_steps(epoch, lr);
         // Deterministic merge: virtual-rank order, independent of thread
         // completion order.
         let merge_span = obs::span("merge");
@@ -243,32 +374,39 @@ impl Engine {
         debug_assert_eq!(locals.len(), self.config.n_ests as usize);
 
         let losses: Vec<f32> = locals.iter().map(|l| l.loss).collect();
-        let grads: Vec<Vec<f32>> = locals.into_iter().map(|l| l.grad).collect();
+        let grads: Arc<Vec<Vec<f32>>> = Arc::new(locals.into_iter().map(|l| l.grad).collect());
 
         // Gradient synchronization over virtual ranks, under the bounded
         // retry policy. A successful retried all-reduce is bitwise
         // identical to an unfaulted one (comm::retry), so transient faults
-        // never reach the parameters.
+        // never reach the parameters. The reduction itself is partitioned
+        // across the worker pool (fixed bucket partition — same bits).
+        let backend = &self.backend;
+        let ddp = &self.ddp;
         let (avg, _retry_stats) =
-            self.ddp.allreduce_avg_with_retry(&grads, &self.comm_retry, &mut self.comm_faults)?;
+            comm::retry_reduce(&self.comm_retry, &mut self.comm_faults, || {
+                backend.reduce(ddp, &grads)
+            })?;
 
-        // One optimizer update, applied identically to every replica.
-        let params = self.workers[0].flat_params();
-        let delta = self.opt.step(&params, &avg, lr);
-        for w in &mut self.workers {
-            w.apply_update(&delta);
+        // One optimizer update, applied identically to every replica (and
+        // to the engine-side mirror — elementwise, so bitwise equal).
+        let delta = self.opt.step(&self.params, &avg, lr);
+        for (p, d) in self.params.iter_mut().zip(&delta) {
+            *p += d;
         }
+        let delta = Arc::new(delta);
+        self.backend.apply(&delta);
 
         // DDP's end-of-first-mini-batch bucket rebuild (§3.3): deterministic
         // on a fresh start, timing-perturbed after a non-D1 restart.
         if !self.ddp.is_rebuilt() {
-            let n = self.workers[0].model().param_sizes().len();
             let order = if self.restarted_without_layout {
-                restart_ready_order(n)
+                restart_ready_order(self.n_param_tensors)
             } else {
-                fresh_ready_order(n)
+                fresh_ready_order(self.n_param_tensors)
             };
-            self.ddp.rebuild_from_ready_order(&order, self.config.bucket_cap_bytes);
+            Arc::make_mut(&mut self.ddp)
+                .rebuild_from_ready_order(&order, self.config.bucket_cap_bytes);
         }
         drop(merge_span);
         obs::counter_add("engine.steps_total", 1);
@@ -288,10 +426,11 @@ impl Engine {
     /// Take an on-demand checkpoint (paper Figure 6).
     pub fn checkpoint(&self) -> JobCheckpoint {
         let _ckpt_span = obs::span("engine.checkpoint");
+        let snaps = self.backend.snapshots();
         // EST contexts gathered from their current owners, in vrank order.
         let mut contexts: Vec<Option<EstContext>> = vec![None; self.config.n_ests as usize];
-        for w in &self.workers {
-            for c in w.contexts() {
+        for s in &snaps {
+            for c in &s.contexts {
                 contexts[c.vrank as usize] = Some(c.clone());
             }
         }
@@ -299,11 +438,10 @@ impl Engine {
             contexts.into_iter().map(|c| c.expect("placement covered all ranks")).collect();
 
         // Merge loader cursors: each rank's cursor comes from its owner.
-        let mut loader = self.workers[0].pool_checkpoint();
-        for (w, slot) in self.workers.iter().zip(&self.placement.slots) {
-            let wc = w.pool_checkpoint();
+        let mut loader = snaps[0].loader.clone();
+        for (s, slot) in snaps.iter().zip(&self.placement.slots) {
             for &r in &slot.vranks {
-                loader.cursors[r as usize] = wc.cursors[r as usize];
+                loader.cursors[r as usize] = s.loader.cursors[r as usize];
             }
         }
 
@@ -312,7 +450,7 @@ impl Engine {
             loader,
             comm: self.ddp.checkpoint(),
             global_step: self.global_step,
-            params: self.workers[0].flat_params(),
+            params: self.params.clone(),
             opt_velocity: self.opt.state().to_vec(),
         };
         obs::counter_add("engine.checkpoints_total", 1);
@@ -320,14 +458,25 @@ impl Engine {
         ckpt
     }
 
-    /// Scale in/out: checkpoint, rebuild on the new placement, resume. This
-    /// is the complete "resource reconfiguration" path of Figure 5.
+    /// Scale in/out: checkpoint, rebuild on the new placement, resume —
+    /// this is where pool threads are torn down and respawned (the *only*
+    /// such point; ordinary steps reuse the persistent threads). This is
+    /// the complete "resource reconfiguration" path of Figure 5.
     pub fn rescale(self, new_placement: Placement) -> Engine {
-        let ckpt = self.checkpoint();
-        Engine::from_checkpoint(self.config, new_placement, &ckpt)
+        let exec = self.exec.clone();
+        self.rescale_opts(new_placement, exec)
     }
 
-    /// Evaluate on `dataset` using virtual rank 0's implicit state.
+    /// [`Engine::rescale`] with new execution options (e.g. fresh stable
+    /// device ids for the surviving workers).
+    pub fn rescale_opts(self, new_placement: Placement, exec: ExecOptions) -> Engine {
+        let ckpt = self.checkpoint();
+        Engine::from_checkpoint_opts(self.config, new_placement, &ckpt, exec)
+    }
+
+    /// Evaluate on `dataset` using virtual rank 0's implicit state. The
+    /// forward passes run on the calling thread (pool workers are lent
+    /// across for the duration — eval datasets are borrowed, not `'static`).
     pub fn evaluate(&mut self, dataset: &dyn Dataset, batch_size: usize) -> EvalResult {
         let (wi, ci) = self
             .placement
@@ -336,7 +485,8 @@ impl Engine {
             .enumerate()
             .find_map(|(wi, s)| s.vranks.iter().position(|&r| r == 0).map(|ci| (wi, ci)))
             .expect("rank 0 is always placed");
-        let (overall, per_class) = self.workers[wi].evaluate(dataset, batch_size, ci);
+        let (overall, per_class) =
+            self.backend.with_worker_mut(wi, |w| w.evaluate(dataset, batch_size, ci));
         EvalResult { overall, per_class }
     }
 
@@ -352,6 +502,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::{ExecMode, ExecOptions};
     use crate::Determinism;
     use device::GpuType;
     use models::Workload;
@@ -509,6 +660,78 @@ mod tests {
         assert_eq!(err, CommError::RetriesExhausted { attempts: policy.max_attempts });
         // The engine is poisoned (loader cursors advanced without an
         // update); a real caller now recovers from the durable store.
+    }
+
+    #[test]
+    fn all_exec_modes_are_bitwise_identical() {
+        // The tentpole invariant at engine level: pool (N persistent
+        // threads), single-thread, and legacy scoped execution produce the
+        // same bits — including across a mid-run rescale.
+        let exec = |mode| ExecOptions { mode, device_ids: vec![] };
+        let p = || Placement::one_est_per_gpu(4, GpuType::V100);
+        let mut pool = Engine::new_opts(config(), p(), exec(ExecMode::Pool));
+        let mut single = Engine::new_opts(config(), p(), exec(ExecMode::SingleThread));
+        let mut scoped = Engine::new_opts(config(), p(), exec(ExecMode::Scoped));
+        for _ in 0..2 {
+            pool.step();
+            single.step();
+            scoped.step();
+        }
+        let shrink = Placement::homogeneous(4, 2, GpuType::V100);
+        let mut pool = pool.rescale(shrink.clone());
+        let mut single = single.rescale(shrink.clone());
+        let mut scoped = scoped.rescale(shrink);
+        for _ in 0..2 {
+            pool.step();
+            single.step();
+            scoped.step();
+        }
+        assert_eq!(params_bits(&pool), params_bits(&single));
+        assert_eq!(params_bits(&pool), params_bits(&scoped));
+    }
+
+    #[test]
+    fn pool_threads_survive_across_steps() {
+        // The no-respawn guarantee: three global steps served by the same
+        // four threads. `WorkerPool::run_steps` asserts every drained batch
+        // came from the spawn-time thread id, so reaching steps_served == 3
+        // proves no respawn happened.
+        let mut e = Engine::new(config(), Placement::one_est_per_gpu(4, GpuType::V100));
+        assert_eq!(e.pool_stats(), Some(crate::pool::PoolStats { workers: 4, steps_served: 0 }));
+        for _ in 0..3 {
+            e.step();
+        }
+        assert_eq!(e.pool_stats(), Some(crate::pool::PoolStats { workers: 4, steps_served: 3 }));
+        // Inline modes have no pool.
+        let inline = Engine::new_opts(
+            config(),
+            Placement::one_est_per_gpu(4, GpuType::V100),
+            ExecOptions { mode: ExecMode::SingleThread, device_ids: vec![] },
+        );
+        assert_eq!(inline.pool_stats(), None);
+    }
+
+    #[test]
+    fn mirror_matches_replica_bitwise() {
+        // The engine-side parameter mirror must track every replica exactly;
+        // the checkpoint (built from the mirror) loads into a worker whose
+        // replica then produces the same bits going forward.
+        let mut e = Engine::new(config(), Placement::homogeneous(4, 2, GpuType::V100));
+        e.step();
+        e.step();
+        let mirror = e.flat_params();
+        let ckpt = e.checkpoint();
+        assert_eq!(
+            mirror.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            ckpt.params.iter().map(|p| p.to_bits()).collect::<Vec<_>>()
+        );
+        // A restored engine (replicas loaded from the mirror's values)
+        // continues identically to the original.
+        let mut restored =
+            Engine::from_checkpoint(e.config().clone(), e.placement().clone(), &ckpt);
+        e.step();
+        restored.step();
+        assert_eq!(params_bits(&e), params_bits(&restored));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod determinism;
 pub mod engine;
 pub mod est;
 pub mod placement;
+pub mod pool;
 pub mod store;
 pub mod worker;
 
@@ -47,6 +48,7 @@ pub use determinism::Determinism;
 pub use engine::{Engine, EvalResult, StepResult};
 pub use est::EstContext;
 pub use placement::{Placement, Slot};
+pub use pool::{ExecMode, ExecOptions, PoolStats, WorkerPool, WorkerSnapshot};
 pub use store::CheckpointStore;
 pub use worker::EasyScaleWorker;
 

@@ -1,0 +1,477 @@
+//! Persistent worker-thread pool: each physical worker lives on one OS
+//! thread for the engine's lifetime.
+//!
+//! The old engine *borrowed* threads — a `crossbeam::thread::scope` spawned
+//! and tore down one thread per worker inside every global step. This module
+//! replaces that with the real elastic-training shape (ROADMAP item 1): the
+//! engine spawns one named thread per physical worker when it is built,
+//! drives the threads over per-worker command channels, and only ever
+//! respawns them on `rescale` (where the worker set itself changes).
+//!
+//! Determinism story (docs/PARALLELISM.md): worker threads run local steps
+//! and merge-side bucket reductions concurrently, so *completion* order is
+//! up to the OS scheduler — classic D1 entropy. Every result crosses back to
+//! the engine through one of two fences:
+//!
+//! - an [`Exchange`] keyed by worker index, drained with
+//!   [`Exchange::drain_sorted`] (a declared detlint taint barrier) so the
+//!   engine consumes results in canonical worker order, or
+//! - [`WorkerPool::recv_ordered`], which reads per-worker reply channels in
+//!   explicit index order (also a declared barrier).
+//!
+//! Past those fences no bit depends on scheduling, which is what the
+//! `nthread_eq_single` proptest checks end to end.
+
+use crate::est::EstContext;
+use crate::worker::{EasyScaleWorker, LocalStep};
+use comm::exchange::{channel, Receiver, Sender};
+use comm::{ElasticDdp, Exchange, ExchangeTx};
+use data::LoaderCheckpoint;
+use std::sync::Arc;
+use std::thread::{JoinHandle, ThreadId};
+
+/// How the engine executes its physical workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Persistent worker threads (the default): one OS thread per physical
+    /// worker for the engine's lifetime, respawned only on rescale.
+    #[default]
+    Pool,
+    /// Everything on the caller's thread, workers stepped sequentially.
+    /// The reference for the N-thread ≡ 1-thread equivalence tests.
+    SingleThread,
+    /// The pre-pool model: scoped threads spawned inside every global step.
+    /// Kept as a bench/regression baseline for the spawn overhead.
+    Scoped,
+}
+
+/// Execution options for an [`Engine`](crate::Engine).
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Worker execution mode.
+    pub mode: ExecMode,
+    /// Stable device ids used to *name* pool threads (`esw-dev{id}`), in
+    /// slot order. Purely diagnostic — ids never feed the math. When empty,
+    /// slot indices are used.
+    pub device_ids: Vec<u32>,
+}
+
+/// Counters a [`WorkerPool`] keeps about itself (see
+/// [`Engine::pool_stats`](crate::Engine::pool_stats)). Tests use these to
+/// prove threads persist across steps; they are engine-local, unlike the
+/// process-global `obs` counters, so parallel tests cannot race on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads currently alive.
+    pub workers: usize,
+    /// Global-step rounds served by these threads since spawn.
+    pub steps_served: u64,
+}
+
+/// Everything the engine needs from one worker to assemble a checkpoint.
+#[derive(Debug, Clone)]
+pub struct WorkerSnapshot {
+    /// The worker's EST contexts, in slot order.
+    pub contexts: Vec<EstContext>,
+    /// The worker's data-pool cursors (all ranks; only locally-owned ones
+    /// have advanced).
+    pub loader: LoaderCheckpoint,
+}
+
+impl WorkerSnapshot {
+    /// Capture `worker`'s checkpoint-relevant state.
+    pub fn capture(worker: &EasyScaleWorker) -> Self {
+        WorkerSnapshot { contexts: worker.contexts().to_vec(), loader: worker.pool_checkpoint() }
+    }
+}
+
+/// One engine→worker command. Per-worker channels are FIFO, so a worker
+/// observes commands in exactly the engine's program order — `Apply` always
+/// lands before the next `Step`, no acknowledgement needed.
+enum Cmd {
+    /// Run one local step per hosted EST and publish the batch.
+    Step {
+        /// Round sequence number, echoed back for protocol assertions.
+        seq: u64,
+        /// Epoch of this global step.
+        epoch: u64,
+        /// Learning rate of this global step (echoed; local steps don't use it).
+        lr: f32,
+    },
+    /// Ring-reduce this worker's bucket partition of `grads` and publish
+    /// the partial sums.
+    Reduce { ddp: Arc<ElasticDdp>, grads: Arc<Vec<Vec<f32>>>, parts: usize },
+    /// Apply the (identical-everywhere) optimizer delta to the replica.
+    Apply(Arc<Vec<f32>>),
+    /// Reply with a [`WorkerSnapshot`].
+    Snapshot,
+    /// Reply with the owned worker itself (evaluation runs on the engine
+    /// thread because eval datasets are borrowed, not `'static`).
+    Lend,
+    /// Return a previously lent worker.
+    Restore(Box<EasyScaleWorker>),
+    /// Shut down the thread.
+    Exit,
+}
+
+/// One worker→engine reply (for request/response commands; step and reduce
+/// results travel through the keyed exchanges instead).
+enum Reply {
+    Snapshot(Box<WorkerSnapshot>),
+    Worker(Box<EasyScaleWorker>),
+}
+
+/// What a worker publishes after a `Step` command: its local steps plus the
+/// command echo and its thread id (asserted stable across rounds — the proof
+/// that no respawn happened).
+struct StepBatch {
+    seq: u64,
+    epoch: u64,
+    lr: f32,
+    thread: ThreadId,
+    steps: Vec<LocalStep>,
+}
+
+/// The persistent pool: command senders, reply receivers, and the two keyed
+/// exchanges the worker threads publish into.
+pub struct WorkerPool {
+    cmds: Vec<Sender<Cmd>>,
+    replies: Vec<Receiver<Reply>>,
+    steps: Exchange<StepBatch>,
+    partials: Exchange<Vec<(usize, Vec<f32>)>>,
+    threads: Vec<JoinHandle<()>>,
+    /// Thread id recorded at spawn, per worker; every drained `StepBatch`
+    /// must match it.
+    ids: Vec<ThreadId>,
+    seq: u64,
+    steps_served: u64,
+}
+
+impl WorkerPool {
+    /// Spawn one named persistent thread per worker, moving each worker onto
+    /// its thread. `device_ids` (slot order) name the threads `esw-dev{id}`;
+    /// missing entries fall back to the slot index.
+    pub fn spawn(workers: Vec<EasyScaleWorker>, device_ids: &[u32]) -> Self {
+        let n = workers.len();
+        assert!(n > 0, "pool needs at least one worker");
+        let mut steps: Exchange<StepBatch> = Exchange::new();
+        let mut partials: Exchange<Vec<(usize, Vec<f32>)>> = Exchange::new();
+        let mut cmds = Vec::with_capacity(n);
+        let mut replies = Vec::with_capacity(n);
+        let mut threads = Vec::with_capacity(n);
+        let mut ids = Vec::with_capacity(n);
+        for (i, worker) in workers.into_iter().enumerate() {
+            let dev = device_ids.get(i).copied().unwrap_or(i as u32);
+            let (cmd_tx, cmd_rx) = channel();
+            let (reply_tx, reply_rx) = channel();
+            let step_tx = steps.handle();
+            let partial_tx = partials.handle();
+            let handle = std::thread::Builder::new()
+                .name(format!("esw-dev{dev}"))
+                .spawn(move || {
+                    worker_main(i as u64, Box::new(worker), cmd_rx, reply_tx, step_tx, partial_tx)
+                })
+                .expect("failed to spawn worker thread");
+            ids.push(handle.thread().id());
+            threads.push(handle);
+            cmds.push(cmd_tx);
+            replies.push(reply_rx);
+        }
+        // Seal: only worker threads hold publish handles now, so a dead
+        // worker surfaces as a drain panic instead of a silent hang.
+        steps.seal();
+        partials.seal();
+        obs::counter_add("engine.pool.spawns_total", n as u64);
+        WorkerPool { cmds, replies, steps, partials, threads, ids, seq: 0, steps_served: 0 }
+    }
+
+    /// Number of pooled workers.
+    pub fn len(&self) -> usize {
+        self.cmds.len()
+    }
+
+    /// Whether the pool is empty (never true; spawn requires ≥ 1 worker).
+    pub fn is_empty(&self) -> bool {
+        self.cmds.is_empty()
+    }
+
+    /// Pool self-counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats { workers: self.threads.len(), steps_served: self.steps_served }
+    }
+
+    /// One concurrent local-step round: command every worker, then drain the
+    /// step exchange in canonical worker order. The returned list is in
+    /// worker order (callers still sort by vrank, as the sequential engine
+    /// always did).
+    pub fn run_steps(&mut self, epoch: u64, lr: f32) -> Vec<LocalStep> {
+        let n = self.len();
+        self.seq += 1;
+        let seq = self.seq;
+        for tx in &self.cmds {
+            tx.send(Cmd::Step { seq, epoch, lr }).expect("worker thread died");
+        }
+        // Each round the scoped-thread engine would have paid n spawns.
+        obs::counter_add("engine.pool.spawns_avoided_total", n as u64);
+        let drain_span = obs::span("engine.drain_wait");
+        let batches = self.steps.drain_sorted(n);
+        drop(drain_span);
+        self.steps_served += 1;
+        let mut out = Vec::new();
+        for (key, batch) in batches {
+            debug_assert_eq!(batch.seq, seq, "stale step batch");
+            debug_assert_eq!(batch.epoch, epoch, "epoch echo mismatch");
+            debug_assert_eq!(batch.lr.to_bits(), lr.to_bits(), "lr echo mismatch");
+            assert_eq!(
+                batch.thread, self.ids[key as usize],
+                "worker thread was respawned mid-lifetime"
+            );
+            out.extend(batch.steps);
+        }
+        out
+    }
+
+    /// One parallel merge-side reduction: every worker ring-reduces its
+    /// fixed bucket partition, the engine drains the partials in canonical
+    /// order and assembles the averaged flat gradient. Bitwise identical to
+    /// [`ElasticDdp::allreduce_avg`] — see `comm`'s
+    /// `partitioned_reduce_matches_monolithic_bitwise` test.
+    pub fn reduce(&self, ddp: &Arc<ElasticDdp>, grads: &Arc<Vec<Vec<f32>>>) -> Vec<f32> {
+        let n = self.len();
+        for tx in &self.cmds {
+            tx.send(Cmd::Reduce { ddp: Arc::clone(ddp), grads: Arc::clone(grads), parts: n })
+                .expect("worker thread died");
+        }
+        let drained = {
+            let _drain_span = obs::span("engine.drain_wait");
+            self.partials.drain_sorted(n)
+        };
+        let parts: Vec<(usize, Vec<f32>)> = drained.into_iter().flat_map(|(_, p)| p).collect();
+        ddp.assemble_avg(&parts)
+    }
+
+    /// Broadcast the optimizer delta. Fire-and-forget: per-worker FIFO
+    /// ordering guarantees it is applied before any later command.
+    pub fn apply(&self, delta: &Arc<Vec<f32>>) {
+        for tx in &self.cmds {
+            tx.send(Cmd::Apply(Arc::clone(delta))).expect("worker thread died");
+        }
+    }
+
+    /// Snapshot every worker's checkpoint-relevant state, in worker order.
+    pub fn snapshots(&self) -> Vec<WorkerSnapshot> {
+        for tx in &self.cmds {
+            tx.send(Cmd::Snapshot).expect("worker thread died");
+        }
+        let order: Vec<usize> = (0..self.len()).collect();
+        self.recv_ordered(&order)
+            .into_iter()
+            .map(|r| match r {
+                Reply::Snapshot(s) => *s,
+                Reply::Worker(_) => unreachable!("snapshot round returned a lent worker"),
+            })
+            .collect()
+    }
+
+    /// Borrow worker `index` onto the calling thread (for evaluation, which
+    /// takes non-`'static` datasets). Must be paired with
+    /// [`WorkerPool::restore`].
+    pub fn lend(&self, index: usize) -> Box<EasyScaleWorker> {
+        self.cmds[index].send(Cmd::Lend).expect("worker thread died");
+        match self.recv_ordered(&[index]).pop().expect("one reply") {
+            Reply::Worker(w) => w,
+            Reply::Snapshot(_) => unreachable!("lend round returned a snapshot"),
+        }
+    }
+
+    /// Return a worker borrowed with [`WorkerPool::lend`].
+    pub fn restore(&self, index: usize, worker: Box<EasyScaleWorker>) {
+        self.cmds[index].send(Cmd::Restore(worker)).expect("worker thread died");
+    }
+
+    /// Drain per-worker reply channels in the explicit index order given —
+    /// a canonical order, independent of which worker answered first.
+    /// Declared as a detlint taint barrier (docs/DETLINT.md).
+    fn recv_ordered(&self, from: &[usize]) -> Vec<Reply> {
+        from.iter()
+            .map(|&i| {
+                // Reply channels are read in the caller-fixed index order,
+                // never in arrival order.
+                // detlint::allow(no-thread-order): fixed per-worker order
+                self.replies[i].recv().expect("worker thread died")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for tx in &self.cmds {
+            // A worker that already died can't receive Exit; join below
+            // still reaps it.
+            let _ = tx.send(Cmd::Exit);
+        }
+        for handle in self.threads.drain(..) {
+            if handle.join().is_err() && !std::thread::panicking() {
+                panic!("worker thread panicked during shutdown");
+            }
+        }
+    }
+}
+
+/// The persistent worker thread body: block on the command channel, execute,
+/// publish. Runs until `Exit` (or until the engine is dropped mid-teardown).
+/// Declared as a detlint taint barrier: the blocking receive is the one
+/// place scheduling-dependent arrival *timing* exists, and nothing here
+/// forwards arrival order — results are published under the worker's fixed
+/// key and consumed through canonical-order drains on the engine side.
+fn worker_main(
+    key: u64,
+    worker: Box<EasyScaleWorker>,
+    cmds: Receiver<Cmd>,
+    replies: Sender<Reply>,
+    steps: ExchangeTx<StepBatch>,
+    partials: ExchangeTx<Vec<(usize, Vec<f32>)>>,
+) {
+    // `None` while the worker is lent to the engine thread for evaluation.
+    let mut slot: Option<Box<EasyScaleWorker>> = Some(worker);
+    loop {
+        // Single-producer FIFO command channel — receive order is the
+        // engine's program order, not a thread race.
+        // detlint::allow(no-thread-order): single-producer FIFO channel
+        let cmd = match cmds.recv() {
+            Ok(cmd) => cmd,
+            // Engine dropped without Exit (poisoned teardown): just leave.
+            Err(_) => return,
+        };
+        match cmd {
+            Cmd::Step { seq, epoch, lr } => {
+                let w = slot.as_mut().expect("step commanded while worker is lent out");
+                let step_span = obs::span("engine.pool.worker_step");
+                let local = w.run_local_steps();
+                drop(step_span);
+                steps.publish(
+                    key,
+                    StepBatch { seq, epoch, lr, thread: std::thread::current().id(), steps: local },
+                );
+            }
+            Cmd::Reduce { ddp, grads, parts } => {
+                let mine = ddp.partition_buckets(key as usize, parts);
+                partials.publish(key, ddp.reduce_buckets(&grads, &mine));
+            }
+            Cmd::Apply(delta) => {
+                slot.as_mut()
+                    .expect("apply commanded while worker is lent out")
+                    .apply_update(&delta);
+            }
+            Cmd::Snapshot => {
+                let w = slot.as_ref().expect("snapshot commanded while worker is lent out");
+                replies
+                    .send(Reply::Snapshot(Box::new(WorkerSnapshot::capture(w))))
+                    .expect("engine dropped its reply channel");
+            }
+            Cmd::Lend => {
+                let w = slot.take().expect("worker lent twice");
+                replies.send(Reply::Worker(w)).expect("engine dropped its reply channel");
+            }
+            Cmd::Restore(w) => {
+                assert!(slot.is_none(), "restore without a lend");
+                slot = Some(w);
+            }
+            Cmd::Exit => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+    use crate::JobConfig;
+    use device::GpuType;
+    use models::Workload;
+
+    fn make_workers(n_ests: u32, gpus: u32) -> (JobConfig, Vec<EasyScaleWorker>) {
+        let cfg = JobConfig::new(Workload::ResNet18, 7, n_ests).with_dataset_len(128);
+        let placement = Placement::homogeneous(n_ests, gpus, GpuType::V100);
+        let workers = placement.slots.iter().map(|s| EasyScaleWorker::new(&cfg, s)).collect();
+        (cfg, workers)
+    }
+
+    #[test]
+    fn pool_steps_match_sequential_workers_bitwise() {
+        let (_, pooled) = make_workers(4, 2);
+        let (_, mut seq) = make_workers(4, 2);
+        let mut pool = WorkerPool::spawn(pooled, &[]);
+        for _ in 0..3 {
+            let mut a = pool.run_steps(0, 0.05);
+            let mut b: Vec<LocalStep> = seq.iter_mut().flat_map(|w| w.run_local_steps()).collect();
+            a.sort_by_key(|l| l.vrank);
+            b.sort_by_key(|l| l.vrank);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.vrank, y.vrank);
+                assert_eq!(x.loss.to_bits(), y.loss.to_bits());
+                assert!(x.grad.iter().zip(&y.grad).all(|(p, q)| p.to_bits() == q.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn threads_persist_across_rounds() {
+        let (_, workers) = make_workers(4, 4);
+        let mut pool = WorkerPool::spawn(workers, &[10, 11, 12, 13]);
+        assert_eq!(pool.stats(), PoolStats { workers: 4, steps_served: 0 });
+        for _ in 0..3 {
+            // run_steps itself asserts each batch's thread id equals the
+            // spawn-time id, so passing three rounds proves no respawn.
+            pool.run_steps(0, 0.05);
+        }
+        assert_eq!(pool.stats(), PoolStats { workers: 4, steps_served: 3 });
+    }
+
+    #[test]
+    fn pooled_reduce_matches_monolithic_bitwise() {
+        let (cfg, workers) = make_workers(4, 4);
+        let sizes = workers[0].model().param_sizes();
+        let mut pool = WorkerPool::spawn(workers, &[]);
+        let mut locals = pool.run_steps(0, 0.05);
+        locals.sort_by_key(|l| l.vrank);
+        let grads: Arc<Vec<Vec<f32>>> = Arc::new(locals.into_iter().map(|l| l.grad).collect());
+        let ddp = Arc::new(ElasticDdp::new(&sizes, cfg.n_ests, cfg.bucket_cap_bytes));
+        let plain = ddp.allreduce_avg(&grads);
+        let pooled = pool.reduce(&ddp, &grads);
+        assert!(plain.iter().zip(&pooled).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn lend_and_restore_round_trip() {
+        let (_, workers) = make_workers(2, 2);
+        let mut pool = WorkerPool::spawn(workers, &[]);
+        let w = pool.lend(1);
+        assert!(!w.flat_params().is_empty());
+        pool.restore(1, w);
+        // The restored worker still steps: the next round must include its
+        // ESTs.
+        let locals = pool.run_steps(0, 0.05);
+        assert_eq!(locals.len(), 2);
+        let snaps = pool.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[1].contexts.len(), 1);
+    }
+
+    #[test]
+    fn apply_lands_before_later_commands() {
+        let (_, workers) = make_workers(2, 1);
+        let pool = WorkerPool::spawn(workers, &[]);
+        let w = pool.lend(0);
+        let before = w.flat_params();
+        pool.restore(0, w);
+        let delta = Arc::new(vec![0.5f32; before.len()]);
+        pool.apply(&delta);
+        // FIFO command ordering: the lend behind the apply must observe it.
+        let after = pool.lend(0);
+        assert!(after.flat_params().iter().zip(&before).all(|(a, b)| (a - b - 0.5).abs() < 1e-6));
+        pool.restore(0, after);
+    }
+}

@@ -71,7 +71,7 @@ impl TaintConfig {
         };
         TaintConfig {
             barrier_crates: strs(&["obs", "esrng"]),
-            barrier_fns: strs(&["drain_sorted"]),
+            barrier_fns: strs(&["drain_sorted", "worker_main", "recv_ordered"]),
             sinks: vec![
                 sink("optim", "step", "param-update"),
                 sink("models", "apply_flat_delta", "param-update"),

@@ -41,7 +41,7 @@ use std::path::PathBuf;
 
 use comm::{Heartbeat, HeartbeatBus};
 use device::{GpuType, PerfModel, SimClock, DILATION_ONE};
-use easyscale::{CheckpointStore, Engine, JobConfig, Placement};
+use easyscale::{CheckpointStore, Engine, ExecMode, ExecOptions, JobConfig, Placement};
 use models::Workload;
 use sched::{
     Companion, FreePool, HealthEvent, HealthPolicy, HealthState, InterJobScheduler,
@@ -84,6 +84,10 @@ pub struct HarnessConfig {
     /// canonicalizes) — the shuffled-start-order determinism test drives
     /// this knob.
     pub start_order: Vec<u32>,
+    /// Worker execution mode for every engine the harness builds. Pool (the
+    /// production shape) by default; the `nthread_eq_single` equivalence
+    /// tests sweep this against `SingleThread`.
+    pub exec_mode: ExecMode,
 }
 
 impl HarnessConfig {
@@ -104,6 +108,7 @@ impl HarnessConfig {
             store_dir,
             health: HealthPolicy::with_lease(lease_us),
             start_order: (0..2).collect(),
+            exec_mode: ExecMode::Pool,
         }
     }
 
@@ -273,8 +278,13 @@ impl FaultHarness {
     pub fn new(cfg: HarnessConfig, schedule: FaultSchedule) -> Self {
         assert!(cfg.initial_gpus >= 1 && cfg.initial_gpus <= cfg.cluster_gpus);
         assert!(cfg.checkpoint_every >= 1);
-        let engine =
-            Engine::new(cfg.job.clone(), Self::placement(&cfg.job, cfg.gpu, cfg.initial_gpus));
+        // Pool threads are named after the stable device ids (esw-dev{id}),
+        // so a thread keeps its identity across rescale/evict cycles.
+        let engine = Engine::new_opts(
+            cfg.job.clone(),
+            Self::placement(&cfg.job, cfg.gpu, cfg.initial_gpus),
+            ExecOptions { mode: cfg.exec_mode, device_ids: (0..cfg.initial_gpus).collect() },
+        );
         // The companion's maxP is the job's nEST: placements must cover
         // exactly the engine's virtual ranks.
         let companion = Companion::for_workload(&cfg.job.workload.spec(), cfg.job.n_ests, false);
@@ -372,6 +382,13 @@ impl FaultHarness {
         self.device_step_us(self.cfg.job.n_ests.div_ceil(gpus))
     }
 
+    /// Execution options for an engine built *now*: the configured mode,
+    /// with the currently-active stable device ids naming the pool threads
+    /// (slot order). Purely diagnostic — ids never feed the math.
+    fn exec_options(&self) -> ExecOptions {
+        ExecOptions { mode: self.cfg.exec_mode, device_ids: self.active.iter().copied().collect() }
+    }
+
     /// Map a schedule's worker index onto a live device id (n-th active,
     /// modulo the live count) — schedules address *positions*, devices
     /// have stable ids.
@@ -406,14 +423,17 @@ impl FaultHarness {
 
         let gpus = self.current_gpus();
         let placement = Self::placement(&self.cfg.job, self.cfg.gpu, gpus);
+        let exec = self.exec_options();
         let (engine, resumed_from, skipped) =
             match self.store.load_latest_valid().expect("store io") {
                 Some((ckpt, skipped)) => {
                     let step = ckpt.global_step;
-                    (Engine::from_checkpoint(self.cfg.job.clone(), placement, &ckpt), step, skipped)
+                    let e =
+                        Engine::from_checkpoint_opts(self.cfg.job.clone(), placement, &ckpt, exec);
+                    (e, step, skipped)
                 }
                 // No durable state at all: cold restart, full replay.
-                None => (Engine::new(self.cfg.job.clone(), placement), 0, 0),
+                None => (Engine::new_opts(self.cfg.job.clone(), placement, exec), 0, 0),
             };
         self.report.torn_files_skipped += skipped;
         self.report.replayed_steps += step_at_death.saturating_sub(resumed_from);
@@ -432,7 +452,7 @@ impl FaultHarness {
         let gpus = self.current_gpus();
         let placement = Self::placement(&self.cfg.job, self.cfg.gpu, gpus);
         let engine = self.engine.take().expect("live engine");
-        self.engine = Some(engine.rescale(placement));
+        self.engine = Some(engine.rescale_opts(placement, self.exec_options()));
         obs::counter_add("faultsim.rescales", 1);
         // Reconfiguration also pays the restart latency.
         self.clock.advance_us(self.restart_us());
@@ -963,9 +983,10 @@ impl FaultHarness {
 /// faults. Its final parameters are the byte-identity target every chaos
 /// run is compared against.
 pub fn run_fault_free(cfg: &HarnessConfig) -> Vec<f32> {
-    let mut engine = Engine::new(
+    let mut engine = Engine::new_opts(
         cfg.job.clone(),
         Placement::homogeneous(cfg.job.n_ests, cfg.initial_gpus.min(cfg.job.n_ests), cfg.gpu),
+        ExecOptions { mode: cfg.exec_mode, device_ids: (0..cfg.initial_gpus).collect() },
     );
     engine.run(cfg.total_steps);
     engine.flat_params()

@@ -1,35 +1,45 @@
 #!/usr/bin/env bash
 # Bench regression gate: run the fixed bench_gate suite, record this PR's
-# medians to BENCH_PR5.json (committed at the repo root), and fail if any
-# bench's median regressed more than the threshold against the newest prior
-# BENCH_*.json. With no prior baseline the gate warns, records, and passes.
+# medians to BENCH_PR6.json (committed at the repo root), and fail if any
+# bench's median regressed more than the threshold against the prior PR's
+# BENCH_*.json. The gate is two-sided: medians that beat the baseline past
+# the same margin are printed as wins and recorded in the output JSON's
+# `improvements` array. With no prior baseline the gate warns, records,
+# and passes.
 #
-#   scripts/bench_gate.sh [OUT_JSON]            (default: BENCH_PR5.json)
+#   scripts/bench_gate.sh [OUT_JSON]            (default: BENCH_PR6.json)
 #   BENCH_GATE_THRESHOLD=1.15                   (ratio; 1.15 = +15%)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR5.json}"
+OUT="${1:-BENCH_PR6.json}"
 THRESHOLD="${BENCH_GATE_THRESHOLD:-1.15}"
 
-# Newest prior baseline: version-sorted BENCH_*.json, excluding our own
-# output file.
-BASELINE="$(ls BENCH_*.json 2>/dev/null | grep -vx "$(basename "$OUT")" | sort -V | tail -1 || true)"
+# Newest prior baseline = the BENCH_PR<N>.json with the highest PR number,
+# excluding our own output file. Sorting by the numeric N (not mtime, not
+# `sort -V` over the whole name) keeps the selection stable across
+# checkouts that scramble timestamps and across N crossing a digit
+# boundary (BENCH_PR9 → BENCH_PR10).
+BASELINE=""
+best=-1
+for f in BENCH_PR*.json; do
+  [ -f "$f" ] || continue
+  [ "$f" = "$(basename "$OUT")" ] && continue
+  n="${f#BENCH_PR}"
+  n="${n%.json}"
+  case "$n" in (''|*[!0-9]*) continue;; esac
+  if [ "$n" -gt "$best" ]; then
+    best="$n"
+    BASELINE="$f"
+  fi
+done
 
 cargo build --release --offline -q -p bench --bin bench_gate
-
-# A listed-but-vanished baseline (racing checkout, manual delete) is the
-# same as no baseline: warn and record only. The binary double-checks this
-# (missing file ⇒ warn + exit 0), so neither layer can panic a fresh repo.
-if [ -n "$BASELINE" ] && [ ! -f "$BASELINE" ]; then
-  echo "bench_gate: warning: baseline $BASELINE vanished; treating as no baseline" >&2
-  BASELINE=""
-fi
 
 if [ -n "$BASELINE" ]; then
   echo "bench_gate: gating against baseline $BASELINE (threshold ${THRESHOLD}x)"
   ./target/release/bench_gate --out "$OUT" --baseline "$BASELINE" --threshold "$THRESHOLD"
 else
-  echo "bench_gate: warning: no prior BENCH_*.json baseline; skipping gate, recording $OUT only" >&2
+  echo "bench_gate: warning: no prior BENCH_PR*.json baseline; skipping gate, recording $OUT only" >&2
   ./target/release/bench_gate --out "$OUT"
 fi

@@ -76,6 +76,9 @@ if [ "$MODE" = full ]; then
   # results/detect_report.json.
   stage detect     cargo run --release --offline -q -p faultsim -- \
                      --detect-matrix --out results/detect_report.json
+  # Two-sided bench gate: fails on medians >15% over the prior PR's
+  # BENCH_PR*.json, prints a wins/regressions table, and records wins in
+  # the new report's `improvements` array (scripts/bench_gate.sh).
   stage bench_gate scripts/bench_gate.sh
 fi
 

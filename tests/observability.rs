@@ -70,8 +70,15 @@ fn sink_on_or_off_is_bitwise_invisible_to_training() {
         "comm.bucket_fills",
         "comm.bucket_flushes",
         "worker.local_step_us",
-        "worker.ctx_switch_load",
-        "worker.ctx_switch_save",
+        // The worker's ctx-switch spans run on pool threads, nested in
+        // the per-worker step span (docs/PARALLELISM.md, docs/METRICS.md).
+        "engine.pool.worker_step",
+        "engine.pool.worker_step/worker.ctx_switch_load",
+        "engine.pool.worker_step/worker.ctx_switch_save",
+        "engine.pool.spawns_total",
+        "engine.pool.spawns_avoided_total",
+        "engine.global_step/engine.drain_wait",
+        "engine.global_step/merge/engine.drain_wait",
     ] {
         assert!(names.contains(&expected), "missing metric {expected}: {names:?}");
     }
