@@ -8,7 +8,7 @@
 //! when any bench regressed past the threshold.
 //!
 //! ```text
-//! bench_gate --out BENCH_PR6.json [--baseline BENCH_PR5.json] [--threshold 1.15]
+//! bench_gate --out BENCH_PR7.json [--baseline BENCH_PR6.json] [--threshold 1.15]
 //! ```
 //!
 //! The gate is two-sided: besides failing on regressions, medians that
@@ -21,7 +21,9 @@
 
 use std::time::Instant;
 
-use bench::gate::{improvements, load_baseline, regressions, BenchResult, GateReport};
+use bench::gate::{
+    improvements, load_baseline, regressions, BenchResult, GateReport, HostFingerprint,
+};
 use comm::ElasticDdp;
 use device::GpuType;
 use easyscale::{Engine, ExecMode, ExecOptions, JobConfig, Placement};
@@ -183,6 +185,7 @@ fn main() {
         suite: "easyscale-bench-gate".to_string(),
         benches: run_suite(),
         improvements: Vec::new(),
+        host: HostFingerprint::detect(),
     };
 
     // A missing baseline is the normal first-PR state, not an error: warn
@@ -205,6 +208,19 @@ fn main() {
         // Recorded *into* the report, so the BENCH_*.json a PR ships is
         // machine-readable evidence of the speedups it claims.
         report.improvements = improvements(&report, base, threshold);
+        // Cross-box comparisons are how PR 6 chased a phantom regression:
+        // absolute medians from different hosts are not comparable. Warn
+        // loudly, but keep gating — within-file ratios still mean something
+        // and CI has no second box to ask.
+        if let Some(diff) = report.host.mismatch(&base.host) {
+            eprintln!(
+                "bench_gate: ================ HOST MISMATCH ================\n\
+                 bench_gate: baseline and candidate were recorded on DIFFERENT machines;\n\
+                 bench_gate: absolute medians are NOT comparable — trust within-file ratios only.\n\
+                 bench_gate: {diff}\n\
+                 bench_gate: ==============================================="
+            );
+        }
     }
 
     std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("report json"))

@@ -34,6 +34,70 @@ pub struct Improvement {
     pub ratio: f64,
 }
 
+/// The machine a suite ran on. Absolute medians are only comparable
+/// within one fingerprint — PR 6's BENCH_PR5-vs-PR6 confusion was exactly
+/// two boxes with no way to tell them apart after the fact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostFingerprint {
+    /// Kernel hostname.
+    pub hostname: String,
+    /// First `model name` line of `/proc/cpuinfo`.
+    pub cpu_model: String,
+    /// `available_parallelism` at record time.
+    pub cores: u32,
+}
+
+impl HostFingerprint {
+    /// The placeholder for reports that predate the field.
+    pub fn unknown() -> Self {
+        HostFingerprint {
+            hostname: "unknown".to_string(),
+            cpu_model: "unknown".to_string(),
+            cores: 0,
+        }
+    }
+
+    /// Read the current host's fingerprint. Every probe degrades to
+    /// "unknown" rather than failing — the gate must run anywhere.
+    pub fn detect() -> Self {
+        let read = |p: &str| std::fs::read_to_string(p).unwrap_or_default();
+        let hostname = {
+            let h = read("/proc/sys/kernel/hostname").trim().to_string();
+            if h.is_empty() {
+                "unknown".to_string()
+            } else {
+                h
+            }
+        };
+        let cpu_model = read("/proc/cpuinfo")
+            .lines()
+            .find(|l| l.starts_with("model name"))
+            .and_then(|l| l.split(':').nth(1))
+            .map(|m| m.trim().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        let cores = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(0);
+        HostFingerprint { hostname, cpu_model, cores }
+    }
+
+    /// A human-readable description of how `self` differs from
+    /// `baseline`, or `None` when the fingerprints match (unknown
+    /// baselines never mismatch — there is nothing to compare against).
+    pub fn mismatch(&self, baseline: &HostFingerprint) -> Option<String> {
+        if *baseline == HostFingerprint::unknown() || self == baseline {
+            return None;
+        }
+        Some(format!(
+            "baseline host: {} ({}, {} cores) / current host: {} ({}, {} cores)",
+            baseline.hostname,
+            baseline.cpu_model,
+            baseline.cores,
+            self.hostname,
+            self.cpu_model,
+            self.cores
+        ))
+    }
+}
+
 /// A whole suite run, as serialized to `BENCH_*.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct GateReport {
@@ -44,11 +108,14 @@ pub struct GateReport {
     /// Benches that beat the gate's baseline past the threshold (empty
     /// when there was no baseline to compare against).
     pub improvements: Vec<Improvement>,
+    /// Where the medians were recorded.
+    pub host: HostFingerprint,
 }
 
 // Manual impl rather than derived: pre-PR6 `BENCH_*.json` baselines have
-// no `improvements` field, and the derive treats a missing field as an
-// error. Old baselines must keep parsing — default to "no improvements".
+// no `improvements` field (and pre-PR7 ones no `host`), and the derive
+// treats a missing field as an error. Old baselines must keep parsing —
+// default to "no improvements" / "unknown host".
 impl Deserialize for GateReport {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let field = |name: &str| -> Result<&Value, DeError> {
@@ -60,6 +127,10 @@ impl Deserialize for GateReport {
             improvements: match v.get_field("improvements") {
                 Some(imp) => Vec::from_value(imp)?,
                 None => Vec::new(),
+            },
+            host: match v.get_field("host") {
+                Some(h) => HostFingerprint::from_value(h)?,
+                None => HostFingerprint::unknown(),
             },
         })
     }
@@ -137,6 +208,7 @@ mod tests {
                 })
                 .collect(),
             improvements: Vec::new(),
+            host: HostFingerprint::unknown(),
         }
     }
 
@@ -203,6 +275,61 @@ mod tests {
         assert_eq!(loaded.benches.len(), 1);
         assert!(loaded.improvements.is_empty(), "missing field defaults to empty");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pre_pr7_baseline_without_host_field_parses_to_unknown() {
+        let old = r#"{
+            "suite": "easyscale-bench-gate",
+            "benches": [],
+            "improvements": []
+        }"#;
+        let path = std::env::temp_dir()
+            .join(format!("easyscale-no-host-baseline-{}.json", std::process::id()));
+        std::fs::write(&path, old).unwrap();
+        let loaded = load_baseline(&path).unwrap().expect("present");
+        assert_eq!(loaded.host, HostFingerprint::unknown());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn host_mismatch_detection_ignores_unknown_baselines() {
+        let here = HostFingerprint {
+            hostname: "box-a".to_string(),
+            cpu_model: "cpu-1".to_string(),
+            cores: 8,
+        };
+        let there = HostFingerprint {
+            hostname: "box-b".to_string(),
+            cpu_model: "cpu-2".to_string(),
+            cores: 96,
+        };
+        assert!(here.mismatch(&here).is_none(), "same host never warns");
+        assert!(here.mismatch(&HostFingerprint::unknown()).is_none(), "pre-PR7 baseline is mute");
+        let msg = here.mismatch(&there).expect("different host warns");
+        assert!(msg.contains("box-b") && msg.contains("box-a"), "{msg}");
+    }
+
+    #[test]
+    fn host_field_round_trips_when_present() {
+        let mut rep = report(&[("a", 50.0)]);
+        rep.host = HostFingerprint {
+            hostname: "box-a".to_string(),
+            cpu_model: "cpu-1".to_string(),
+            cores: 8,
+        };
+        let text = serde_json::to_string(&rep).unwrap();
+        let back: GateReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.host, rep.host);
+    }
+
+    #[test]
+    fn detect_never_fails() {
+        // On any Linux box this fills real values; elsewhere it degrades
+        // to "unknown" rather than panicking.
+        let fp = HostFingerprint::detect();
+        assert!(!fp.hostname.is_empty());
+        assert!(!fp.cpu_model.is_empty());
     }
 
     #[test]

@@ -162,6 +162,23 @@ pub fn parse_lexed(lexed: &Lexed, crate_name: &str, file: &str) -> FileItems {
     FileItems { crate_name: crate_name.to_string(), file: file.to_string(), fns, uses }
 }
 
+/// Index (into `fns`) of the innermost fn whose body spans `(file, line)`,
+/// if any. Nested fns shadow their enclosing fn because their body starts
+/// later; shared by the taint and concurrency passes for event attribution.
+pub fn innermost_fn_at(fns: &[FnDef], file: &str, line: u32) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, f) in fns.iter().enumerate() {
+        if f.file == file
+            && f.body_lines.0 <= line
+            && line <= f.body_lines.1
+            && best.is_none_or(|b| fns[b].body_lines.0 <= f.body_lines.0)
+        {
+            best = Some(i);
+        }
+    }
+    best
+}
+
 /// An `impl` block's body token range and its subject type.
 struct ImplRegion {
     ty: String,

@@ -15,6 +15,7 @@
 //! with `// detlint::allow(rule): reason` comments.
 
 pub mod callgraph;
+pub mod concur;
 pub mod items;
 pub mod lexer;
 pub mod report;

@@ -1,13 +1,15 @@
-//! `cargo run -p detlint [-- --taint] [--json] [--quiet] [--out PATH] [--root PATH]`
+//! `cargo run -p detlint [-- --taint | --concurrency] [--json] [--quiet]
+//! [--out PATH] [--root PATH]`
 //!
 //! Lints every `crates/*/src/**/*.rs` in the workspace against the
 //! determinism rule catalog and exits non-zero on findings, so it can gate
 //! CI (scripts/ci.sh) exactly like clippy does. `--out` writes the JSON
 //! report to a file (the CI artifact) independently of what is printed.
 //! `--taint` runs the interprocedural source→sink flow analysis instead of
-//! the leaf rules.
+//! the leaf rules; `--concurrency` runs the channel-lifecycle /
+//! blocking-cycle / barrier-conformance passes.
 
-use detlint::{analyze_workspace, report, taint, Config};
+use detlint::{analyze_workspace, concur, report, taint, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -16,22 +18,28 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "detlint: static determinism lint for the EasyScale workspace\n\n\
-             USAGE: detlint [--taint] [--json] [--quiet] [--out PATH] [--root PATH]\n\n\
+             USAGE: detlint [--taint | --concurrency] [--json] [--quiet] [--out PATH] [--root PATH]\n\n\
              --taint       run the interprocedural taint analysis (source\n\
              \x20              -> sink flows over the workspace call graph)\n\
+             --concurrency run the concurrency passes: channel lifecycle,\n\
+             \x20              role-level blocking cycles, lock-order\n\
+             \x20              inversions, and barrier conformance\n\
              --json        emit the JSON report instead of human text\n\
              --quiet       print nothing (pair with --out for CI gating)\n\
              --out PATH    also write the JSON report to PATH\n\
              --root PATH   workspace root (default: the enclosing workspace)\n\n\
              Exits 1 when findings exist. Suppress a site with\n\
              `// detlint::allow(rule): reason` on the line or the line above;\n\
-             taint flows use `detlint::allow(taint)` / `taint-<kind>`."
+             taint flows use `detlint::allow(taint)` / `taint-<kind>`,\n\
+             concurrency findings use their kind token (e.g.\n\
+             `detlint::allow(barrier-unverified): reason`)."
         );
         return ExitCode::SUCCESS;
     }
     let json = args.iter().any(|a| a == "--json");
     let quiet = args.iter().any(|a| a == "--quiet");
     let taint_mode = args.iter().any(|a| a == "--taint");
+    let concur_mode = args.iter().any(|a| a == "--concurrency");
     let path_arg = |flag: &str| {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(PathBuf::from)
     };
@@ -43,6 +51,35 @@ fn main() -> ExitCode {
             std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("../.."))
         })
         .unwrap_or_else(|| PathBuf::from("."));
+
+    if concur_mode {
+        let ccfg = concur::ConcurConfig::workspace_default();
+        let rep = match concur::analyze_workspace_concur(&root, &ccfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("detlint: cannot walk {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(path) = &out {
+            if let Err(e) = std::fs::write(path, report::concur_json(&rep)) {
+                eprintln!("detlint: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if !quiet {
+            if json {
+                println!("{}", report::concur_json(&rep));
+            } else {
+                print!("{}", report::concur_human(&rep));
+            }
+        }
+        return if rep.findings.is_empty() && rep.unused_suppressions.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     if taint_mode {
         let tcfg = taint::TaintConfig::workspace_default();

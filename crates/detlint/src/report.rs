@@ -2,6 +2,7 @@
 //! (`{"count": N, "findings": [{file, line, rule, level, message}…]}`) for
 //! tooling to consume.
 
+use crate::concur::{ConcurFinding, ConcurReport};
 use crate::taint::TaintReport;
 use crate::Finding;
 use serde::Value;
@@ -138,9 +139,117 @@ pub fn taint_json(r: &TaintReport) -> String {
     serde_json::to_string_pretty(&root).expect("value tree serializes")
 }
 
+/// Human rendering of a concurrency report: findings with their witness
+/// paths, warnings, stale suppressions, then a summary line.
+pub fn concur_human(r: &ConcurReport) -> String {
+    let mut out = String::new();
+    let render = |out: &mut String, f: &ConcurFinding, tag: &str| {
+        out.push_str(&format!("{}:{}: [{}{}] {}\n", f.file, f.line, f.kind, tag, f.message));
+        for path in &f.paths {
+            for (k, hop) in path.iter().enumerate() {
+                let arrow = if k == 0 { "  " } else { "  -> " };
+                out.push_str(&format!("{}{} ({}:{})\n", arrow, hop.func, hop.file, hop.line));
+            }
+        }
+    };
+    for f in &r.findings {
+        render(&mut out, f, "");
+    }
+    for w in &r.warnings {
+        render(&mut out, w, "/warn");
+    }
+    for s in &r.unused_suppressions {
+        out.push_str(&format!("{}:{}: [{}/{}] {}\n", s.file, s.line, s.rule, s.level, s.message));
+    }
+    if r.findings.is_empty() && r.warnings.is_empty() && r.unused_suppressions.is_empty() {
+        out.push_str("detlint-concur: no findings\n");
+    } else {
+        out.push_str(&format!(
+            "detlint-concur: {} finding(s), {} warning(s), {} unused suppression(s)\n",
+            r.findings.len(),
+            r.warnings.len(),
+            r.unused_suppressions.len()
+        ));
+    }
+    out
+}
+
+/// Pretty-printed JSON concurrency report (`{"count": N, "findings": […],
+/// "warnings": […], "unused_suppressions": […], "roles": {…},
+/// "blocking": […]}`).
+pub fn concur_json(r: &ConcurReport) -> String {
+    let finding_value = |f: &ConcurFinding| {
+        let paths: Vec<Value> = f
+            .paths
+            .iter()
+            .map(|path| {
+                Value::Seq(
+                    path.iter()
+                        .map(|h| {
+                            Value::Map(vec![
+                                ("fn".to_string(), Value::Str(h.func.clone())),
+                                ("file".to_string(), Value::Str(h.file.clone())),
+                                ("line".to_string(), Value::U64(u64::from(h.line))),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Value::Map(vec![
+            ("kind".to_string(), Value::Str(f.kind.to_string())),
+            ("file".to_string(), Value::Str(f.file.clone())),
+            ("line".to_string(), Value::U64(u64::from(f.line))),
+            ("message".to_string(), Value::Str(f.message.clone())),
+            ("paths".to_string(), Value::Seq(paths)),
+        ])
+    };
+    let stale: Vec<Value> = r
+        .unused_suppressions
+        .iter()
+        .map(|s| {
+            Value::Map(vec![
+                ("file".to_string(), Value::Str(s.file.clone())),
+                ("line".to_string(), Value::U64(u64::from(s.line))),
+                ("message".to_string(), Value::Str(s.message.clone())),
+            ])
+        })
+        .collect();
+    let blocking: Vec<Value> = r
+        .blocking
+        .iter()
+        .map(|o| {
+            Value::Map(vec![
+                ("role".to_string(), Value::Str(o.role.to_string())),
+                ("op".to_string(), Value::Str(o.op.clone())),
+                ("fn".to_string(), Value::Str(o.func.clone())),
+                ("file".to_string(), Value::Str(o.file.clone())),
+                ("line".to_string(), Value::U64(u64::from(o.line))),
+                ("idle".to_string(), Value::Str(o.idle.to_string())),
+            ])
+        })
+        .collect();
+    let root = Value::Map(vec![
+        ("count".to_string(), Value::U64(r.findings.len() as u64)),
+        ("findings".to_string(), Value::Seq(r.findings.iter().map(finding_value).collect())),
+        ("warnings".to_string(), Value::Seq(r.warnings.iter().map(finding_value).collect())),
+        ("unused_suppressions".to_string(), Value::Seq(stale)),
+        (
+            "roles".to_string(),
+            Value::Map(vec![
+                ("worker_fns".to_string(), Value::U64(r.worker_fns.len() as u64)),
+                ("engine_fns".to_string(), Value::U64(r.engine_fns.len() as u64)),
+            ]),
+        ),
+        ("blocking".to_string(), Value::Seq(blocking)),
+    ]);
+    serde_json::to_string_pretty(&root).expect("value tree serializes")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::concur::BlockingOp;
     use crate::taint::{Flow, Hop};
 
     fn sample() -> Vec<Finding> {
@@ -217,5 +326,63 @@ mod tests {
         let Some(Value::Seq(path)) = flows[0].get_field("path") else { panic!("path array") };
         assert_eq!(path.len(), 2);
         assert_eq!(path[1].get_field("fn"), Some(&Value::Str("sched::decide".to_string())));
+    }
+
+    fn sample_concur() -> ConcurReport {
+        ConcurReport {
+            findings: vec![ConcurFinding {
+                kind: "blocking-cycle",
+                file: "crates/core/src/a.rs".to_string(),
+                line: 3,
+                message: "cycle".to_string(),
+                paths: vec![vec![
+                    Hop {
+                        func: "core::worker_main".to_string(),
+                        file: "crates/core/src/a.rs".to_string(),
+                        line: 1,
+                    },
+                    Hop {
+                        func: "core::wait".to_string(),
+                        file: "crates/core/src/a.rs".to_string(),
+                        line: 3,
+                    },
+                ]],
+            }],
+            warnings: Vec::new(),
+            unused_suppressions: Vec::new(),
+            worker_fns: vec!["core::worker_main".to_string(), "core::wait".to_string()],
+            engine_fns: vec!["core::Engine::step".to_string()],
+            blocking: vec![BlockingOp {
+                role: "worker",
+                op: "recv".to_string(),
+                func: "core::wait".to_string(),
+                file: "crates/core/src/a.rs".to_string(),
+                line: 3,
+                idle: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn concur_human_shows_kinds_and_witness_paths() {
+        let text = concur_human(&sample_concur());
+        assert!(text.contains("crates/core/src/a.rs:3: [blocking-cycle] cycle"));
+        assert!(text.contains("-> core::wait (crates/core/src/a.rs:3)"));
+        assert!(text.contains("1 finding(s), 0 warning(s), 0 unused suppression(s)"));
+        assert!(concur_human(&ConcurReport::default()).contains("no findings"));
+    }
+
+    #[test]
+    fn concur_json_round_trips_the_shape() {
+        let text = concur_json(&sample_concur());
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.get_field("count"), Some(&Value::U64(1)));
+        let Some(Value::Seq(fs)) = v.get_field("findings") else { panic!("findings array") };
+        let Some(Value::Seq(paths)) = fs[0].get_field("paths") else { panic!("paths array") };
+        assert_eq!(paths.len(), 1);
+        let Some(roles) = v.get_field("roles") else { panic!("roles map") };
+        assert_eq!(roles.get_field("worker_fns"), Some(&Value::U64(2)));
+        let Some(Value::Seq(blocking)) = v.get_field("blocking") else { panic!("blocking array") };
+        assert_eq!(blocking[0].get_field("role"), Some(&Value::Str("worker".to_string())));
     }
 }

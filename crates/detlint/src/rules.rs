@@ -144,13 +144,18 @@ pub fn check_file(lexed: &Lexed, crate_name: &str, file: &str, cfg: &Config) -> 
 
     // Stale-audit hygiene: an allow that suppressed nothing is itself a
     // finding, so dead suppressions cannot accumulate. Taint-level allows
-    // (`taint`, `taint-<kind>`) are owned by the taint pass, which does its
-    // own usage accounting; allows inside skipped test regions are inert by
-    // construction and not worth reporting.
+    // (`taint`, `taint-<kind>`) and concurrency-kind allows are owned by
+    // their passes, which do their own usage accounting; allows inside
+    // skipped test regions are inert by construction and not worth
+    // reporting.
     if cfg.report_unused_suppressions {
         for (k, (line, rules)) in allows.iter().enumerate() {
             if used[k]
-                || rules.iter().any(|r| r == "taint" || r.starts_with("taint-"))
+                || rules.iter().any(|r| {
+                    r == "taint"
+                        || r.starts_with("taint-")
+                        || crate::concur::ALLOW_KINDS.contains(&r.as_str())
+                })
                 || (cfg.skip_test_code && ctx.in_test(*line))
             {
                 continue;

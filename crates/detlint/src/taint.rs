@@ -260,17 +260,7 @@ pub fn analyze_files(files: &[SourceFile], tcfg: &TaintConfig) -> TaintReport {
     }
     let mut sources = Vec::new();
     for (file, line, kind) in raw_sources {
-        let mut best: Option<usize> = None;
-        for (i, f) in g.fns.iter().enumerate() {
-            if f.file == file
-                && f.body_lines.0 <= line
-                && line <= f.body_lines.1
-                && best.is_none_or(|b| g.fns[b].body_lines.0 <= f.body_lines.0)
-            {
-                best = Some(i);
-            }
-        }
-        let Some(fn_id) = best else { continue };
+        let Some(fn_id) = items::innermost_fn_at(&g.fns, &file, line) else { continue };
         if g.fns[fn_id].in_test || is_barrier[fn_id] {
             continue; // barrier fns absorb even their own internals
         }

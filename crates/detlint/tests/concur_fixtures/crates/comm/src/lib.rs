@@ -1,0 +1,35 @@
+//! Planted channel-lifecycle violations for the concurrency fixture test.
+//! Never compiled — detlint scans these files as text.
+
+pub struct Exchange;
+
+impl Exchange {
+    pub fn new() -> Self {
+        Exchange
+    }
+    pub fn seal(&mut self) {}
+    pub fn handle(&self) -> u32 {
+        0
+    }
+}
+
+// PLANTED barrier-unverified: a fake drain — claims the barrier name but
+// forwards arrival order untouched.
+pub fn drain_sorted(rx: Rx) -> Vec<u32> {
+    vec![rx.recv()]
+}
+
+// PLANTED unsealed-drain: the exchange is drained but never sealed, so a
+// dead publisher hangs the drain forever.
+pub fn collect_unsealed() -> Vec<u32> {
+    let ex = Exchange::new();
+    let _h = ex.handle();
+    ex.drain_sorted(1)
+}
+
+// PLANTED send-after-seal: a publisher handle minted after `seal()`.
+pub fn mint_after_seal() -> u32 {
+    let mut late = Exchange::new();
+    late.seal();
+    late.handle()
+}

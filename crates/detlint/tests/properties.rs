@@ -1,9 +1,10 @@
-//! Property-based tests for the taint analysis: the report is a pure
-//! function of the file *set*, never the file *visit order*. The walker
-//! feeds files in sorted order, but nothing may depend on that — graph
-//! node ids, BFS frontiers, and witness selection all have explicit
-//! tie-breaks, and this property pins them byte-for-byte.
+//! Property-based tests for the taint and concurrency analyses: each
+//! report is a pure function of the file *set*, never the file *visit
+//! order*. The walker feeds files in sorted order, but nothing may depend
+//! on that — graph node ids, BFS frontiers, and witness selection all have
+//! explicit tie-breaks, and these properties pin them byte-for-byte.
 
+use detlint::concur::ConcurConfig;
 use detlint::report;
 use detlint::taint::{analyze_files, TaintConfig};
 use detlint::SourceFile;
@@ -13,6 +14,13 @@ use proptest::prelude::*;
 /// suppression — enough structure for an order bug to change the bytes.
 fn corpus() -> Vec<SourceFile> {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/taint_fixtures");
+    detlint::workspace_sources(&root).expect("fixture tree walks")
+}
+
+/// The concurrency fixture mini-workspace: all seven finding classes, a
+/// warning, a stale allow, witness paths, and the blocking inventory.
+fn concur_corpus() -> Vec<SourceFile> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/concur_fixtures");
     detlint::workspace_sources(&root).expect("fixture tree walks")
 }
 
@@ -37,6 +45,20 @@ proptest! {
         let mut files = corpus();
         shuffle(&mut files, seed);
         let shuffled = report::taint_json(&analyze_files(&files, &cfg));
+        prop_assert_eq!(baseline, shuffled);
+    }
+
+    /// Any permutation of the input files yields a byte-identical JSON
+    /// concurrency report — findings, witness paths, role counts, and the
+    /// blocking inventory included.
+    #[test]
+    fn concur_report_is_byte_identical_under_any_file_visit_order(seed in 0u64..u64::MAX) {
+        let cfg = ConcurConfig::workspace_default();
+        let baseline =
+            report::concur_json(&detlint::concur::analyze_files(&concur_corpus(), &cfg));
+        let mut files = concur_corpus();
+        shuffle(&mut files, seed);
+        let shuffled = report::concur_json(&detlint::concur::analyze_files(&files, &cfg));
         prop_assert_eq!(baseline, shuffled);
     }
 }

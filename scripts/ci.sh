@@ -2,10 +2,12 @@
 # Staged CI pipeline (see docs/CI.md). Runs entirely offline.
 #
 #   scripts/ci.sh           full pipeline: fmt → clippy → detlint → taint →
-#                           build → test → faultsim chaos matrix →
-#                           silent-fault detection matrix → bench gate
+#                           concurrency → build → test → faultsim chaos
+#                           matrix → silent-fault detection matrix →
+#                           bench gate
 #   scripts/ci.sh --quick   quick stages only (what scripts/check.sh runs):
-#                           fmt → clippy → detlint → taint → build → test
+#                           fmt → clippy → detlint → taint → concurrency →
+#                           build → test
 #
 # Per-stage wall-clock timings are written to results/ci_report.json whether
 # the pipeline passes or fails; the script exits non-zero on the first
@@ -62,6 +64,14 @@ stage detlint    cargo run --offline -q -p detlint -- --quiet --out results/detl
 # taint suppressions (docs/DETLINT.md).
 stage taint      cargo run --offline -q -p detlint -- --taint --quiet \
                    --out results/taint_report.json
+# Static concurrency analysis over the same call graph: channel-lifecycle
+# checks (unsealed drains, send-after-seal, raw channels outside the
+# audited modules), role-level blocking-cycle detection between the engine
+# and the worker pool, interprocedural lock-order inversion, and
+# barrier-conformance verification of every declared taint barrier
+# (docs/DETLINT.md, "Concurrency mode").
+stage concurrency cargo run --offline -q -p detlint -- --concurrency --quiet \
+                   --out results/concur_report.json
 stage build      cargo build --release --offline
 stage test       cargo test -q --offline --workspace --exclude faultsim
 

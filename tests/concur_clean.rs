@@ -1,0 +1,62 @@
+//! Tier-1 gate: the live workspace is concurrency-clean. No unsealed
+//! drains, no handles minted after seal, no raw channel construction
+//! outside the audited fence modules, no receive outside a declared drain,
+//! no engine<->worker blocking cycle, no lock-order inversion — and every
+//! declared taint barrier is either verified canonical by the conformance
+//! pass or carries an audited `barrier-unverified` allow.
+
+use detlint::concur::{analyze_workspace_concur, ConcurConfig, ConcurReport};
+use detlint::report;
+use std::path::Path;
+
+fn run() -> ConcurReport {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    analyze_workspace_concur(root, &ConcurConfig::workspace_default()).expect("workspace walks")
+}
+
+#[test]
+fn workspace_has_no_concurrency_findings() {
+    let rep = run();
+    assert!(
+        rep.findings.is_empty() && rep.unused_suppressions.is_empty(),
+        "concurrency findings in the live workspace:\n{}",
+        report::concur_human(&rep)
+    );
+}
+
+#[test]
+fn every_declared_barrier_is_verified_or_audited() {
+    // Unverifiable barriers surface as warnings only when audited; the
+    // exactly-one warning is worker_main, whose canonical order lives in
+    // the engine-side drains, not its own body (see the allow's reason).
+    let rep = run();
+    let audited: Vec<(&str, &str, u32)> =
+        rep.warnings.iter().map(|w| (w.kind, w.file.as_str(), w.line)).collect();
+    assert_eq!(
+        audited,
+        vec![("barrier-unverified", "crates/core/src/pool.rs", 347)],
+        "audited-barrier set drifted:\n{}",
+        report::concur_human(&rep)
+    );
+}
+
+#[test]
+fn role_inference_covers_the_pool_and_keeps_roles_disjoint() {
+    // The satellite contract: every fn reachable from worker_main gets the
+    // worker role and never the engine role, on the *live* call graph.
+    let rep = run();
+    assert!(
+        rep.worker_fns.iter().any(|f| f == "core::worker_main"),
+        "worker_main must root the worker role: {:?}",
+        rep.worker_fns
+    );
+    assert!(!rep.worker_fns.is_empty() && !rep.engine_fns.is_empty());
+    for w in &rep.worker_fns {
+        assert!(!rep.engine_fns.contains(w), "`{w}` assigned both roles");
+    }
+    // The worker's command receive is the one idle wait in the tree.
+    let idle: Vec<_> = rep.blocking.iter().filter(|o| o.idle).collect();
+    assert_eq!(idle.len(), 1, "{:?}", rep.blocking);
+    assert_eq!(idle[0].func, "core::worker_main");
+    assert_eq!(idle[0].role, "worker");
+}
