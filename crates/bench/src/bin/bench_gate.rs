@@ -8,8 +8,14 @@
 //! when any bench regressed past the threshold.
 //!
 //! ```text
-//! bench_gate --out BENCH_PR7.json [--baseline BENCH_PR6.json] [--threshold 1.15]
+//! bench_gate --out BENCH_PR8.json [--baseline BENCH_PR7.json] [--threshold 1.15]
+//! bench_gate --smoke [--only kernel_]      # CI quick mode: compile+run only
 //! ```
+//!
+//! `--only SUBSTR` restricts the suite to benches whose name contains the
+//! substring; `--smoke` runs each selected bench with minimal samples and no
+//! gate (the CI `kernels` stage uses both to smoke the per-kernel benches
+//! on every quick run, so bench code cannot bit-rot between full runs).
 //!
 //! The gate is two-sided: besides failing on regressions, medians that
 //! *beat* the baseline by the same margin are printed as wins and recorded
@@ -55,69 +61,167 @@ fn grads(vworld: u32, n: usize) -> Vec<Vec<f32>> {
     (0..vworld).map(|r| (0..n).map(|i| ((i + r as usize) as f32 * 0.7).sin()).collect()).collect()
 }
 
-fn run_suite() -> Vec<BenchResult> {
+/// Suite configuration: `--smoke` shrinks samples/iterations to a compile-
+/// and-run check; `--only` selects benches by name substring.
+struct SuiteOpts {
+    smoke: bool,
+    only: Option<String>,
+}
+
+fn run_suite(opts: &SuiteOpts) -> Vec<BenchResult> {
+    let samples: u32 = if opts.smoke { 3 } else { 31 };
+    let scale = |iters: u32| if opts.smoke { 1 } else { iters };
     let mut out = Vec::new();
     let mut record = |name: &str, iters: u32, median: f64| {
         eprintln!("  {name:<40} {median:>12.1} ns/iter");
         out.push(BenchResult {
             name: name.to_string(),
             median_ns_per_iter: median,
-            samples: SAMPLES,
+            samples,
             iters_per_sample: iters,
         });
     };
-    const SAMPLES: u32 = 31;
+    let selected = |name: &str| opts.only.as_deref().is_none_or(|substr| name.contains(substr));
 
     // Mirror benches/scheduler.rs: Eq 1 plan evaluation on a mixed cluster.
-    let companion = Companion::for_workload(&Workload::Bert.spec(), 16, true);
-    let alloc = vec![(GpuType::V100, 4), (GpuType::P100, 4), (GpuType::T4, 8)];
-    record(
-        "companion_plan_16_ests_16_gpus",
-        200,
-        measure(SAMPLES, 200, 50, || {
-            black_box(companion.plan(black_box(&alloc)));
-        }),
-    );
+    if selected("companion_plan_16_ests_16_gpus") {
+        let companion = Companion::for_workload(&Workload::Bert.spec(), 16, true);
+        let alloc = vec![(GpuType::V100, 4), (GpuType::P100, 4), (GpuType::T4, 8)];
+        record(
+            "companion_plan_16_ests_16_gpus",
+            scale(200),
+            measure(samples, scale(200), scale(50), || {
+                black_box(companion.plan(black_box(&alloc)));
+            }),
+        );
+    }
 
     // Role-2 proposal generation against a full free pool.
-    let companion = Companion::for_workload(&Workload::ResNet50.spec(), 16, false);
-    let mut sched = IntraJobScheduler::new(0, companion, false);
-    sched.apply_allocation(vec![(GpuType::V100, 2)]);
-    let free: BTreeMap<GpuType, u32> =
-        [(GpuType::V100, 16), (GpuType::P100, 16), (GpuType::T4, 16)].into_iter().collect();
-    record(
-        "intra_job_proposals",
-        200,
-        measure(SAMPLES, 200, 50, || {
-            black_box(sched.proposals(black_box(&free), 3));
-        }),
-    );
+    if selected("intra_job_proposals") {
+        let companion = Companion::for_workload(&Workload::ResNet50.spec(), 16, false);
+        let mut sched = IntraJobScheduler::new(0, companion, false);
+        sched.apply_allocation(vec![(GpuType::V100, 2)]);
+        let free: BTreeMap<GpuType, u32> =
+            [(GpuType::V100, 16), (GpuType::P100, 16), (GpuType::T4, 16)].into_iter().collect();
+        record(
+            "intra_job_proposals",
+            scale(200),
+            measure(samples, scale(200), scale(50), || {
+                black_box(sched.proposals(black_box(&free), 3));
+            }),
+        );
+    }
 
     // Mirror benches/allreduce.rs: ring all-reduce, 4 virtual ranks, 16k
     // params.
-    let sizes = vec![1000usize; 16];
-    let ddp = ElasticDdp::new(&sizes, 4, 8192);
-    let gr = grads(4, 16_000);
-    record(
-        "allreduce_vworld4_16k",
-        20,
-        measure(SAMPLES, 20, 5, || {
-            black_box(ddp.allreduce_avg(black_box(&gr)));
-        }),
-    );
+    if selected("allreduce_vworld4_16k") {
+        let sizes = vec![1000usize; 16];
+        let ddp = ElasticDdp::new(&sizes, 4, 8192);
+        let gr = grads(4, 16_000);
+        record(
+            "allreduce_vworld4_16k",
+            scale(20),
+            measure(samples, scale(20), scale(5), || {
+                black_box(ddp.allreduce_avg(black_box(&gr)));
+            }),
+        );
+    }
 
     // Same payload under a small bucket cap (many buckets: stresses the
     // bucketing machinery rather than the reduction).
-    let sizes = vec![500usize; 32];
-    let ddp = ElasticDdp::new(&sizes, 4, 512);
-    let gr = grads(4, 16_000);
-    record(
-        "allreduce_bucket_cap_512",
-        20,
-        measure(SAMPLES, 20, 5, || {
-            black_box(ddp.allreduce_avg(black_box(&gr)));
-        }),
-    );
+    if selected("allreduce_bucket_cap_512") {
+        let sizes = vec![500usize; 32];
+        let ddp = ElasticDdp::new(&sizes, 4, 512);
+        let gr = grads(4, 16_000);
+        record(
+            "allreduce_bucket_cap_512",
+            scale(20),
+            measure(samples, scale(20), scale(5), || {
+                black_box(ddp.allreduce_avg(black_box(&gr)));
+            }),
+        );
+    }
+
+    // Per-kernel microbenches (the `kernel_` family, smoked by the CI
+    // `kernels` stage on every quick run): the reduce_block × algo_id ×
+    // length grid for the profile-tree sum, plus the two other hot loops the
+    // vectorized schedule touches (dot and axpy). Every kernel here is
+    // proven bit-identical to its scalar oracle in tests/vectorized_equiv.rs;
+    // these benches record what the "same tree, faster schedule" refactor
+    // bought, per tree shape.
+    {
+        let data: Vec<f32> =
+            (0..65_536).map(|i| ((i * 31) as f32).sin() * 10f32.powi(i % 5 - 2)).collect();
+        for &len in &[4096usize, 65_536] {
+            for &block in &[32usize, 128] {
+                for algo in 0..3u8 {
+                    let name = format!("kernel_sum_b{block}_a{algo}_len{len}");
+                    if !selected(&name) {
+                        continue;
+                    }
+                    let p = tensor::KernelProfile {
+                        reduce_block: block,
+                        tile_k: 16,
+                        algo_id: algo,
+                        deterministic: true,
+                    };
+                    let d = &data[..len];
+                    let iters = scale(if len <= 4096 { 200 } else { 20 });
+                    record(
+                        &name,
+                        iters,
+                        measure(samples, iters, scale(5), || {
+                            black_box(tensor::kernels::blocked_sum(black_box(d), &p));
+                        }),
+                    );
+                }
+            }
+        }
+        if selected("kernel_dot_t16_len65536") {
+            let p = tensor::KernelProfile::hardware_agnostic();
+            let b: Vec<f32> = data.iter().map(|x| x * 0.5 + 1.0).collect();
+            record(
+                "kernel_dot_t16_len65536",
+                scale(20),
+                measure(samples, scale(20), scale(5), || {
+                    black_box(tensor::ops::dot(black_box(&data), black_box(&b), &p));
+                }),
+            );
+        }
+        if selected("kernel_axpy_len65536") {
+            let mut x = tensor::Tensor::from_slice(&data);
+            let y = tensor::Tensor::from_slice(&data);
+            record(
+                "kernel_axpy_len65536",
+                scale(50),
+                measure(samples, scale(50), scale(5), || {
+                    x.axpy_(black_box(1e-6), black_box(&y));
+                }),
+            );
+        }
+        if selected("kernel_ring_reduce_vw4_64k") {
+            // The raw ring kernel on one contiguous 64k bucket — the shape
+            // the allreduce path feeds it — without bucketing overhead.
+            let gr = grads(4, 65_536);
+            let views: Vec<&[f32]> = gr.iter().map(|g| g.as_slice()).collect();
+            let positions: Vec<usize> = (0..65_536).collect();
+            let spec = comm::RingSpec { nranks: 4 };
+            let mut sink = vec![0.0f32; 65_536];
+            record(
+                "kernel_ring_reduce_vw4_64k",
+                scale(20),
+                measure(samples, scale(20), scale(5), || {
+                    comm::ring_allreduce(
+                        black_box(&views),
+                        black_box(&positions),
+                        &spec,
+                        &mut sink,
+                    );
+                    black_box(&sink);
+                }),
+            );
+        }
+    }
 
     // One full global step, persistent pool vs per-step scoped threads —
     // the PR6 claim: reusing worker threads beats respawning W of them
@@ -125,6 +229,11 @@ fn run_suite() -> Vec<BenchResult> {
     // placement; only the execution backend differs (and the math is
     // bitwise identical, see faultsim/tests/nthread_eq_single.rs).
     for workers in [4u32, 8] {
+        let pool_name = format!("engine_step_pool_w{workers}");
+        let scoped_name = format!("engine_step_scoped_w{workers}");
+        if !selected(&pool_name) && !selected(&scoped_name) {
+            continue;
+        }
         let step_engine = |mode: ExecMode| {
             let cfg = JobConfig::new(Workload::NeuMF, 7, workers)
                 .with_dataset_len(512)
@@ -136,11 +245,15 @@ fn run_suite() -> Vec<BenchResult> {
             e
         };
         for (mode, tag) in [(ExecMode::Pool, "pool"), (ExecMode::Scoped, "scoped")] {
+            let name = format!("engine_step_{tag}_w{workers}");
+            if !selected(&name) {
+                continue;
+            }
             let mut e = step_engine(mode);
             record(
-                &format!("engine_step_{tag}_w{workers}"),
-                10,
-                measure(SAMPLES, 10, 3, || {
+                &name,
+                scale(10),
+                measure(samples, scale(10), scale(3), || {
                     black_box(e.step());
                 }),
             );
@@ -151,7 +264,10 @@ fn run_suite() -> Vec<BenchResult> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench_gate --out PATH [--baseline PATH] [--threshold FLOAT]");
+    eprintln!(
+        "usage: bench_gate --out PATH [--baseline PATH] [--threshold FLOAT] [--only SUBSTR]\n\
+         \x20      bench_gate --smoke [--only SUBSTR]"
+    );
     std::process::exit(2)
 }
 
@@ -160,6 +276,8 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut threshold: f64 = 1.15;
+    let mut smoke = false;
+    let mut only: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> String {
@@ -170,6 +288,8 @@ fn main() {
             "--out" => out_path = Some(take(&mut i)),
             "--baseline" => baseline_path = Some(take(&mut i)),
             "--threshold" => threshold = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--smoke" => smoke = true,
+            "--only" => only = Some(take(&mut i)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -178,12 +298,30 @@ fn main() {
         }
         i += 1;
     }
-    let out_path = out_path.unwrap_or_else(|| usage());
+    // Smoke mode is a compile+run check: no JSON, no gate. Everything else
+    // must record its results somewhere.
+    if out_path.is_none() && !smoke {
+        usage();
+    }
+    let opts = SuiteOpts { smoke, only };
 
-    eprintln!("bench_gate: running the fixed suite");
+    eprintln!(
+        "bench_gate: running the {} suite{}",
+        if smoke { "smoke" } else { "fixed" },
+        opts.only.as_deref().map(|s| format!(" (only *{s}*)")).unwrap_or_default()
+    );
+    let benches = run_suite(&opts);
+    if benches.is_empty() {
+        eprintln!("bench_gate: --only matched no benches");
+        std::process::exit(2);
+    }
+    let Some(out_path) = out_path else {
+        eprintln!("bench_gate: smoke run complete ({} bench(es) executed)", benches.len());
+        return;
+    };
     let mut report = GateReport {
         suite: "easyscale-bench-gate".to_string(),
-        benches: run_suite(),
+        benches,
         improvements: Vec::new(),
         host: HostFingerprint::detect(),
     };

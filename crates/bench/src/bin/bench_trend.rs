@@ -1,0 +1,114 @@
+//! bench_trend: aggregate every committed `BENCH_PR*.json` into a
+//! cross-PR trend report (`results/bench_trend.json`).
+//!
+//! The per-PR gate only compares adjacent reports; this binary lines up the
+//! whole committed history — grouped by host fingerprint, ordered by PR
+//! number — and flags benches whose median has sat inside the gate's noise
+//! band for `FLAT_STREAK_PRS`+ consecutive same-host PRs (see
+//! `bench::trend`). Legacy reports parse through the same back-compat
+//! `GateReport` deserializer the gate uses, so pre-PR6/PR7 files feed the
+//! trend too (under the "unknown" host).
+//!
+//! ```text
+//! bench_trend [--dir PATH] [--threshold FLOAT]
+//! ```
+//!
+//! `--dir` defaults to the repo root (the canonical `BENCH_PR*.json`
+//! location); exit status 2 on usage or read errors, 0 otherwise — the
+//! trend informs, the gate enforces.
+
+use bench::gate::load_baseline;
+use bench::trend::{aggregate, FLAT_STREAK_PRS};
+use bench::{results_dir, write_json};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_trend [--dir PATH] [--threshold FLOAT]");
+    std::process::exit(2)
+}
+
+/// Repo root = parent of `results/` (same anchor the rest of the bench
+/// crate uses, so the default works from any cwd).
+fn repo_root() -> PathBuf {
+    let mut d = results_dir();
+    d.pop();
+    d
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<String> = None;
+    let mut threshold: f64 = 1.15;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--dir" => dir = Some(take(&mut i)),
+            "--threshold" => threshold = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    let dir = dir.map(PathBuf::from).unwrap_or_else(repo_root);
+
+    let entries = std::fs::read_dir(&dir).unwrap_or_else(|e| {
+        eprintln!("bench_trend: cannot read {}: {e}", dir.display());
+        std::process::exit(2)
+    });
+    let mut reports = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if bench::trend::pr_number(&name).is_none() {
+            continue;
+        }
+        match load_baseline(&entry.path()) {
+            Ok(Some(rep)) => reports.push((name, rep)),
+            Ok(None) => {}
+            Err(e) => {
+                // A committed report that no longer parses is a repo bug.
+                eprintln!("bench_trend: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if reports.is_empty() {
+        eprintln!("bench_trend: no BENCH_PR*.json under {}", dir.display());
+        std::process::exit(2);
+    }
+
+    let trend = aggregate(&reports, threshold);
+    for group in &trend.hosts {
+        eprintln!(
+            "host {} ({}, {} cores): {} report(s) {:?}",
+            group.host.hostname,
+            group.host.cpu_model,
+            group.host.cores,
+            group.files.len(),
+            group.files
+        );
+        for b in &group.benches {
+            let last = b
+                .medians_ns
+                .iter()
+                .rev()
+                .flatten()
+                .next()
+                .map(|m| format!("{m:.0} ns"))
+                .unwrap_or_else(|| "-".to_string());
+            let flag = if b.flat {
+                format!("  FLAT for {} PRs (>= {FLAT_STREAK_PRS})", b.flat_streak)
+            } else {
+                String::new()
+            };
+            eprintln!("  {:<40} last {:>12}  streak {}{}", b.name, last, b.flat_streak, flag);
+        }
+    }
+    write_json("bench_trend", &trend);
+}

@@ -5,6 +5,7 @@
 #![deny(missing_docs)]
 
 pub mod gate;
+pub mod trend;
 
 use serde::Serialize;
 use std::fs;

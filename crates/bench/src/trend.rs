@@ -1,0 +1,289 @@
+//! Cross-PR bench-trend aggregation.
+//!
+//! Each PR ships one `BENCH_PR<N>.json` ([`GateReport`]) at the repo root;
+//! the gate only ever compares *adjacent* PRs, so a bench that creeps 5%
+//! per PR — or one that has sat dead flat for five PRs while its code kept
+//! churning — is invisible to it. The `bench_trend` binary aggregates every
+//! committed report into one [`TrendReport`] (written to
+//! `results/bench_trend.json`): per host fingerprint (absolute medians are
+//! only comparable within one host, see [`HostFingerprint`]), per bench,
+//! the median trajectory in PR order, plus a *flat streak* — how many
+//! trailing consecutive same-host PRs the median stayed inside the gate's
+//! noise band. Benches flat for [`FLAT_STREAK_PRS`]+ PRs are flagged: they
+//! are either genuinely stable (fine) or no longer exercising what changed
+//! (worth a look); either way the signal is "this bench has not moved in a
+//! while", which a per-PR gate cannot say.
+
+use crate::gate::{GateReport, HostFingerprint};
+use serde::{Deserialize, Serialize};
+
+/// Trailing same-host PRs a bench must stay inside the noise band for
+/// before the trend flags it flat.
+pub const FLAT_STREAK_PRS: u32 = 3;
+
+/// One bench's trajectory across a host's PR sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchTrend {
+    /// Stable bench name.
+    pub name: String,
+    /// Median ns/iter per PR, aligned with the host group's `files`;
+    /// `None` where that PR's report does not contain the bench.
+    pub medians_ns: Vec<Option<f64>>,
+    /// Trailing consecutive PRs (counting the newest) whose adjacent
+    /// medians all stayed within the noise band. 1 = moved last PR;
+    /// equal to the number of recorded PRs = never moved.
+    pub flat_streak: u32,
+    /// `flat_streak >= FLAT_STREAK_PRS`.
+    pub flat: bool,
+}
+
+/// All trajectories recorded on one machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostTrend {
+    /// The machine the medians were recorded on.
+    pub host: HostFingerprint,
+    /// Report file names in ascending PR order (the x-axis of every
+    /// trajectory in `benches`).
+    pub files: Vec<String>,
+    /// Per-bench trajectories, in first-appearance order.
+    pub benches: Vec<BenchTrend>,
+}
+
+/// The aggregate written to `results/bench_trend.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrendReport {
+    /// Noise band half-width as a ratio (the gate's threshold): adjacent
+    /// medians with ratio inside `[1/threshold, threshold]` count as flat.
+    pub threshold: f64,
+    /// One group per distinct host fingerprint, in order of each host's
+    /// first (lowest-PR) report.
+    pub hosts: Vec<HostTrend>,
+}
+
+/// PR number embedded in a report file name (`BENCH_PR12.json` → 12).
+/// `None` for names not of that shape — the aggregator skips them rather
+/// than guessing an order.
+pub fn pr_number(file_name: &str) -> Option<u32> {
+    let rest = file_name.strip_prefix("BENCH_PR")?;
+    let digits = rest.strip_suffix(".json")?;
+    digits.parse().ok()
+}
+
+/// Aggregate `(file_name, report)` pairs into a [`TrendReport`]. Files
+/// whose name carries no PR number are ignored; within a host group the
+/// trajectory is ordered by ascending PR number regardless of input order.
+pub fn aggregate(reports: &[(String, GateReport)], threshold: f64) -> TrendReport {
+    let mut ordered: Vec<(u32, &String, &GateReport)> = reports
+        .iter()
+        .filter_map(|(name, rep)| pr_number(name).map(|pr| (pr, name, rep)))
+        .collect();
+    ordered.sort_by_key(|&(pr, _, _)| pr);
+
+    let mut hosts: Vec<HostTrend> = Vec::new();
+    for (_, name, rep) in &ordered {
+        let group = match hosts.iter_mut().find(|h| h.host == rep.host) {
+            Some(g) => g,
+            None => {
+                hosts.push(HostTrend {
+                    host: rep.host.clone(),
+                    files: Vec::new(),
+                    benches: Vec::new(),
+                });
+                hosts.last_mut().expect("just pushed")
+            }
+        };
+        let col = group.files.len();
+        group.files.push((*name).clone());
+        for b in &rep.benches {
+            let trend = match group.benches.iter_mut().find(|t| t.name == b.name) {
+                Some(t) => t,
+                None => {
+                    group.benches.push(BenchTrend {
+                        name: b.name.clone(),
+                        medians_ns: vec![None; col],
+                        flat_streak: 0,
+                        flat: false,
+                    });
+                    group.benches.last_mut().expect("just pushed")
+                }
+            };
+            trend.medians_ns.push(Some(b.median_ns_per_iter));
+        }
+        // Benches absent from this PR's report get an explicit hole.
+        for t in &mut group.benches {
+            if t.medians_ns.len() <= col {
+                t.medians_ns.push(None);
+            }
+        }
+    }
+
+    for group in &mut hosts {
+        for t in &mut group.benches {
+            t.flat_streak = trailing_flat_streak(&t.medians_ns, threshold);
+            t.flat = t.flat_streak >= FLAT_STREAK_PRS;
+        }
+    }
+    TrendReport { threshold, hosts }
+}
+
+/// Trailing run length (in PRs) over which the trajectory stayed inside
+/// the noise band: walk adjacent recorded medians backwards from the
+/// newest, stop at the first pair whose ratio leaves
+/// `[1/threshold, threshold]` (or at a hole — an unrecorded PR breaks the
+/// streak, since nothing is known about it).
+fn trailing_flat_streak(medians: &[Option<f64>], threshold: f64) -> u32 {
+    let mut streak = 0u32;
+    let mut newer: Option<f64> = None;
+    for m in medians.iter().rev() {
+        let Some(cur) = *m else { break };
+        match newer {
+            None => streak = 1,
+            Some(next) => {
+                let ratio = if cur > 0.0 { next / cur } else { f64::INFINITY };
+                if ratio > threshold || ratio < 1.0 / threshold {
+                    break;
+                }
+                streak += 1;
+            }
+        }
+        newer = Some(cur);
+    }
+    streak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::BenchResult;
+
+    fn host(name: &str) -> HostFingerprint {
+        HostFingerprint { hostname: name.to_string(), cpu_model: "cpu".to_string(), cores: 1 }
+    }
+
+    fn report(h: &HostFingerprint, pairs: &[(&str, f64)]) -> GateReport {
+        GateReport {
+            suite: "easyscale-bench-gate".to_string(),
+            benches: pairs
+                .iter()
+                .map(|&(name, median)| BenchResult {
+                    name: name.to_string(),
+                    median_ns_per_iter: median,
+                    samples: 1,
+                    iters_per_sample: 1,
+                })
+                .collect(),
+            improvements: Vec::new(),
+            host: h.clone(),
+        }
+    }
+
+    #[test]
+    fn pr_numbers_parse_and_reject() {
+        assert_eq!(pr_number("BENCH_PR7.json"), Some(7));
+        assert_eq!(pr_number("BENCH_PR12.json"), Some(12));
+        assert_eq!(pr_number("BENCH_PRx.json"), None);
+        assert_eq!(pr_number("bench_trend.json"), None);
+        assert_eq!(pr_number("BENCH_PR7.json.bak"), None);
+    }
+
+    #[test]
+    fn orders_by_pr_number_not_input_order() {
+        let h = host("vm");
+        let reports = vec![
+            ("BENCH_PR10.json".to_string(), report(&h, &[("a", 300.0)])),
+            ("BENCH_PR9.json".to_string(), report(&h, &[("a", 200.0)])),
+            ("BENCH_PR8.json".to_string(), report(&h, &[("a", 100.0)])),
+        ];
+        let t = aggregate(&reports, 1.15);
+        assert_eq!(t.hosts.len(), 1);
+        assert_eq!(t.hosts[0].files, vec!["BENCH_PR8.json", "BENCH_PR9.json", "BENCH_PR10.json"]);
+        assert_eq!(t.hosts[0].benches[0].medians_ns, vec![Some(100.0), Some(200.0), Some(300.0)]);
+    }
+
+    #[test]
+    fn hosts_are_grouped_separately() {
+        let a = host("box-a");
+        let b = host("box-b");
+        let reports = vec![
+            ("BENCH_PR1.json".to_string(), report(&a, &[("x", 100.0)])),
+            ("BENCH_PR2.json".to_string(), report(&b, &[("x", 5.0)])),
+            ("BENCH_PR3.json".to_string(), report(&a, &[("x", 101.0)])),
+        ];
+        let t = aggregate(&reports, 1.15);
+        assert_eq!(t.hosts.len(), 2);
+        let ga = t.hosts.iter().find(|g| g.host == a).unwrap();
+        assert_eq!(ga.files, vec!["BENCH_PR1.json", "BENCH_PR3.json"]);
+        assert_eq!(ga.benches[0].medians_ns, vec![Some(100.0), Some(101.0)]);
+        let gb = t.hosts.iter().find(|g| g.host == b).unwrap();
+        assert_eq!(gb.files, vec!["BENCH_PR2.json"]);
+    }
+
+    #[test]
+    fn flat_for_three_same_host_prs_is_flagged() {
+        let h = host("vm");
+        let reports: Vec<(String, GateReport)> = (1..=3)
+            .map(|pr| (format!("BENCH_PR{pr}.json"), report(&h, &[("a", 100.0 + pr as f64)])))
+            .collect();
+        let t = aggregate(&reports, 1.15);
+        let a = &t.hosts[0].benches[0];
+        assert_eq!(a.flat_streak, 3);
+        assert!(a.flat, "three flat PRs must flag");
+    }
+
+    #[test]
+    fn a_recent_move_resets_the_streak() {
+        let h = host("vm");
+        let reports = vec![
+            ("BENCH_PR1.json".to_string(), report(&h, &[("a", 100.0)])),
+            ("BENCH_PR2.json".to_string(), report(&h, &[("a", 100.0)])),
+            ("BENCH_PR3.json".to_string(), report(&h, &[("a", 100.0)])),
+            // 2x improvement on the newest PR: far outside the band.
+            ("BENCH_PR4.json".to_string(), report(&h, &[("a", 50.0)])),
+        ];
+        let t = aggregate(&reports, 1.15);
+        let a = &t.hosts[0].benches[0];
+        assert_eq!(a.flat_streak, 1, "the move is the newest point");
+        assert!(!a.flat);
+    }
+
+    #[test]
+    fn holes_break_the_streak() {
+        let h = host("vm");
+        let reports = vec![
+            ("BENCH_PR1.json".to_string(), report(&h, &[("a", 100.0), ("b", 10.0)])),
+            ("BENCH_PR2.json".to_string(), report(&h, &[("a", 100.0)])),
+            ("BENCH_PR3.json".to_string(), report(&h, &[("a", 100.0), ("b", 10.0)])),
+        ];
+        let t = aggregate(&reports, 1.15);
+        let b = t.hosts[0].benches.iter().find(|t| t.name == "b").unwrap();
+        assert_eq!(b.medians_ns, vec![Some(10.0), None, Some(10.0)]);
+        assert_eq!(b.flat_streak, 1, "an unrecorded PR says nothing about flatness");
+        assert!(!b.flat);
+    }
+
+    #[test]
+    fn files_without_pr_numbers_are_skipped() {
+        let h = host("vm");
+        let reports = vec![
+            ("BENCH_PR1.json".to_string(), report(&h, &[("a", 100.0)])),
+            ("scratch.json".to_string(), report(&h, &[("a", 999.0)])),
+        ];
+        let t = aggregate(&reports, 1.15);
+        assert_eq!(t.hosts[0].files, vec!["BENCH_PR1.json"]);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let h = host("vm");
+        let reports = vec![
+            ("BENCH_PR1.json".to_string(), report(&h, &[("a", 100.0)])),
+            ("BENCH_PR2.json".to_string(), report(&h, &[("a", 100.0)])),
+        ];
+        let t = aggregate(&reports, 1.15);
+        let text = serde_json::to_string(&t).unwrap();
+        let back: TrendReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.hosts.len(), 1);
+        assert_eq!(back.hosts[0].benches[0].medians_ns, vec![Some(100.0), Some(100.0)]);
+        assert_eq!(back.hosts[0].benches[0].flat_streak, 2);
+    }
+}

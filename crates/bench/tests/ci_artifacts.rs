@@ -1,0 +1,261 @@
+//! Schema validation for the JSON artifacts CI emits.
+//!
+//! Four artifact families cross process boundaries in this repo: the bench
+//! gate's `BENCH_PR*.json` ([`GateReport`], the only one with a typed
+//! deserializer and a back-compat story), detlint's
+//! `results/taint_report.json` and `results/concur_report.json`, and the
+//! pipeline's own `results/ci_report.json`. Nothing used to check that the
+//! shapes the writers emit are the shapes the readers (bench_trend, the
+//! gate, EXPERIMENTS tooling, humans with `jq`) assume — a renamed field
+//! would surface as a confusing downstream failure PRs later. These tests
+//! pin every schema against committed fixtures (`tests/fixtures/`),
+//! including the frozen legacy `GateReport` shapes from before PR 6
+//! (no `improvements`) and PR 7 (no `host`) that the manual `Deserialize`
+//! must keep parsing, and validate the live `results/` artifacts when
+//! present with the same checkers.
+
+use bench::gate::{load_baseline, GateReport, HostFingerprint};
+use serde::Value;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn read_value(path: &Path) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let parsed: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+    parsed
+}
+
+fn field<'v>(v: &'v Value, name: &str, what: &str) -> &'v Value {
+    v.get_field(name).unwrap_or_else(|| panic!("{what}: missing field `{name}`"))
+}
+
+fn as_seq<'v>(v: &'v Value, what: &str) -> &'v [Value] {
+    match v {
+        Value::Seq(items) => items,
+        other => panic!("{what}: expected array, found {}", other.kind()),
+    }
+}
+
+fn expect_str(v: &Value, name: &str, what: &str) {
+    assert!(field(v, name, what).as_str().is_some(), "{what}: field `{name}` must be a string");
+}
+
+fn expect_u64(v: &Value, name: &str, what: &str) {
+    assert!(
+        matches!(field(v, name, what), Value::U64(_)),
+        "{what}: field `{name}` must be a non-negative integer"
+    );
+}
+
+fn expect_number(v: &Value, name: &str, what: &str) {
+    assert!(
+        matches!(field(v, name, what), Value::F64(_) | Value::U64(_) | Value::I64(_)),
+        "{what}: field `{name}` must be a number"
+    );
+}
+
+// ---------------------------------------------------------------- GateReport
+
+#[test]
+fn pre_pr6_gate_report_fixture_parses_with_defaults() {
+    // The frozen pre-PR6 shape (what BENCH_PR3..5.json look like): no
+    // `improvements`, no `host`. The manual Deserialize must default both.
+    let rep = load_baseline(&fixture("gate_report_pre_pr6.json"))
+        .expect("parses")
+        .expect("fixture exists");
+    assert_eq!(rep.suite, "easyscale-bench-gate");
+    assert_eq!(rep.benches.len(), 2);
+    assert_eq!(rep.benches[0].name, "companion_plan_16_ests_16_gpus");
+    assert!(rep.benches.iter().all(|b| b.median_ns_per_iter > 0.0));
+    assert!(rep.improvements.is_empty(), "missing improvements defaults to empty");
+    assert_eq!(rep.host, HostFingerprint::unknown(), "missing host defaults to unknown");
+}
+
+#[test]
+fn pre_pr7_gate_report_fixture_parses_with_unknown_host() {
+    // The frozen pre-PR7 shape (BENCH_PR6.json): improvements present,
+    // host absent.
+    let rep = load_baseline(&fixture("gate_report_pre_pr7.json"))
+        .expect("parses")
+        .expect("fixture exists");
+    assert_eq!(rep.improvements.len(), 1);
+    assert_eq!(rep.improvements[0].name, "engine_step_pool_w8");
+    assert_eq!(rep.host, HostFingerprint::unknown());
+}
+
+#[test]
+fn current_gate_report_fixture_parses_in_full() {
+    let rep = load_baseline(&fixture("gate_report_current.json"))
+        .expect("parses")
+        .expect("fixture exists");
+    assert_eq!(rep.host.hostname, "vm");
+    assert_eq!(rep.host.cores, 1);
+    assert_eq!(rep.improvements.len(), 1);
+    assert!(rep.improvements[0].ratio < 1.0);
+    assert!(rep.benches[0].name.starts_with("kernel_"), "per-kernel benches are in-schema");
+}
+
+#[test]
+fn gate_report_roundtrips_through_serde() {
+    let rep = load_baseline(&fixture("gate_report_current.json"))
+        .expect("parses")
+        .expect("fixture exists");
+    let text = serde_json::to_string(&rep).expect("serializes");
+    let back: GateReport = serde_json::from_str(&text).expect("reparses");
+    assert_eq!(back.suite, rep.suite);
+    assert_eq!(back.host, rep.host);
+    assert_eq!(back.benches.len(), rep.benches.len());
+    for (a, b) in back.benches.iter().zip(&rep.benches) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.median_ns_per_iter.to_bits(), b.median_ns_per_iter.to_bits());
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.iters_per_sample, b.iters_per_sample);
+    }
+    assert_eq!(back.improvements.len(), rep.improvements.len());
+}
+
+// ------------------------------------------------- script/detlint artifacts
+
+/// `results/ci_report.json` (written by `scripts/ci.sh`): pipeline id,
+/// mode, per-stage status+seconds, overall status.
+fn check_ci_report(v: &Value, what: &str) {
+    expect_str(v, "pipeline", what);
+    assert_eq!(field(v, "pipeline", what).as_str(), Some("easyscale-ci"));
+    let mode = field(v, "mode", what).as_str().expect("mode is a string");
+    assert!(mode == "quick" || mode == "full", "{what}: unknown mode {mode}");
+    let status = field(v, "status", what).as_str().expect("status is a string");
+    assert!(status == "ok" || status == "fail", "{what}: unknown status {status}");
+    let stages = as_seq(field(v, "stages", what), what);
+    assert!(!stages.is_empty(), "{what}: a report with no stages never ran anything");
+    for s in stages {
+        expect_str(s, "stage", what);
+        let st = field(s, "status", what).as_str().expect("stage status is a string");
+        assert!(st == "ok" || st == "fail", "{what}: unknown stage status {st}");
+        expect_number(s, "seconds", what);
+    }
+}
+
+/// `results/taint_report.json` (written by `detlint --taint`): count,
+/// flows with source/sink/path witnesses, stale suppressions.
+fn check_taint_report(v: &Value, what: &str) {
+    expect_u64(v, "count", what);
+    let flows = as_seq(field(v, "flows", what), what);
+    let Value::U64(count) = field(v, "count", what) else { unreachable!() };
+    assert_eq!(*count as usize, flows.len(), "{what}: count must equal flows.len()");
+    for f in flows {
+        let src = field(f, "source", what);
+        expect_str(src, "kind", what);
+        expect_str(src, "file", what);
+        expect_u64(src, "line", what);
+        expect_str(src, "fn", what);
+        let sink = field(f, "sink", what);
+        expect_str(sink, "kind", what);
+        expect_str(sink, "fn", what);
+        expect_str(sink, "file", what);
+        expect_u64(sink, "line", what);
+        let path = as_seq(field(f, "path", what), what);
+        assert!(!path.is_empty(), "{what}: a flow without a witness path");
+        for hop in path {
+            expect_str(hop, "fn", what);
+            expect_str(hop, "file", what);
+            expect_u64(hop, "line", what);
+        }
+    }
+    for s in as_seq(field(v, "unused_suppressions", what), what) {
+        expect_str(s, "file", what);
+        expect_u64(s, "line", what);
+        expect_str(s, "message", what);
+    }
+}
+
+/// `results/concur_report.json` (written by `detlint --concurrency`):
+/// count, findings/warnings with witness paths, role tallies, blocking-op
+/// inventory.
+fn check_concur_report(v: &Value, what: &str) {
+    expect_u64(v, "count", what);
+    let findings = as_seq(field(v, "findings", what), what);
+    let Value::U64(count) = field(v, "count", what) else { unreachable!() };
+    assert_eq!(*count as usize, findings.len(), "{what}: count must equal findings.len()");
+    let check_finding = |f: &Value| {
+        expect_str(f, "kind", what);
+        expect_str(f, "file", what);
+        expect_u64(f, "line", what);
+        expect_str(f, "message", what);
+        for path in as_seq(field(f, "paths", what), what) {
+            for hop in as_seq(path, what) {
+                expect_str(hop, "fn", what);
+                expect_str(hop, "file", what);
+                expect_u64(hop, "line", what);
+            }
+        }
+    };
+    findings.iter().for_each(check_finding);
+    as_seq(field(v, "warnings", what), what).iter().for_each(check_finding);
+    let roles = field(v, "roles", what);
+    expect_u64(roles, "worker_fns", what);
+    expect_u64(roles, "engine_fns", what);
+    for op in as_seq(field(v, "blocking", what), what) {
+        expect_str(op, "role", what);
+        expect_str(op, "op", what);
+        expect_str(op, "fn", what);
+        expect_str(op, "file", what);
+        expect_u64(op, "line", what);
+    }
+}
+
+#[test]
+fn ci_report_fixture_is_in_schema() {
+    check_ci_report(&read_value(&fixture("ci_report.json")), "fixtures/ci_report.json");
+}
+
+#[test]
+fn taint_report_fixture_is_in_schema() {
+    check_taint_report(&read_value(&fixture("taint_report.json")), "fixtures/taint_report.json");
+}
+
+#[test]
+fn concur_report_fixture_is_in_schema() {
+    check_concur_report(&read_value(&fixture("concur_report.json")), "fixtures/concur_report.json");
+}
+
+#[test]
+fn live_results_artifacts_are_in_schema_when_present() {
+    // The committed/regenerated artifacts under results/ must satisfy the
+    // same schema the fixtures pin — this is the test that catches a writer
+    // drifting away from the documented shape. Absent files are skipped
+    // (a fresh checkout before any CI run has nothing to validate).
+    let results = bench::results_dir();
+    for (name, check) in [
+        ("ci_report.json", check_ci_report as fn(&Value, &str)),
+        ("taint_report.json", check_taint_report as fn(&Value, &str)),
+        ("concur_report.json", check_concur_report as fn(&Value, &str)),
+    ] {
+        let path = results.join(name);
+        if path.exists() {
+            check(&read_value(&path), &format!("results/{name}"));
+        }
+    }
+    // Every committed BENCH_PR*.json must keep parsing through the typed
+    // back-compat deserializer, whatever era's schema it carries.
+    let mut root = results.clone();
+    root.pop();
+    let mut seen = 0;
+    if let Ok(entries) = std::fs::read_dir(&root) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if bench::trend::pr_number(&name).is_some() {
+                let rep = load_baseline(&entry.path())
+                    .unwrap_or_else(|e| panic!("{name}: {e}"))
+                    .expect("exists");
+                assert!(!rep.benches.is_empty(), "{name}: no benches recorded");
+                seen += 1;
+            }
+        }
+    }
+    assert!(seen >= 1, "repo root must carry at least one committed BENCH_PR*.json");
+}

@@ -18,14 +18,60 @@ pub struct RingSpec {
 }
 
 /// All-reduce (sum) the elements at `positions` (a bucket's flat-gradient
-/// positions, in bucket order) across `grads[rank][...]`, writing sums into
-/// `out` at the same positions.
+/// positions, in bucket order; positions must be distinct) across
+/// `grads[rank][...]`, writing sums into `out` at the same positions.
 ///
 /// The reduction order of the element at bucket-relative position `p` is the
 /// ring order of chunk `p / chunk_len`: starting at rank `(chunk + 1) % n`
 /// and proceeding around the ring — matching the reduce-scatter phase of a
 /// ring all-reduce where chunk `c` ends fully reduced at rank `c`.
+///
+/// This is the vectorized evaluator: the loop nest is chunk-outer /
+/// rank-middle / element-inner, with elements walked by maximal *contiguous
+/// runs* of positions so the inner loop is a straight slice-add the compiler
+/// auto-vectorizes (bucket positions are concatenations of whole-parameter
+/// ranges, so runs are long in practice). Every element still receives its
+/// addends in exactly the chunk's ring order starting from 0.0 — element
+/// chains are independent, so hoisting the rank loop outward interleaves
+/// chains without reassociating any of them. Bit-identical to
+/// [`ring_allreduce_scalar`], the in-tree oracle.
 pub fn ring_allreduce(grads: &[&[f32]], positions: &[usize], spec: &RingSpec, out: &mut [f32]) {
+    let n = spec.nranks;
+    assert!(n > 0, "empty ring");
+    assert_eq!(grads.len(), n, "one gradient slice per rank");
+    if positions.is_empty() {
+        return;
+    }
+    let chunk_len = positions.len().div_ceil(n);
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    for (chunk, cp) in positions.chunks(chunk_len).enumerate() {
+        collect_runs(cp, &mut runs);
+        for &(start, len) in &runs {
+            out[start..start + len].iter_mut().for_each(|x| *x = 0.0);
+        }
+        for k in 1..=n {
+            let rank = (chunk + k) % n;
+            let g = grads[rank];
+            for &(start, len) in &runs {
+                let o = &mut out[start..start + len];
+                let s = &g[start..start + len];
+                for (x, &v) in o.iter_mut().zip(s) {
+                    *x += v;
+                }
+            }
+        }
+    }
+}
+
+/// The scalar reference evaluator: element-outer, rank-inner, exactly the
+/// pre-vectorization implementation. Kept in-tree as the oracle for the
+/// `scalar ≡ vectorized` bit-equality proptests.
+pub fn ring_allreduce_scalar(
+    grads: &[&[f32]],
+    positions: &[usize],
+    spec: &RingSpec,
+    out: &mut [f32],
+) {
     let n = spec.nranks;
     assert!(n > 0, "empty ring");
     assert_eq!(grads.len(), n, "one gradient slice per rank");
@@ -42,6 +88,59 @@ pub fn ring_allreduce(grads: &[&[f32]], positions: &[usize], spec: &RingSpec, ou
             acc += grads[rank][pos];
         }
         out[pos] = acc;
+    }
+}
+
+/// Ring-reduce `positions` into a freshly allocated *bucket-ordered* vector:
+/// `result[i]` is the reduced value of `positions[i]`. Same per-element
+/// accumulation tree as [`ring_allreduce`] (chunking by bucket-relative
+/// index, ring order rotated by chunk), but the output is dense — the shape
+/// the bucketed reduce path wants, without a full-gradient-width scratch
+/// buffer between reduction and gather.
+pub fn ring_allreduce_gather(grads: &[&[f32]], positions: &[usize], spec: &RingSpec) -> Vec<f32> {
+    let n = spec.nranks;
+    assert!(n > 0, "empty ring");
+    assert_eq!(grads.len(), n, "one gradient slice per rank");
+    let mut out = vec![0.0f32; positions.len()];
+    if positions.is_empty() {
+        return out;
+    }
+    let chunk_len = positions.len().div_ceil(n);
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    for (chunk, cp) in positions.chunks(chunk_len).enumerate() {
+        let dst_base = chunk * chunk_len;
+        collect_runs(cp, &mut runs);
+        debug_assert_eq!(runs.iter().map(|r| r.1).sum::<usize>(), cp.len());
+        for k in 1..=n {
+            let rank = (chunk + k) % n;
+            let g = grads[rank];
+            let mut dst = dst_base;
+            for &(start, len) in &runs {
+                let o = &mut out[dst..dst + len];
+                let s = &g[start..start + len];
+                for (x, &v) in o.iter_mut().zip(s) {
+                    *x += v;
+                }
+                dst += len;
+            }
+        }
+    }
+    out
+}
+
+/// Split `positions` into maximal runs of consecutive indices, as
+/// `(start_position, length)` pairs appended to `runs` (cleared first).
+fn collect_runs(positions: &[usize], runs: &mut Vec<(usize, usize)>) {
+    runs.clear();
+    let mut i = 0;
+    while i < positions.len() {
+        let start = positions[i];
+        let mut j = i + 1;
+        while j < positions.len() && positions[j] == positions[j - 1] + 1 {
+            j += 1;
+        }
+        runs.push((start, j - i));
+        i = j;
     }
 }
 
@@ -119,5 +218,40 @@ mod tests {
         let mut out = vec![0.0; 4];
         ring_allreduce(&views, &[], &RingSpec { nranks: 2 }, &mut out);
         assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn vectorized_matches_scalar_bitwise() {
+        // Contiguous, strided, reversed-run, and singleton position shapes;
+        // the randomized sweep lives in tests/vectorized_equiv.rs.
+        for nranks in [1usize, 2, 3, 4, 7] {
+            let g = mk_grads(nranks, 400);
+            let views: Vec<&[f32]> = g.iter().map(|v| v.as_slice()).collect();
+            let spec = RingSpec { nranks };
+            let shapes: Vec<Vec<usize>> = vec![
+                (0..400).collect(),
+                (0..400).step_by(3).collect(),
+                (100..200).chain(0..50).chain(300..301).collect(),
+                vec![7],
+                (0..399).rev().collect(),
+            ];
+            for positions in shapes {
+                let mut fast = vec![f32::NAN; 400];
+                let mut slow = vec![f32::NAN; 400];
+                ring_allreduce(&views, &positions, &spec, &mut fast);
+                ring_allreduce_scalar(&views, &positions, &spec, &mut slow);
+                assert!(
+                    fast.iter().zip(&slow).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "nranks={nranks} positions len={}",
+                    positions.len()
+                );
+                // The gather variant agrees element-for-element too.
+                let gathered = ring_allreduce_gather(&views, &positions, &spec);
+                assert!(gathered
+                    .iter()
+                    .zip(positions.iter())
+                    .all(|(v, &p)| v.to_bits() == slow[p].to_bits()));
+            }
+        }
     }
 }

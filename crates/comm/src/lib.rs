@@ -27,7 +27,7 @@ pub mod exchange;
 pub mod heartbeat;
 pub mod retry;
 
-pub use allreduce::{ring_allreduce, RingSpec};
+pub use allreduce::{ring_allreduce, ring_allreduce_gather, ring_allreduce_scalar, RingSpec};
 pub use bucket::{BucketLayout, DEFAULT_BUCKET_CAP_BYTES};
 pub use exchange::{Exchange, ExchangeTx};
 pub use heartbeat::{Heartbeat, HeartbeatBus};
@@ -135,12 +135,12 @@ impl ElasticDdp {
         assert!(grads.iter().all(|g| g.len() == n), "gradient length mismatch across ranks");
         let views: Vec<&[f32]> = grads.iter().map(|g| g.as_slice()).collect();
         let spec = RingSpec { nranks: self.vworld as usize };
-        let mut scratch = vec![0.0f32; n];
         let mut out = Vec::with_capacity(buckets.len());
         for &b in buckets {
             let positions = self.layout.bucket_positions(&self.layout.buckets()[b]);
-            ring_allreduce(&views, &positions, &spec, &mut scratch);
-            out.push((b, positions.iter().map(|&p| scratch[p]).collect()));
+            // Bucket-ordered reduction: same per-element tree as the
+            // monolithic path, no full-gradient-width scratch in between.
+            out.push((b, ring_allreduce_gather(&views, &positions, &spec)));
         }
         obs::counter_add("comm.bucket_fills", buckets.len() as u64);
         out
@@ -162,8 +162,18 @@ impl ElasticDdp {
             seen[*b] = true;
             let positions = self.layout.bucket_positions(&self.layout.buckets()[*b]);
             assert_eq!(positions.len(), values.len(), "bucket {b} value count mismatch");
-            for (&p, &v) in positions.iter().zip(values) {
-                out[p] = v;
+            // Placement by maximal contiguous runs: bucket positions are
+            // concatenations of whole-parameter ranges, so this is a handful
+            // of memcpys instead of one scatter store per element.
+            let mut i = 0;
+            while i < positions.len() {
+                let start = positions[i];
+                let mut j = i + 1;
+                while j < positions.len() && positions[j] == positions[j - 1] + 1 {
+                    j += 1;
+                }
+                out[start..start + (j - i)].copy_from_slice(&values[i..j]);
+                i = j;
             }
         }
         assert!(seen.iter().all(|&s| s), "partial reduction must cover every bucket");

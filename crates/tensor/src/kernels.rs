@@ -112,6 +112,15 @@ impl NoiseSource {
     }
 }
 
+/// How many independent leaf-block accumulators the vectorized evaluators
+/// keep in flight. The D2 contract pins the accumulation *tree* — leaf-block
+/// boundaries, left-to-right order inside a leaf, and the `algo_id` traversal
+/// of the partials — not the instruction schedule, so evaluating `SUM_LANES`
+/// leaves in lockstep (one scalar accumulator per leaf, advanced over a
+/// shared element index) produces bit-identical partials while hiding the
+/// ~4-cycle f32 add latency behind eight independent dependency chains.
+pub const SUM_LANES: usize = 8;
+
 /// Sum a slice with the accumulation tree dictated by `profile`.
 ///
 /// Deterministic mode: leaf blocks of `reduce_block` consecutive elements are
@@ -119,13 +128,33 @@ impl NoiseSource {
 /// traversal order selected by `algo_id`. Non-deterministic mode additionally
 /// rotates the partial-combination order by a fresh noise draw, emulating
 /// atomics racing.
+///
+/// This is the vectorized evaluator: leaf blocks are computed [`SUM_LANES`]
+/// at a time (see [`leaf_partials`]), bit-identical to [`blocked_sum_scalar`]
+/// for every profile — the proptests in `tests/vectorized_equiv.rs` sweep
+/// the equivalence across random profile shapes and ragged lengths.
 pub fn blocked_sum(data: &[f32], profile: &KernelProfile) -> f32 {
     if data.is_empty() {
         return 0.0;
     }
     let block = profile.reduce_block.max(1);
-    let nblocks = data.len().div_ceil(block);
     // Hot path: small reductions fit one block — no partials vector needed.
+    if data.len() <= block {
+        return data.iter().sum();
+    }
+    let partials = leaf_partials(data, profile);
+    combine_partials(&partials, profile)
+}
+
+/// The scalar reference evaluator: one leaf block at a time, exactly the
+/// pre-vectorization implementation. Kept in-tree as the oracle the
+/// `scalar ≡ vectorized` bit-equality proptests compare against.
+pub fn blocked_sum_scalar(data: &[f32], profile: &KernelProfile) -> f32 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let block = profile.reduce_block.max(1);
+    let nblocks = data.len().div_ceil(block);
     if nblocks == 1 {
         return data.iter().sum();
     }
@@ -136,6 +165,46 @@ pub fn blocked_sum(data: &[f32], profile: &KernelProfile) -> f32 {
     combine_partials(&partials, profile)
 }
 
+/// Per-leaf-block partial sums, vectorized: groups of [`SUM_LANES`] full
+/// blocks are evaluated in lockstep, each block owning one scalar
+/// accumulator that still sees its elements strictly left-to-right. The
+/// trailing `< SUM_LANES` full blocks and the final ragged block fall back
+/// to the scalar walk. Bit-identical to [`leaf_partials_scalar`] by
+/// construction: no addition is reassociated, only interleaved across
+/// independent chains.
+pub fn leaf_partials(data: &[f32], profile: &KernelProfile) -> Vec<f32> {
+    let block = profile.reduce_block.max(1);
+    let nblocks = data.len().div_ceil(block);
+    let nfull = data.len() / block;
+    let mut partials = Vec::with_capacity(nblocks);
+    let mut b = 0usize;
+    while b + SUM_LANES <= nfull {
+        let group = &data[b * block..(b + SUM_LANES) * block];
+        let mut acc = [0.0f32; SUM_LANES];
+        for j in 0..block {
+            for (l, a) in acc.iter_mut().enumerate() {
+                *a += group[l * block + j];
+            }
+        }
+        partials.extend_from_slice(&acc);
+        b += SUM_LANES;
+    }
+    while b < nblocks {
+        let start = b * block;
+        let end = (start + block).min(data.len());
+        partials.push(data[start..end].iter().sum::<f32>());
+        b += 1;
+    }
+    partials
+}
+
+/// Per-leaf-block partial sums, scalar reference (one block at a time,
+/// left-to-right). The oracle for [`leaf_partials`].
+pub fn leaf_partials_scalar(data: &[f32], profile: &KernelProfile) -> Vec<f32> {
+    let block = profile.reduce_block.max(1);
+    data.chunks(block).map(|c| c.iter().sum::<f32>()).collect()
+}
+
 /// Combine per-block partial sums in the order the profile dictates.
 pub(crate) fn combine_partials(partials: &[f32], profile: &KernelProfile) -> f32 {
     let n = partials.len();
@@ -143,6 +212,19 @@ pub(crate) fn combine_partials(partials: &[f32], profile: &KernelProfile) -> f32
         return 0.0;
     }
     let rot = if profile.deterministic { 0 } else { (NoiseSource::next() % n as u64) as usize };
+    combine_partials_with_rot(partials, profile, rot)
+}
+
+/// Combine partials with an explicit rotation (deterministic profiles always
+/// use `rot = 0`; non-deterministic ones draw it from [`NoiseSource`]).
+/// Public so the bit-equality proptests can pin the rotation and compare the
+/// scalar and vectorized pipelines under `deterministic: false` profiles,
+/// where a cross-call comparison would otherwise see two different draws.
+pub fn combine_partials_with_rot(partials: &[f32], profile: &KernelProfile, rot: usize) -> f32 {
+    let n = partials.len();
+    if n == 0 {
+        return 0.0;
+    }
     let mut acc = 0.0f32;
     match profile.algo_id % ALGO_COUNT {
         0 => {
@@ -258,5 +340,44 @@ mod tests {
     #[should_panic(expected = "algo_id out of range")]
     fn with_algo_bounds_checked() {
         KernelProfile::default().with_algo(ALGO_COUNT);
+    }
+
+    #[test]
+    fn vectorized_sum_matches_scalar_bitwise() {
+        // A quick fixed sweep; the exhaustive randomized sweep lives in
+        // tests/vectorized_equiv.rs.
+        for len in [0usize, 1, 7, 31, 32, 33, 255, 256, 257, 4096, 10_000] {
+            let d = data(len);
+            for block in [1usize, 2, 8, 31, 32, 40, 80, 1000] {
+                for algo in 0..ALGO_COUNT {
+                    let p = KernelProfile {
+                        reduce_block: block,
+                        tile_k: 16,
+                        algo_id: algo,
+                        deterministic: true,
+                    };
+                    assert_eq!(
+                        blocked_sum(&d, &p).to_bits(),
+                        blocked_sum_scalar(&d, &p).to_bits(),
+                        "len={len} block={block} algo={algo}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_partials_match_scalar_bitwise_even_for_nondet_profiles() {
+        // Leaves never see the noise rotation, so the partials comparison is
+        // exact even when the profile is non-deterministic.
+        let d = data(2_000);
+        for block in [1usize, 3, 17, 64, 100] {
+            let p =
+                KernelProfile { reduce_block: block, tile_k: 8, algo_id: 2, deterministic: false };
+            let a = leaf_partials(&d, &p);
+            let b = leaf_partials_scalar(&d, &p);
+            assert_eq!(a.len(), b.len());
+            assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
     }
 }

@@ -8,7 +8,7 @@
 //! profile sensitivity is exactly the matmul's, and its backward scatter
 //! (col2im) uses a fixed loop order.
 
-use crate::kernels::{combine_partials, KernelProfile};
+use crate::kernels::{combine_partials, KernelProfile, ALGO_COUNT, SUM_LANES};
 use crate::Tensor;
 
 pub use crate::kernels::blocked_sum;
@@ -16,6 +16,12 @@ pub use crate::kernels::blocked_sum;
 /// Reduce `f(0) + f(1) + … + f(len-1)` using the profile's K-tiling: each
 /// tile of `tile_k` consecutive terms is summed left-to-right, and tile
 /// partials are combined in the profile's traversal order.
+///
+/// This is the scalar reference schedule — the oracle every vectorized
+/// kernel in this module is proven bit-identical against. The vectorized
+/// evaluators keep exactly this tree (tile boundaries, left-to-right order
+/// inside a tile, `algo_id` traversal of the partials) and only interleave
+/// *independent* accumulation chains.
 #[inline]
 pub fn tiled_reduce(len: usize, profile: &KernelProfile, mut f: impl FnMut(usize) -> f32) -> f32 {
     let tile = profile.tile_k.max(1);
@@ -41,8 +47,55 @@ pub fn tiled_reduce(len: usize, profile: &KernelProfile, mut f: impl FnMut(usize
     combine_partials(&partials, profile)
 }
 
-/// Dot product with profile-controlled accumulation.
+/// Dot product with profile-controlled accumulation, vectorized: groups of
+/// [`SUM_LANES`] full K-tiles are evaluated in lockstep (one accumulator per
+/// tile, products formed in the same left-to-right order), then the tile
+/// partials are combined exactly as [`tiled_reduce`] combines them. Bit-
+/// identical to [`dot_scalar`].
 pub fn dot(a: &[f32], b: &[f32], profile: &KernelProfile) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let len = a.len();
+    let tile = profile.tile_k.max(1);
+    if len <= tile {
+        let mut acc = 0.0;
+        for i in 0..len {
+            acc += a[i] * b[i];
+        }
+        return acc;
+    }
+    let ntiles = len.div_ceil(tile);
+    let nfull = len / tile;
+    let mut partials = Vec::with_capacity(ntiles);
+    let mut t = 0usize;
+    while t + SUM_LANES <= nfull {
+        let base = t * tile;
+        let ga = &a[base..base + SUM_LANES * tile];
+        let gb = &b[base..base + SUM_LANES * tile];
+        let mut acc = [0.0f32; SUM_LANES];
+        for j in 0..tile {
+            for (l, x) in acc.iter_mut().enumerate() {
+                *x += ga[l * tile + j] * gb[l * tile + j];
+            }
+        }
+        partials.extend_from_slice(&acc);
+        t += SUM_LANES;
+    }
+    while t < ntiles {
+        let s = t * tile;
+        let e = (s + tile).min(len);
+        let mut acc = 0.0;
+        for i in s..e {
+            acc += a[i] * b[i];
+        }
+        partials.push(acc);
+        t += 1;
+    }
+    combine_partials(&partials, profile)
+}
+
+/// Scalar reference dot product (per-element [`tiled_reduce`]); the oracle
+/// for [`dot`].
+pub fn dot_scalar(a: &[f32], b: &[f32], profile: &KernelProfile) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
     tiled_reduce(a.len(), profile, |i| a[i] * b[i])
 }
@@ -60,8 +113,134 @@ pub fn mean(t: &Tensor, profile: &KernelProfile) -> f32 {
     sum(t, profile) / t.len() as f32
 }
 
-/// `C = A · B` for `A: [m,k]`, `B: [k,n]`.
+/// Row-vectorized matmul core shared by [`matmul`] and [`matmul_at_b`]:
+/// for each output row `i`, all `n` output columns advance together.
+/// Per output element `(i, j)` the addition chain is *identical* to
+/// `tiled_reduce(k, profile, |p| a_at(i, p) * bd[p*n + j])`: products are
+/// formed for `p` ascending within each K-tile, tile partials start at 0.0,
+/// and the partials are combined in the profile's `algo_id` order. Only the
+/// interleaving across the (independent) columns changes, which makes the
+/// inner loops contiguous over `j` and auto-vectorizable.
+fn matmul_rows_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    bd: &[f32],
+    profile: &KernelProfile,
+    od: &mut [f32],
+    a_at: impl Fn(usize, usize) -> f32,
+) {
+    let tile = profile.tile_k.max(1);
+    if k <= tile {
+        // Single-tile fast path: mirrors tiled_reduce's short-circuit branch
+        // (no combine step, accumulators start at 0.0 — the zeros are
+        // already in `od`).
+        for i in 0..m {
+            let orow = &mut od[i * n..(i + 1) * n];
+            for p in 0..k {
+                let av = a_at(i, p);
+                let brow = &bd[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        return;
+    }
+    let ntiles = k.div_ceil(tile);
+    // partials[t*n + j] = tile t's partial for output column j of the
+    // current row (the row of the accumulation tree `combine_rows` walks).
+    let mut partials = vec![0.0f32; ntiles * n];
+    for i in 0..m {
+        partials.iter_mut().for_each(|x| *x = 0.0);
+        for t in 0..ntiles {
+            let p0 = t * tile;
+            let p1 = (p0 + tile).min(k);
+            let prow = &mut partials[t * n..(t + 1) * n];
+            for p in p0..p1 {
+                let av = a_at(i, p);
+                let brow = &bd[p * n..(p + 1) * n];
+                for (o, &bv) in prow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        combine_rows(&partials, ntiles, n, profile, &mut od[i * n..(i + 1) * n]);
+    }
+}
+
+/// Combine per-tile partial rows into the output row, walking tiles in the
+/// profile's `algo_id` order — elementwise over the row, so each output
+/// element sees exactly the scalar [`combine_partials`] chain (rotation 0 in
+/// deterministic mode). Non-deterministic profiles fall back to a per-element
+/// combine so every output element draws its own noise rotation, matching
+/// the scalar evaluator's behavior.
+fn combine_rows(
+    partials: &[f32],
+    ntiles: usize,
+    n: usize,
+    profile: &KernelProfile,
+    out: &mut [f32],
+) {
+    if !profile.deterministic {
+        let mut col = vec![0.0f32; ntiles];
+        for (j, o) in out.iter_mut().enumerate() {
+            for (t, c) in col.iter_mut().enumerate() {
+                *c = partials[t * n + j];
+            }
+            *o = combine_partials(&col, profile);
+        }
+        return;
+    }
+    out.iter_mut().for_each(|x| *x = 0.0);
+    let add_tile = |t: usize, out: &mut [f32]| {
+        let prow = &partials[t * n..(t + 1) * n];
+        for (o, &p) in out.iter_mut().zip(prow) {
+            *o += p;
+        }
+    };
+    match profile.algo_id % ALGO_COUNT {
+        0 => {
+            for t in 0..ntiles {
+                add_tile(t, out);
+            }
+        }
+        1 => {
+            for t in (0..ntiles).rev() {
+                add_tile(t, out);
+            }
+        }
+        _ => {
+            let mut t = 0;
+            while t < ntiles {
+                add_tile(t, out);
+                t += 2;
+            }
+            let mut t = 1;
+            while t < ntiles {
+                add_tile(t, out);
+                t += 2;
+            }
+        }
+    }
+}
+
+/// `C = A · B` for `A: [m,k]`, `B: [k,n]`. Row-vectorized; bit-identical to
+/// [`matmul_scalar`].
 pub fn matmul(a: &Tensor, b: &Tensor, profile: &KernelProfile) -> Tensor {
+    let (m, k) = mat_dims(a);
+    let (k2, n) = mat_dims(b);
+    assert_eq!(k, k2, "matmul inner-dimension mismatch: {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    matmul_rows_into(m, k, n, bd, profile, out.data_mut(), |i, p| ad[i * k + p]);
+    out
+}
+
+/// Scalar reference `A · B` (per-element [`tiled_reduce`]); the oracle for
+/// [`matmul`].
+pub fn matmul_scalar(a: &Tensor, b: &Tensor, profile: &KernelProfile) -> Tensor {
     let (m, k) = mat_dims(a);
     let (k2, n) = mat_dims(b);
     assert_eq!(k, k2, "matmul inner-dimension mismatch: {k} vs {k2}");
@@ -79,7 +258,20 @@ pub fn matmul(a: &Tensor, b: &Tensor, profile: &KernelProfile) -> Tensor {
 }
 
 /// `C = Aᵀ · B` for `A: [k,m]`, `B: [k,n]` (weight-gradient shape).
+/// Row-vectorized; bit-identical to [`matmul_at_b_scalar`].
 pub fn matmul_at_b(a: &Tensor, b: &Tensor, profile: &KernelProfile) -> Tensor {
+    let (k, m) = mat_dims(a);
+    let (k2, n) = mat_dims(b);
+    assert_eq!(k, k2, "matmul_at_b inner-dimension mismatch");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    matmul_rows_into(m, k, n, bd, profile, out.data_mut(), |i, p| ad[p * m + i]);
+    out
+}
+
+/// Scalar reference `Aᵀ · B`; the oracle for [`matmul_at_b`].
+pub fn matmul_at_b_scalar(a: &Tensor, b: &Tensor, profile: &KernelProfile) -> Tensor {
     let (k, m) = mat_dims(a);
     let (k2, n) = mat_dims(b);
     assert_eq!(k, k2, "matmul_at_b inner-dimension mismatch");
@@ -95,8 +287,30 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor, profile: &KernelProfile) -> Tensor {
     out
 }
 
-/// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` (input-gradient shape).
+/// `C = A · Bᵀ` for `A: [m,k]`, `B: [n,k]` (input-gradient shape). Both
+/// operands are row-contiguous over the reduction axis, so each output
+/// element is exactly a [`dot`] — which is itself the lockstep-tile
+/// vectorized kernel. Bit-identical to [`matmul_a_bt_scalar`].
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor, profile: &KernelProfile) -> Tensor {
+    let (m, k) = mat_dims(a);
+    let (n, k2) = mat_dims(b);
+    assert_eq!(k, k2, "matmul_a_bt inner-dimension mismatch");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            od[i * n + j] = dot(arow, brow, profile);
+        }
+    }
+    out
+}
+
+/// Scalar reference `A · Bᵀ`; the oracle for [`matmul_a_bt`].
+pub fn matmul_a_bt_scalar(a: &Tensor, b: &Tensor, profile: &KernelProfile) -> Tensor {
     let (m, k) = mat_dims(a);
     let (n, k2) = mat_dims(b);
     assert_eq!(k, k2, "matmul_a_bt inner-dimension mismatch");
@@ -436,5 +650,52 @@ mod tests {
         let reference: f64 = a.iter().zip(&b).map(|(&x, &y)| (x * y) as f64).sum();
         let got = dot(&a, &b, &profile()) as f64;
         assert!((got - reference).abs() < 1e-4);
+    }
+
+    fn rough(n: usize, salt: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i * 31 + salt * 7) as f32).sin() * 10f32.powi(((i + salt) % 7) as i32 - 3))
+            .collect()
+    }
+
+    #[test]
+    fn vectorized_matmuls_match_scalar_bitwise() {
+        // Fixed sweep over shapes and profiles; the randomized sweep lives
+        // in tests/vectorized_equiv.rs.
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 257, 5), (4, 64, 7), (2, 16, 16)] {
+            let a = Tensor::from_vec(rough(m * k, 1), &[m, k]);
+            let b = Tensor::from_vec(rough(k * n, 2), &[k, n]);
+            let at = Tensor::from_vec(rough(k * m, 3), &[k, m]);
+            let bt = Tensor::from_vec(rough(n * k, 4), &[n, k]);
+            for tile in [1usize, 4, 16, 64, 300] {
+                for algo in 0..ALGO_COUNT {
+                    let p = KernelProfile {
+                        reduce_block: 32,
+                        tile_k: tile,
+                        algo_id: algo,
+                        deterministic: true,
+                    };
+                    assert!(
+                        matmul(&a, &b, &p).bitwise_eq(&matmul_scalar(&a, &b, &p)),
+                        "matmul m={m} k={k} n={n} tile={tile} algo={algo}"
+                    );
+                    assert!(
+                        matmul_at_b(&at, &b, &p).bitwise_eq(&matmul_at_b_scalar(&at, &b, &p)),
+                        "matmul_at_b m={m} k={k} n={n} tile={tile} algo={algo}"
+                    );
+                    assert!(
+                        matmul_a_bt(&a, &bt, &p).bitwise_eq(&matmul_a_bt_scalar(&a, &bt, &p)),
+                        "matmul_a_bt m={m} k={k} n={n} tile={tile} algo={algo}"
+                    );
+                    let va: Vec<f32> = rough(k, 5);
+                    let vb: Vec<f32> = rough(k, 6);
+                    assert_eq!(
+                        dot(&va, &vb, &p).to_bits(),
+                        dot_scalar(&va, &vb, &p).to_bits(),
+                        "dot k={k} tile={tile} algo={algo}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -108,11 +108,23 @@ impl Tensor {
         self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 
-    /// In-place `self += alpha * other` (no allocation).
+    /// In-place `self += alpha * other` (no allocation). Chunked into
+    /// fixed-width lanes so the elementwise update auto-vectorizes without
+    /// per-element bounds checks; elementwise means no accumulation order
+    /// exists, so the chunking is trivially bitwise-neutral.
     pub fn axpy_(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (x, y) in self.data.iter_mut().zip(&other.data) {
-            // Elementwise, not a reduction: each x[i] sees exactly one addend.
+        const LANES: usize = 8;
+        let mut xs = self.data.chunks_exact_mut(LANES);
+        let mut ys = other.data.chunks_exact(LANES);
+        for (x, y) in xs.by_ref().zip(ys.by_ref()) {
+            for l in 0..LANES {
+                // Elementwise, not a reduction: each x[l] sees one addend.
+                // detlint::allow(no-raw-float-accum): no accumulation order exists
+                x[l] += alpha * y[l];
+            }
+        }
+        for (x, y) in xs.into_remainder().iter_mut().zip(ys.remainder()) {
             // detlint::allow(no-raw-float-accum): no accumulation order exists
             *x += alpha * y;
         }

@@ -1,19 +1,34 @@
 #!/usr/bin/env bash
 # Bench regression gate: run the fixed bench_gate suite, record this PR's
-# medians to BENCH_PR7.json (committed at the repo root), and fail if any
+# medians to BENCH_PR8.json (committed at the repo root), and fail if any
 # bench's median regressed more than the threshold against the prior PR's
 # BENCH_*.json. The gate is two-sided: medians that beat the baseline past
 # the same margin are printed as wins and recorded in the output JSON's
 # `improvements` array. With no prior baseline the gate warns, records,
 # and passes.
 #
-#   scripts/bench_gate.sh [OUT_JSON]            (default: BENCH_PR7.json)
+#   scripts/bench_gate.sh [OUT_JSON]            (default: BENCH_PR8.json)
 #   BENCH_GATE_THRESHOLD=1.15                   (ratio; 1.15 = +15%)
+#
+# Baselines resolve from exactly ONE canonical location: BENCH_PR*.json at
+# the repo root. A BENCH_PR*.json under results/ is an error, not a
+# fallback — results/ holds regenerable artifacts, and a stray copy there
+# once made the gate silently compare against the wrong file.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR8.json}"
 THRESHOLD="${BENCH_GATE_THRESHOLD:-1.15}"
+
+# Ambiguity check: committed baselines live at the repo root, full stop.
+strays=$(ls results/BENCH_PR*.json 2>/dev/null || true)
+if [ -n "$strays" ]; then
+  echo "bench_gate: ERROR: BENCH_PR*.json found under results/:" >&2
+  echo "$strays" | sed 's/^/bench_gate:   /' >&2
+  echo "bench_gate: baselines are committed at the repo root only;" \
+       "move or delete the copies under results/ and re-run." >&2
+  exit 2
+fi
 
 # Newest prior baseline = the BENCH_PR<N>.json with the highest PR number,
 # excluding our own output file. Sorting by the numeric N (not mtime, not

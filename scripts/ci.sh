@@ -2,12 +2,15 @@
 # Staged CI pipeline (see docs/CI.md). Runs entirely offline.
 #
 #   scripts/ci.sh           full pipeline: fmt → clippy → detlint → taint →
-#                           concurrency → build → test → faultsim chaos
-#                           matrix → silent-fault detection matrix →
-#                           bench gate
+#                           concurrency → build → test → kernels →
+#                           faultsim chaos matrix → silent-fault detection
+#                           matrix → bench gate (records + gates the full
+#                           suite, per-kernel benches included)
 #   scripts/ci.sh --quick   quick stages only (what scripts/check.sh runs):
 #                           fmt → clippy → detlint → taint → concurrency →
-#                           build → test
+#                           build → test → kernels (builds every
+#                           crates/bench/src/bin/* and smoke-runs the
+#                           per-kernel benches; no gating)
 #
 # Per-stage wall-clock timings are written to results/ci_report.json whether
 # the pipeline passes or fails; the script exits non-zero on the first
@@ -74,6 +77,18 @@ stage concurrency cargo run --offline -q -p detlint -- --concurrency --quiet \
                    --out results/concur_report.json
 stage build      cargo build --release --offline
 stage test       cargo test -q --offline --workspace --exclude faultsim
+# The kernels stage keeps bench code honest between full runs: build every
+# bench binary (cargo's default `build` skips src/bin/* of non-default
+# targets only when filtered, so --bins is explicit), then smoke-run the
+# per-kernel microbench family (reduce_block × algo_id × length grid plus
+# dot/axpy/raw-ring) with minimal iterations — a compile+run check, no
+# timings recorded, no gate. The full pipeline's bench_gate stage records
+# and gates the same benches at full sample counts.
+kernels_smoke() {
+  cargo build --release --offline -q -p bench --bins
+  ./target/release/bench_gate --smoke --only kernel_
+}
+stage kernels    kernels_smoke
 
 if [ "$MODE" = full ]; then
   # The chaos matrix: every fault schedule must converge byte-identically
