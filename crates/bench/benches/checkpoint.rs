@@ -16,7 +16,7 @@ fn trained_engine() -> Engine {
 }
 
 fn bench_capture(c: &mut Criterion) {
-    let e = trained_engine();
+    let mut e = trained_engine();
     c.bench_function("checkpoint_capture_8_ests", |b| b.iter(|| black_box(e.checkpoint())));
 }
 
@@ -32,7 +32,7 @@ fn bench_serialize(c: &mut Criterion) {
 }
 
 fn bench_restore(c: &mut Criterion) {
-    let e = trained_engine();
+    let mut e = trained_engine();
     let ckpt = e.checkpoint();
     let cfg = e.config().clone();
     c.bench_function("engine_restore_to_new_placement", |b| {

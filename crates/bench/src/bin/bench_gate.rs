@@ -238,7 +238,8 @@ fn run_suite(opts: &SuiteOpts) -> Vec<BenchResult> {
             let cfg = JobConfig::new(Workload::NeuMF, 7, workers)
                 .with_dataset_len(512)
                 .with_batch_size(1);
-            let exec = ExecOptions { mode, device_ids: (0..workers).collect() };
+            let exec =
+                ExecOptions { mode, device_ids: (0..workers).collect(), ..ExecOptions::default() };
             let mut e =
                 Engine::new_opts(cfg, Placement::one_est_per_gpu(workers, GpuType::V100), exec);
             e.step(); // warm: first step rebuilds the bucket layout

@@ -29,7 +29,7 @@ pub mod retry;
 
 pub use allreduce::{ring_allreduce, ring_allreduce_gather, ring_allreduce_scalar, RingSpec};
 pub use bucket::{BucketLayout, DEFAULT_BUCKET_CAP_BYTES};
-pub use exchange::{Exchange, ExchangeTx};
+pub use exchange::{DrainError, Exchange, ExchangeTx};
 pub use heartbeat::{Heartbeat, HeartbeatBus};
 pub use retry::{retry_reduce, CommError, FaultScript, RetryPolicy, RetryStats};
 

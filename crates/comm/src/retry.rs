@@ -67,6 +67,16 @@ impl RetryPolicy {
         self.base_backoff_us
             .saturating_mul((self.backoff_multiplier as u64).saturating_pow(retry - 1))
     }
+
+    /// Total backoff the policy can ever spend: the sum of every window,
+    /// `Σ backoff_us(r)` for `r` in `1..=max_attempts`. This is the
+    /// worst-case blocking budget of a deadline drain built on this policy
+    /// (`Exchange::drain_deadline`), and therefore the deterministic
+    /// virtual-time detection latency charged for a thread fault — once the
+    /// budget is spent, the drain *must* have returned an error.
+    pub fn total_backoff_us(&self) -> u64 {
+        (1..=self.max_attempts).fold(0u64, |acc, r| acc.saturating_add(self.backoff_us(r)))
+    }
 }
 
 /// A deterministic script of attempt outcomes: the next `remaining`
@@ -209,6 +219,7 @@ mod tests {
         assert_eq!(p.backoff_us(1), 100);
         assert_eq!(p.backoff_us(2), 300);
         assert_eq!(p.backoff_us(3), 900);
+        assert_eq!(p.total_backoff_us(), 100 + 300 + 900 + 2700 + 8100);
         let ddp = ElasticDdp::new(&[32], 2, 128);
         let g = grads(2, 32);
         let (_, stats) =

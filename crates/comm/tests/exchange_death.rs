@@ -1,0 +1,102 @@
+//! Property tests for `Exchange` publisher-death semantics (PR 9).
+//!
+//! The supervised pool's fault boundary is `Exchange::drain_deadline`: when
+//! k of n publishers die silently, the drain must return a typed error
+//! naming the n−k keys that did arrive — never hang, never panic — and the
+//! fault-free path must stay byte-identical to the blocking `drain_sorted`
+//! it replaced.
+
+use comm::exchange::{DrainError, Exchange};
+use comm::RetryPolicy;
+use proptest::prelude::*;
+
+/// Deadline policy for tests: 4 windows of 1ms/2ms/4ms/8ms = 15ms worst
+/// case per missing publisher — far past same-process publish latency, tiny
+/// against test wall-clock budgets.
+fn tiny_policy() -> RetryPolicy {
+    RetryPolicy { max_attempts: 4, base_backoff_us: 1_000, backoff_multiplier: 2 }
+}
+
+/// Deterministic permutation of `0..n` from a seed (Fisher–Yates with a
+/// splitmix-style mixer).
+fn permutation(n: usize, mut seed: u64) -> Vec<u64> {
+    let mut keys: Vec<u64> = (0..n as u64).collect();
+    for i in (1..n).rev() {
+        seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5_4A32_D192_ED03);
+        let j = (seed >> 33) as usize % (i + 1);
+        keys.swap(i, j);
+    }
+    keys
+}
+
+proptest! {
+    /// Dropping k of n publishers without publishing yields a typed
+    /// timeout whose `received` list is exactly the n−k surviving keys,
+    /// for every k — including k = n (nobody publishes at all). The
+    /// drain never hangs and never panics.
+    #[test]
+    fn k_dead_publishers_yield_a_typed_timeout(n in 1usize..6, k_seed in 0usize..64) {
+        let k = k_seed % (n + 1); // 0..=n dead
+        let mut ex: Exchange<u64> = Exchange::new();
+        let handles: Vec<_> = (0..n).map(|_| ex.handle()).collect();
+        ex.seal();
+        for (i, h) in handles.into_iter().enumerate() {
+            if i < k {
+                drop(h); // dies without publishing
+            } else {
+                h.publish(i as u64, (i as u64) * 100);
+            }
+        }
+        let survivors: Vec<u64> = (k..n).map(|i| i as u64).collect();
+        if k == 0 {
+            let out = ex.drain_deadline(n, &tiny_policy()).unwrap();
+            prop_assert_eq!(out.len(), n);
+        } else {
+            let err = ex.drain_deadline(n, &tiny_policy()).unwrap_err();
+            prop_assert_eq!(err, DrainError::Timeout { received: survivors });
+        }
+    }
+
+    /// Fault-free: `drain_deadline` is byte-identical to the pre-PR9
+    /// blocking `drain_sorted` for any publish order.
+    #[test]
+    fn fault_free_deadline_drain_matches_blocking_drain(seed in 0u64..1_000_000) {
+        let keys = permutation(8, seed);
+        let mut a: Exchange<u64> = Exchange::new();
+        let mut b: Exchange<u64> = Exchange::new();
+        let (ta, tb) = (a.handle(), b.handle());
+        a.seal();
+        b.seal();
+        for &key in &keys {
+            ta.publish(key, key.wrapping_mul(0x9E37_79B9));
+            tb.publish(key, key.wrapping_mul(0x9E37_79B9));
+        }
+        let da = a.drain_deadline(8, &tiny_policy()).unwrap();
+        let db = b.drain_sorted(8);
+        prop_assert_eq!(da, db);
+    }
+
+    /// A failed drain loses nothing: after a respawned publisher fills the
+    /// gap, the retry returns the full sorted round including the
+    /// survivors' buffered messages.
+    #[test]
+    fn failed_drain_buffers_survivors_for_the_retry(n in 2usize..6, dead_seed in 0usize..64) {
+        let dead = dead_seed % n;
+        let mut ex: Exchange<u64> = Exchange::new();
+        let handles: Vec<_> = (0..n).map(|_| ex.handle()).collect();
+        ex.seal();
+        for (i, h) in handles.into_iter().enumerate() {
+            if i == dead {
+                drop(h);
+            } else {
+                h.publish(i as u64, i as u64 + 1000);
+            }
+        }
+        prop_assert!(ex.drain_deadline(n, &tiny_policy()).is_err());
+        let replacement = ex.replacement_handle();
+        replacement.publish(dead as u64, dead as u64 + 1000);
+        let out = ex.drain_deadline(n, &tiny_policy()).unwrap();
+        let want: Vec<(u64, u64)> = (0..n).map(|i| (i as u64, i as u64 + 1000)).collect();
+        prop_assert_eq!(out, want);
+    }
+}

@@ -17,7 +17,9 @@ use crate::checkpoint::JobCheckpoint;
 use crate::determinism::{fresh_ready_order, restart_ready_order};
 use crate::est::EstContext;
 use crate::placement::Placement;
-use crate::pool::{ExecMode, ExecOptions, PoolStats, WorkerPool, WorkerSnapshot};
+use crate::pool::{
+    ExecMode, ExecOptions, PoolError, PoolStats, RespawnFn, ThreadFault, WorkerPool, WorkerSnapshot,
+};
 use crate::worker::{EasyScaleWorker, LocalStep};
 use crate::JobConfig;
 use comm::{CommError, ElasticDdp, FaultScript, RetryPolicy};
@@ -68,23 +70,33 @@ enum Backend {
     /// (sequentially, or via per-step scoped threads when `scoped`).
     Inline { workers: Vec<EasyScaleWorker>, scoped: bool },
     /// Workers moved onto persistent pool threads.
-    Pool(WorkerPool),
+    Pool(Box<WorkerPool>),
 }
 
 impl Backend {
     fn build(workers: Vec<EasyScaleWorker>, exec: &ExecOptions) -> Backend {
         match exec.mode {
-            ExecMode::Pool => Backend::Pool(WorkerPool::spawn(workers, &exec.device_ids)),
+            ExecMode::Pool => {
+                Backend::Pool(Box::new(WorkerPool::spawn(workers, &exec.device_ids, exec.drain)))
+            }
             ExecMode::SingleThread => Backend::Inline { workers, scoped: false },
             ExecMode::Scoped => Backend::Inline { workers, scoped: true },
         }
     }
 
     /// One concurrent (or sequential) local-step round, in worker order.
-    fn run_steps(&mut self, epoch: u64, lr: f32) -> Vec<LocalStep> {
+    /// Pool execution is supervised: a faulted worker is replaced via
+    /// `respawn` and the round replayed, reported in the error list (inline
+    /// backends cannot fault independently; their list is always empty).
+    fn run_steps(
+        &mut self,
+        epoch: u64,
+        lr: f32,
+        respawn: &mut RespawnFn<'_>,
+    ) -> (Vec<LocalStep>, Vec<PoolError>) {
         match self {
             Backend::Inline { workers, scoped } => {
-                if *scoped && workers.len() > 1 {
+                let steps = if *scoped && workers.len() > 1 {
                     let handles: Vec<Vec<LocalStep>> = crossbeam::thread::scope(|s| {
                         let joins: Vec<_> = workers
                             .iter_mut()
@@ -99,19 +111,26 @@ impl Backend {
                     handles.into_iter().flatten().collect()
                 } else {
                     workers.iter_mut().flat_map(|w| w.run_local_steps()).collect()
-                }
+                };
+                (steps, Vec::new())
             }
-            Backend::Pool(pool) => pool.run_steps(epoch, lr),
+            Backend::Pool(pool) => pool.run_steps_supervised(epoch, lr, respawn),
         }
     }
 
     /// The averaged flat gradient over virtual ranks. Monolithic on the
     /// caller's thread for inline backends; partitioned across the pool
-    /// otherwise — bitwise identical either way.
-    fn reduce(&self, ddp: &Arc<ElasticDdp>, grads: &Arc<Vec<Vec<f32>>>) -> Vec<f32> {
+    /// otherwise — bitwise identical either way, supervised like
+    /// [`Backend::run_steps`].
+    fn reduce(
+        &mut self,
+        ddp: &Arc<ElasticDdp>,
+        grads: &Arc<Vec<Vec<f32>>>,
+        respawn: &mut RespawnFn<'_>,
+    ) -> (Vec<f32>, Vec<PoolError>) {
         match self {
-            Backend::Inline { .. } => ddp.allreduce_avg(grads),
-            Backend::Pool(pool) => pool.reduce(ddp, grads),
+            Backend::Inline { .. } => (ddp.allreduce_avg(grads), Vec::new()),
+            Backend::Pool(pool) => pool.reduce_supervised(ddp, grads, respawn),
         }
     }
 
@@ -127,13 +146,14 @@ impl Backend {
         }
     }
 
-    /// Checkpoint-relevant state of every worker, in worker order.
-    fn snapshots(&self) -> Vec<WorkerSnapshot> {
+    /// Checkpoint-relevant state of every worker, in worker order —
+    /// supervised like [`Backend::run_steps`].
+    fn snapshots(&mut self, respawn: &mut RespawnFn<'_>) -> (Vec<WorkerSnapshot>, Vec<PoolError>) {
         match self {
             Backend::Inline { workers, .. } => {
-                workers.iter().map(WorkerSnapshot::capture).collect()
+                (workers.iter().map(WorkerSnapshot::capture).collect(), Vec::new())
             }
-            Backend::Pool(pool) => pool.snapshots(),
+            Backend::Pool(pool) => pool.snapshots_supervised(respawn),
         }
     }
 
@@ -150,6 +170,69 @@ impl Backend {
             }
         }
     }
+}
+
+/// One supervised pool recovery, as recorded by the engine: which worker
+/// faulted, during which phase of which step, and the *deterministic*
+/// virtual-time detection latency charged for it (the drain policy's whole
+/// backoff budget — a pure function of the policy, never a wall clock).
+/// Consumers ([`Engine::take_pool_recoveries`]) feed these into health
+/// tracking and detection-latency accounting; none of it ever touches the
+/// bitwise outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolRecovery {
+    /// Global step during which the fault surfaced.
+    pub step: u64,
+    /// Worker slot index that was replaced.
+    pub worker: usize,
+    /// Device id of the replaced `esw-dev<id>` thread.
+    pub device: u32,
+    /// Fault classification (`worker-dead` / `drain-timeout`).
+    pub kind: &'static str,
+    /// Panic payload harvested from a dead worker thread, if any.
+    pub panic_msg: Option<String>,
+    /// Deterministic detection latency in virtual microseconds: the drain
+    /// policy's total backoff budget ([`RetryPolicy::total_backoff_us`]).
+    pub virtual_latency_us: u64,
+    /// Which pool interaction detected the fault (`step` / `reduce` /
+    /// `checkpoint`).
+    pub phase: &'static str,
+}
+
+impl PoolRecovery {
+    fn record(step: u64, err: &PoolError, virtual_latency_us: u64, phase: &'static str) -> Self {
+        PoolRecovery {
+            step,
+            worker: err.worker(),
+            device: err.device(),
+            kind: err.kind(),
+            panic_msg: err.panic_msg().map(str::to_owned),
+            virtual_latency_us,
+            phase,
+        }
+    }
+}
+
+/// Build a bitwise-identical replacement for faulted worker slot `idx`:
+/// a fresh worker on the slot's placement seeded with the engine-held param
+/// mirror (proven bitwise-equal to every replica) and the slot's recovery
+/// snapshot (pre-interrupted-step EST contexts and loader cursors). This is
+/// the [`Engine::from_checkpoint`] restore recipe scoped to a single slot,
+/// which is why replaying the interrupted command lands on the fault-free
+/// bits.
+fn build_replacement(
+    config: &JobConfig,
+    placement: &Placement,
+    params: &[f32],
+    idx: usize,
+    snap: &WorkerSnapshot,
+) -> Box<EasyScaleWorker> {
+    let slot = &placement.slots[idx];
+    let mut w = EasyScaleWorker::new(config, slot);
+    w.load_flat_params(params);
+    w.restore_pool(&snap.loader);
+    w.set_contexts(snap.contexts.clone());
+    Box::new(w)
 }
 
 /// The EasyScale job engine.
@@ -177,6 +260,9 @@ pub struct Engine {
     comm_faults: FaultScript,
     /// Execution options, preserved across rescale.
     exec: ExecOptions,
+    /// Supervised pool recoveries not yet drained by
+    /// [`Engine::take_pool_recoveries`].
+    pool_recoveries: Vec<PoolRecovery>,
 }
 
 impl Engine {
@@ -212,6 +298,7 @@ impl Engine {
             comm_retry: RetryPolicy::default(),
             comm_faults: FaultScript::none(),
             exec,
+            pool_recoveries: Vec::new(),
         }
     }
 
@@ -268,6 +355,7 @@ impl Engine {
             comm_retry: RetryPolicy::default(),
             comm_faults: FaultScript::none(),
             exec,
+            pool_recoveries: Vec::new(),
         }
     }
 
@@ -362,11 +450,27 @@ impl Engine {
         let _step_span = obs::span("engine.global_step");
         let epoch = self.epoch();
         let lr = self.config.lr.lr(epoch);
+        let step = self.global_step;
+        let latency_us = self.exec.drain.total_backoff_us();
 
         // Local steps. Workers run in parallel (persistent pool threads by
         // default); each owns its model replica, pool, and contexts, so no
-        // synchronization is needed until merge.
-        let mut locals = self.backend.run_steps(epoch, lr);
+        // synchronization is needed until merge. Pool execution is
+        // supervised: a worker that dies or goes silent is replaced with a
+        // bitwise-identical rebuild from the param mirror and its last
+        // recovery snapshot, and the round is replayed — so `locals` is the
+        // same set of bits whether or not a fault happened.
+        let (mut locals, step_faults) = {
+            let config = &self.config;
+            let placement = &self.placement;
+            let params = &self.params;
+            let mut respawn = |err: &PoolError, snap: &WorkerSnapshot| {
+                build_replacement(config, placement, params, err.worker(), snap)
+            };
+            self.backend.run_steps(epoch, lr, &mut respawn)
+        };
+        self.pool_recoveries
+            .extend(step_faults.iter().map(|e| PoolRecovery::record(step, e, latency_us, "step")));
         // Deterministic merge: virtual-rank order, independent of thread
         // completion order.
         let merge_span = obs::span("merge");
@@ -380,13 +484,29 @@ impl Engine {
         // retry policy. A successful retried all-reduce is bitwise
         // identical to an unfaulted one (comm::retry), so transient faults
         // never reach the parameters. The reduction itself is partitioned
-        // across the worker pool (fixed bucket partition — same bits).
-        let backend = &self.backend;
-        let ddp = &self.ddp;
-        let (avg, _retry_stats) =
-            comm::retry_reduce(&self.comm_retry, &mut self.comm_faults, || {
-                backend.reduce(ddp, &grads)
-            })?;
+        // across the worker pool (fixed bucket partition — same bits) and
+        // supervised the same way as the step round.
+        let policy = self.comm_retry;
+        let mut reduce_faults: Vec<PoolError> = Vec::new();
+        let (avg, _retry_stats) = {
+            let config = &self.config;
+            let placement = &self.placement;
+            let params = &self.params;
+            let ddp = &self.ddp;
+            let backend = &mut self.backend;
+            let reduce_faults = &mut reduce_faults;
+            let mut respawn = |err: &PoolError, snap: &WorkerSnapshot| {
+                build_replacement(config, placement, params, err.worker(), snap)
+            };
+            comm::retry_reduce(&policy, &mut self.comm_faults, || {
+                let (avg, faults) = backend.reduce(ddp, &grads, &mut respawn);
+                reduce_faults.extend(faults);
+                avg
+            })?
+        };
+        self.pool_recoveries.extend(
+            reduce_faults.iter().map(|e| PoolRecovery::record(step, e, latency_us, "reduce")),
+        );
 
         // One optimizer update, applied identically to every replica (and
         // to the engine-side mirror — elementwise, so bitwise equal).
@@ -411,7 +531,6 @@ impl Engine {
         drop(merge_span);
         obs::counter_add("engine.steps_total", 1);
 
-        let step = self.global_step;
         self.global_step += 1;
         let mean_loss = losses.iter().sum::<f32>() / losses.len() as f32;
         let per_worker_load = self.worker_loads();
@@ -423,10 +542,25 @@ impl Engine {
         (0..n).map(|_| self.step()).collect()
     }
 
-    /// Take an on-demand checkpoint (paper Figure 6).
-    pub fn checkpoint(&self) -> JobCheckpoint {
+    /// Take an on-demand checkpoint (paper Figure 6). `&mut` since PR 9:
+    /// the snapshot gather is supervised, so a worker faulting mid-
+    /// checkpoint is replaced (mutating the pool) and re-asked instead of
+    /// panicking the engine.
+    pub fn checkpoint(&mut self) -> JobCheckpoint {
         let _ckpt_span = obs::span("engine.checkpoint");
-        let snaps = self.backend.snapshots();
+        let step = self.global_step;
+        let latency_us = self.exec.drain.total_backoff_us();
+        let (snaps, faults) = {
+            let config = &self.config;
+            let placement = &self.placement;
+            let params = &self.params;
+            let mut respawn = |err: &PoolError, snap: &WorkerSnapshot| {
+                build_replacement(config, placement, params, err.worker(), snap)
+            };
+            self.backend.snapshots(&mut respawn)
+        };
+        self.pool_recoveries
+            .extend(faults.iter().map(|e| PoolRecovery::record(step, e, latency_us, "checkpoint")));
         // EST contexts gathered from their current owners, in vrank order.
         let mut contexts: Vec<Option<EstContext>> = vec![None; self.config.n_ests as usize];
         for s in &snaps {
@@ -469,9 +603,30 @@ impl Engine {
 
     /// [`Engine::rescale`] with new execution options (e.g. fresh stable
     /// device ids for the surviving workers).
-    pub fn rescale_opts(self, new_placement: Placement, exec: ExecOptions) -> Engine {
+    pub fn rescale_opts(mut self, new_placement: Placement, exec: ExecOptions) -> Engine {
         let ckpt = self.checkpoint();
-        Engine::from_checkpoint_opts(self.config, new_placement, &ckpt, exec)
+        let mut next = Engine::from_checkpoint_opts(self.config, new_placement, &ckpt, exec);
+        // Recoveries observed but not yet drained survive the rescale.
+        next.pool_recoveries = std::mem::take(&mut self.pool_recoveries);
+        next
+    }
+
+    /// Arm a real [`ThreadFault`] on pool worker `worker % n` (faultsim
+    /// chaos), consumed at that worker's next step command. Returns the
+    /// armed slot index, or `None` for inline execution modes (no worker
+    /// threads exist to fault).
+    pub fn inject_thread_fault(&mut self, worker: usize, fault: ThreadFault) -> Option<usize> {
+        match &self.backend {
+            Backend::Pool(pool) => Some(pool.arm_fault(worker, fault)),
+            Backend::Inline { .. } => None,
+        }
+    }
+
+    /// Drain the supervised pool recoveries recorded since the last call
+    /// (in detection order). The harness feeds these into `sched::health`
+    /// and its detection-latency accounting.
+    pub fn take_pool_recoveries(&mut self) -> Vec<PoolRecovery> {
+        std::mem::take(&mut self.pool_recoveries)
     }
 
     /// Evaluate on `dataset` using virtual rank 0's implicit state. The
@@ -667,7 +822,7 @@ mod tests {
         // The tentpole invariant at engine level: pool (N persistent
         // threads), single-thread, and legacy scoped execution produce the
         // same bits — including across a mid-run rescale.
-        let exec = |mode| ExecOptions { mode, device_ids: vec![] };
+        let exec = |mode| ExecOptions { mode, ..ExecOptions::default() };
         let p = || Placement::one_est_per_gpu(4, GpuType::V100);
         let mut pool = Engine::new_opts(config(), p(), exec(ExecMode::Pool));
         let mut single = Engine::new_opts(config(), p(), exec(ExecMode::SingleThread));
@@ -706,7 +861,7 @@ mod tests {
         let inline = Engine::new_opts(
             config(),
             Placement::one_est_per_gpu(4, GpuType::V100),
-            ExecOptions { mode: ExecMode::SingleThread, device_ids: vec![] },
+            ExecOptions { mode: ExecMode::SingleThread, ..ExecOptions::default() },
         );
         assert_eq!(inline.pool_stats(), None);
     }

@@ -45,10 +45,12 @@ pub mod worker;
 
 pub use checkpoint::JobCheckpoint;
 pub use determinism::Determinism;
-pub use engine::{Engine, EvalResult, StepResult};
+pub use engine::{Engine, EvalResult, PoolRecovery, StepResult};
 pub use est::EstContext;
 pub use placement::{Placement, Slot};
-pub use pool::{ExecMode, ExecOptions, PoolStats, WorkerPool, WorkerSnapshot};
+pub use pool::{
+    ExecMode, ExecOptions, PoolError, PoolStats, ThreadFault, WorkerPool, WorkerSnapshot,
+};
 pub use store::CheckpointStore;
 pub use worker::EasyScaleWorker;
 

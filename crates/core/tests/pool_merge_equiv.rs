@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use comm::{ring_allreduce_scalar, ElasticDdp, RingSpec};
+use comm::{ring_allreduce_scalar, ElasticDdp, RetryPolicy, RingSpec};
 use device::GpuType;
 use easyscale::{EasyScaleWorker, JobConfig, Placement, WorkerPool};
 use models::Workload;
@@ -43,7 +43,7 @@ fn pool_reduce_matches_scalar_oracle_bitwise() {
         let workers: Vec<EasyScaleWorker> =
             placement.slots.iter().map(|s| EasyScaleWorker::new(&cfg, s)).collect();
         let sizes = workers[0].model().param_sizes();
-        let mut pool = WorkerPool::spawn(workers, &[]);
+        let mut pool = WorkerPool::spawn(workers, &[], RetryPolicy::default());
 
         let mut locals = pool.run_steps(0, 0.05);
         locals.sort_by_key(|l| l.vrank);

@@ -115,7 +115,13 @@ impl ConcurConfig {
         engine_roots.push(("WorkerPool".to_string(), "drop".to_string()));
         ConcurConfig {
             audited_channel_files: strs(&["comm/src/exchange.rs", "core/src/pool.rs"]),
-            drain_fns: strs(&["drain_sorted", "worker_main", "recv_ordered"]),
+            drain_fns: strs(&[
+                "drain_sorted",
+                "drain_deadline",
+                "worker_main",
+                "recv_ordered",
+                "recv_ordered_deadline",
+            ]),
             thread_entry_fns: strs(&["worker_main"]),
             engine_roots,
         }
@@ -363,8 +369,11 @@ fn scan_events(
             "crossbeam" if !audited && next1 == "::" && next2 == "channel" => {
                 push(EventKind::RawChannel { what: "crossbeam::channel".to_string() });
             }
-            "recv" | "try_recv" if prev1 == "." && next1 == "(" => {
-                push(EventKind::Recv { indexed: prev2 == "]", blocking: t.text == "recv" });
+            "recv" | "try_recv" | "recv_timeout" if prev1 == "." && next1 == "(" => {
+                // `recv_timeout` still blocks (up to the deadline window):
+                // a supervised drain waiting on a wedged worker is a real
+                // cycle unless the declared drain fn owns the wait.
+                push(EventKind::Recv { indexed: prev2 == "]", blocking: t.text != "try_recv" });
             }
             "join" if prev1 == "." && next1 == "(" && next2 == ")" => push(EventKind::Join),
             "park" if next1 == "(" => push(EventKind::Park),
@@ -950,6 +959,34 @@ mod tests {
             "core",
             "lib.rs",
             "fn drain_sorted(rx: R) -> Vec<u32> { let mut o = vec![rx.recv()]; o.sort(); o }\n",
+        )]);
+        assert!(kinds(&good).is_empty(), "{:?}", good.findings);
+    }
+
+    #[test]
+    fn recv_timeout_is_a_blocking_receive_to_the_scanner() {
+        // A deadline recv outside any declared drain leaks arrival order
+        // exactly like a blocking recv.
+        let bad = run(&[file(
+            "comm",
+            "lib.rs",
+            "fn waity(rx: R) { let v = rx.recv_timeout(window); }\n",
+        )]);
+        assert_eq!(kinds(&bad), vec!["order-leak"]);
+        // And it still registers as a *blocking* wait, unlike try_recv
+        // (drain internals are elided from the inventory, so check here).
+        assert!(
+            bad.blocking.iter().any(|o| o.func.contains("waity") && o.op == "recv"),
+            "recv_timeout must count as a blocking wait: {:?}",
+            bad.blocking
+        );
+        // Inside the declared deadline drain with inline sort evidence:
+        // exempt, and the barrier verifies.
+        let good = run(&[file(
+            "comm",
+            "lib.rs",
+            "fn drain_deadline(rx: R) -> V { let mut o = vec![rx.recv_timeout(w)]; \
+             o.sort_by_key(|x| *x); o }\n",
         )]);
         assert!(kinds(&good).is_empty(), "{:?}", good.findings);
     }

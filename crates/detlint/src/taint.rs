@@ -71,7 +71,13 @@ impl TaintConfig {
         };
         TaintConfig {
             barrier_crates: strs(&["obs", "esrng"]),
-            barrier_fns: strs(&["drain_sorted", "worker_main", "recv_ordered"]),
+            barrier_fns: strs(&[
+                "drain_sorted",
+                "drain_deadline",
+                "worker_main",
+                "recv_ordered",
+                "recv_ordered_deadline",
+            ]),
             sinks: vec![
                 sink("optim", "step", "param-update"),
                 sink("models", "apply_flat_delta", "param-update"),

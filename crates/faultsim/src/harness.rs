@@ -21,6 +21,10 @@
 //! | creeping straggler / | supervisor ([`sched::Supervisor`]) must discover |
 //! | heartbeat drop       | them from heartbeat leases and straggler scores, |
 //! |                      | then evict / roll back / readmit on its own      |
+//! | **thread** panic /   | the supervised pool drains (`core::pool`): a     |
+//! | stall / reply drop   | deadline drain reaps the faulted OS thread,      |
+//! |                      | respawns it from the engine's param mirror, and  |
+//! |                      | replays the interrupted round in-place           |
 //!
 //! Unlike the announced faults, the silent kinds close the paper's §4
 //! detection loop: each physical device gets a *stable id* (it survives
@@ -32,6 +36,16 @@
 //! health policy and the schedule itself) and records whether detection
 //! met it.
 //!
+//! The thread faults are *real* faults on real OS threads, so their
+//! wall-clock detection instant is not simulated. To keep the report a pure
+//! function of `(config, schedule)`, the harness feeds a *dedicated*
+//! thread-health [`sched::HealthTracker`] a synthetic virtual-time cascade
+//! per recovery (injection instant + the drain policy's worst-case
+//! deadline, then one missed lease per detection round) and asserts the
+//! latency bound on that timeline. The deterministic outputs — final
+//! params, the MAIN supervisor's health log, simulated time — never see a
+//! thread fault at all: that is the tentpole invariant.
+//!
 //! Time is simulated ([`device::SimClock`]): the harness never reads a wall
 //! clock, so a chaos run is a pure function of `(config, schedule)` — the
 //! health-event log included, byte for byte.
@@ -39,12 +53,14 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
-use comm::{Heartbeat, HeartbeatBus};
+use comm::{Heartbeat, HeartbeatBus, RetryPolicy};
 use device::{GpuType, PerfModel, SimClock, DILATION_ONE};
-use easyscale::{CheckpointStore, Engine, ExecMode, ExecOptions, JobConfig, Placement};
+use easyscale::{
+    CheckpointStore, Engine, ExecMode, ExecOptions, JobConfig, Placement, ThreadFault,
+};
 use models::Workload;
 use sched::{
-    Companion, FreePool, HealthEvent, HealthPolicy, HealthState, InterJobScheduler,
+    Companion, FreePool, HealthEvent, HealthPolicy, HealthState, HealthTracker, InterJobScheduler,
     IntraJobScheduler, Supervisor, SupervisorAction,
 };
 use serde::Serialize;
@@ -88,6 +104,11 @@ pub struct HarnessConfig {
     /// production shape) by default; the `nthread_eq_single` equivalence
     /// tests sweep this against `SingleThread`.
     pub exec_mode: ExecMode,
+    /// Deadline policy for the pool's supervised drains (real wall-clock
+    /// windows, since thread faults are real). Sized far past a worker's
+    /// actual step latency so fault-free rounds never time out, yet small
+    /// enough that injected-thread-fault tests stay quick.
+    pub drain: RetryPolicy,
 }
 
 impl HarnessConfig {
@@ -109,6 +130,9 @@ impl HarnessConfig {
             health: HealthPolicy::with_lease(lease_us),
             start_order: (0..2).collect(),
             exec_mode: ExecMode::Pool,
+            // 6 windows of 10ms..320ms = 630ms worst case per reap: ~100×
+            // a NeuMF step round, ~0.6s per injected thread fault.
+            drain: RetryPolicy { max_attempts: 6, base_backoff_us: 10_000, backoff_multiplier: 2 },
         }
     }
 
@@ -205,6 +229,20 @@ pub struct RunReport {
     pub evictions: u32,
     /// Devices the supervisor readmitted after probation.
     pub readmissions: u32,
+    /// Pool worker threads respawned by the supervised drains (every real
+    /// thread fault costs exactly one; spurious deadline hits can add
+    /// more — both are bitwise-invisible).
+    pub pool_respawns: u64,
+    /// Respawns whose old thread was quarantined alive (stall / reply
+    /// drop) rather than joined dead (panic).
+    pub pool_quarantines: u64,
+    /// Detection outcome of every armed pool-thread fault, on the
+    /// dedicated thread-health tracker's virtual timeline.
+    pub thread_detections: Vec<DetectionRecord>,
+    /// The dedicated thread-health tracker's event log (synthetic
+    /// virtual-time cascade; the MAIN `health_events` log never contains a
+    /// thread fault).
+    pub thread_health_events: Vec<HealthEvent>,
 }
 
 impl RunReport {
@@ -219,11 +257,32 @@ impl RunReport {
     pub fn all_detected_within_bound(&self) -> bool {
         self.detections.iter().all(|d| d.superseded || d.within_bound)
     }
+
+    /// Whether every non-superseded pool-thread fault was detected within
+    /// its latency bound (on the dedicated tracker's virtual timeline).
+    pub fn all_thread_faults_detected_within_bound(&self) -> bool {
+        self.thread_detections.iter().all(|d| d.superseded || d.within_bound)
+    }
 }
 
 /// A silent fault awaiting attribution to a health transition.
 #[derive(Debug, Clone)]
 struct PendingDetection {
+    device: u32,
+    kind: &'static str,
+    injected_at_us: u64,
+    bound_us: u64,
+    detected_at_us: Option<u64>,
+    superseded: bool,
+}
+
+/// An armed pool-thread fault awaiting its recovery record from the
+/// engine's supervised drains.
+#[derive(Debug, Clone)]
+struct PendingThread {
+    /// Pool slot index the fault was armed on.
+    worker: u32,
+    /// Stable device id whose thread carries the fault (reporting only).
     device: u32,
     kind: &'static str,
     injected_at_us: u64,
@@ -269,6 +328,12 @@ pub struct FaultHarness {
     creeping: BTreeMap<u32, (u64, u64)>,
     /// Armed silent faults awaiting detection.
     pending: Vec<PendingDetection>,
+    /// Dedicated tracker for pool-thread faults, fed a synthetic
+    /// virtual-time cascade per recovery. Never mixed into `supervisor`:
+    /// the MAIN health log must stay byte-identical to the fault-free run.
+    thread_health: HealthTracker,
+    /// Armed pool-thread faults awaiting their recovery records.
+    pending_threads: Vec<PendingThread>,
     report: RunReport,
 }
 
@@ -283,7 +348,11 @@ impl FaultHarness {
         let engine = Engine::new_opts(
             cfg.job.clone(),
             Self::placement(&cfg.job, cfg.gpu, cfg.initial_gpus),
-            ExecOptions { mode: cfg.exec_mode, device_ids: (0..cfg.initial_gpus).collect() },
+            ExecOptions {
+                mode: cfg.exec_mode,
+                device_ids: (0..cfg.initial_gpus).collect(),
+                drain: cfg.drain,
+            },
         );
         // The companion's maxP is the job's nEST: placements must cover
         // exactly the engine's virtual ranks.
@@ -309,7 +378,12 @@ impl FaultHarness {
             detections: Vec::new(),
             evictions: 0,
             readmissions: 0,
+            pool_respawns: 0,
+            pool_quarantines: 0,
+            thread_detections: Vec::new(),
+            thread_health_events: Vec::new(),
         };
+        let thread_health = HealthTracker::new(cfg.health);
         let mut supervisor = Supervisor::new(cfg.health);
         let active: BTreeSet<u32> = (0..cfg.initial_gpus).collect();
         let free_ids: BTreeSet<u32> = (cfg.initial_gpus..cfg.cluster_gpus).collect();
@@ -350,6 +424,8 @@ impl FaultHarness {
             hb_drop: BTreeMap::new(),
             creeping: BTreeMap::new(),
             pending: Vec::new(),
+            thread_health,
+            pending_threads: Vec::new(),
             report,
         }
     }
@@ -386,7 +462,11 @@ impl FaultHarness {
     /// with the currently-active stable device ids naming the pool threads
     /// (slot order). Purely diagnostic — ids never feed the math.
     fn exec_options(&self) -> ExecOptions {
-        ExecOptions { mode: self.cfg.exec_mode, device_ids: self.active.iter().copied().collect() }
+        ExecOptions {
+            mode: self.cfg.exec_mode,
+            device_ids: self.active.iter().copied().collect(),
+            drain: self.cfg.drain,
+        }
     }
 
     /// Map a schedule's worker index onto a live device id (n-th active,
@@ -416,6 +496,10 @@ impl FaultHarness {
     /// allocation. Replayed steps are counted; bitwise D1 restore makes the
     /// replay converge to exactly the lost bits.
     fn crash_and_recover(&mut self, why: &str) -> String {
+        // Recoveries already taken by the dying engine's drains still
+        // resolve; armed-but-unconsumed thread faults die with the pool.
+        self.absorb_pool_recoveries();
+        self.supersede_pending_threads();
         let step_at_death = self.engine.as_ref().map(|e| e.global_step()).unwrap_or(0);
         self.engine = None; // the process is dead; all in-memory state is gone
         self.report.crashes += 1;
@@ -449,6 +533,10 @@ impl FaultHarness {
     /// Rescale the live engine onto the scheduler's current allocation
     /// (checkpoint + restore under the hood — Figure 5's path).
     fn rescale_to_current(&mut self) {
+        // The rescale rebuilds every pool thread: resolve what the old pool
+        // already caught, supersede what it never got to consume.
+        self.absorb_pool_recoveries();
+        self.supersede_pending_threads();
         let gpus = self.current_gpus();
         let placement = Self::placement(&self.cfg.job, self.cfg.gpu, gpus);
         let engine = self.engine.take().expect("live engine");
@@ -536,6 +624,126 @@ impl FaultHarness {
             _ => p.quarantine_misses.saturating_mul(p.lease_us).saturating_add(worst * 4),
         };
         own.saturating_add(interference)
+    }
+
+    // ---- pool-thread fault bookkeeping --------------------------------
+
+    /// Arm a real fault on a pool worker thread and record the detection
+    /// expectation. Single-thread engines have no pool threads: the event
+    /// is a logged no-op, which keeps thread-fault schedules runnable (and
+    /// byte-comparable) in every exec mode.
+    fn inject_thread(&mut self, worker: u32, fault: ThreadFault, kind: &'static str) -> String {
+        let armed = match self.engine.as_mut() {
+            Some(e) => e.inject_thread_fault(worker as usize, fault),
+            None => None,
+        };
+        match armed {
+            Some(idx) => {
+                let idx = idx as u32;
+                let device = self.nth_active(idx);
+                // A second fault on the same slot changes its failure mode
+                // before the first was attributed: supersede the older arm.
+                for p in &mut self.pending_threads {
+                    if p.worker == idx && p.detected_at_us.is_none() {
+                        p.superseded = true;
+                    }
+                }
+                let bound_us = self.thread_bound_us();
+                self.pending_threads.push(PendingThread {
+                    worker: idx,
+                    device,
+                    kind,
+                    injected_at_us: self.clock.now_us(),
+                    bound_us,
+                    detected_at_us: None,
+                    superseded: false,
+                });
+                format!("pool thread esw-dev{device} armed with a real {kind}")
+            }
+            None => format!("single-thread engine: no pool thread to fault; {kind} is a no-op"),
+        }
+    }
+
+    /// The detection-latency bound for a pool-thread fault injected *now*,
+    /// on the dedicated tracker's virtual timeline: the supervised drain's
+    /// full deadline (worst case before the pool reaps the thread), plus
+    /// the lease periods the health policy needs to quarantine, plus one
+    /// lease of slack. Computed from policy alone — never from what the
+    /// drains actually did — so it is a legitimate test oracle.
+    fn thread_bound_us(&self) -> u64 {
+        let p = &self.cfg.health;
+        self.cfg
+            .drain
+            .total_backoff_us()
+            .saturating_add((p.quarantine_misses + 1).saturating_mul(p.lease_us + 1))
+    }
+
+    /// Supersede every unresolved pool-thread expectation (the pool is
+    /// being torn down — crash or rescale — so an armed fault may never be
+    /// consumed and a detection can no longer be attributed).
+    fn supersede_pending_threads(&mut self) {
+        for p in &mut self.pending_threads {
+            if p.detected_at_us.is_none() {
+                p.superseded = true;
+            }
+        }
+    }
+
+    /// Fold the engine's pool-recovery records (real thread faults its
+    /// supervised drains caught) into the report, and resolve pending
+    /// expectations through the dedicated thread-health tracker.
+    ///
+    /// The tracker is fed a *synthetic, fully deterministic* cascade: the
+    /// faulted device registers at `injected_at + drain.total_backoff_us()`
+    /// (the drain's worst-case reap instant, from policy, not from the
+    /// wall clock) and then misses one lease per detection round until the
+    /// policy quarantines it. Real time never enters, so the thread-health
+    /// log is byte-identical across runs and machines; real detections can
+    /// only be *earlier* than this model, never later.
+    fn absorb_pool_recoveries(&mut self) {
+        let recoveries = match self.engine.as_mut() {
+            Some(e) => e.take_pool_recoveries(),
+            None => return,
+        };
+        for rec in recoveries {
+            self.report.pool_respawns += 1;
+            if rec.kind == "drain-timeout" {
+                self.report.pool_quarantines += 1;
+            }
+            // Only live expectations attract recoveries: a superseded arm
+            // was overwritten in the worker's single armed-fault slot (or
+            // its pool was torn down), so it never fires.
+            let Some(p) = self.pending_threads.iter_mut().find(|p| {
+                p.worker == rec.worker as u32 && p.detected_at_us.is_none() && !p.superseded
+            }) else {
+                // Spurious deadline hit (no armed fault): counters only —
+                // the replacement replayed from the mirror, so nothing
+                // deterministic moved.
+                continue;
+            };
+            let policy = self.thread_health.policy();
+            let lease_round = policy.lease_us + 1;
+            let quarantine_misses = policy.quarantine_misses;
+            let base = p.injected_at_us.saturating_add(rec.virtual_latency_us);
+            self.thread_health.register(p.device, base);
+            let mut detected = None;
+            for r in 1..=quarantine_misses {
+                let now = base.saturating_add(r.saturating_mul(lease_round));
+                for ev in self.thread_health.end_of_round(now) {
+                    if ev.device == p.device && ev.to == HealthState::Quarantined {
+                        detected = Some(ev.at_us);
+                    }
+                }
+            }
+            self.thread_health.deregister(p.device);
+            p.detected_at_us = detected;
+            if let Some(d) = detected {
+                obs::observe(
+                    "health.thread_detection_latency_us",
+                    d.saturating_sub(p.injected_at_us) as f64,
+                );
+            }
+        }
     }
 
     /// Whether a heartbeat drop of `beats` is guaranteed to lapse a lease
@@ -790,7 +998,7 @@ impl FaultHarness {
             FaultKind::TornCheckpoint { keep_frac_milli } => {
                 // The checkpoint write is interrupted partway and the
                 // process dies with it: the newest file on disk is torn.
-                let engine = self.engine.as_ref().expect("live engine");
+                let engine = self.engine.as_mut().expect("live engine");
                 self.store.save_torn(&engine.checkpoint(), keep_frac_milli).expect("store io");
                 self.crash_and_recover("torn checkpoint write")
             }
@@ -835,6 +1043,15 @@ impl FaultHarness {
                     format!("device {dev} is already creeping; no-op")
                 }
             }
+            FaultKind::ThreadPanic { worker } => {
+                self.inject_thread(worker, ThreadFault::Panic, "thread_panic")
+            }
+            FaultKind::ThreadStall { worker } => {
+                self.inject_thread(worker, ThreadFault::Stall, "thread_stall")
+            }
+            FaultKind::ReplyDrop { worker } => {
+                self.inject_thread(worker, ThreadFault::ReplyDrop, "reply_drop")
+            }
             FaultKind::HeartbeatDrop { worker, beats } => {
                 let dev = self.nth_active(worker);
                 if self.silent_crashed.contains(&dev) {
@@ -867,7 +1084,7 @@ impl FaultHarness {
         // Step-0 durable checkpoint: even a crash on the very first step
         // has something to recover from.
         self.store
-            .save(&self.engine.as_ref().expect("live engine").checkpoint())
+            .save(&self.engine.as_mut().expect("live engine").checkpoint())
             .expect("store io");
 
         loop {
@@ -896,6 +1113,10 @@ impl FaultHarness {
             let comm_pending = engine.pending_comm_faults();
             match engine.try_step() {
                 Ok(result) => {
+                    // Real thread faults the step's supervised drains caught
+                    // (and recovered, bitwise-invisibly): fold them into the
+                    // dedicated thread-health timeline.
+                    self.absorb_pool_recoveries();
                     // Armed comm faults below the retry budget were absorbed
                     // in-step; account their backoff in simulated time.
                     if comm_pending > 0 {
@@ -940,7 +1161,7 @@ impl FaultHarness {
                         }
                     }
                     if done.is_multiple_of(self.cfg.checkpoint_every) {
-                        let ckpt = self.engine.as_ref().expect("live engine").checkpoint();
+                        let ckpt = self.engine.as_mut().expect("live engine").checkpoint();
                         self.store.save(&ckpt).expect("store io");
                     }
                     self.health_round();
@@ -955,11 +1176,28 @@ impl FaultHarness {
             }
         }
 
+        // Recoveries from the final round's checkpoint drain, if any.
+        self.absorb_pool_recoveries();
         let engine = self.engine.take().expect("live engine");
         self.report.final_gpus = self.current_gpus();
         self.report.sim_elapsed_us = self.clock.now_us();
         self.report.final_params = engine.flat_params();
         self.report.health_events = self.supervisor.events().to_vec();
+        self.report.thread_health_events = self.thread_health.events().to_vec();
+        self.report.thread_detections = self
+            .pending_threads
+            .iter()
+            .map(|p| DetectionRecord {
+                device: p.device,
+                kind: p.kind.to_string(),
+                injected_at_us: p.injected_at_us,
+                bound_us: p.bound_us,
+                detected_at_us: p.detected_at_us,
+                latency_us: p.detected_at_us.map(|d| d - p.injected_at_us),
+                within_bound: p.detected_at_us.is_some_and(|d| d - p.injected_at_us <= p.bound_us),
+                superseded: p.superseded,
+            })
+            .collect();
         self.report.detections = self
             .pending
             .iter()
@@ -986,7 +1224,11 @@ pub fn run_fault_free(cfg: &HarnessConfig) -> Vec<f32> {
     let mut engine = Engine::new_opts(
         cfg.job.clone(),
         Placement::homogeneous(cfg.job.n_ests, cfg.initial_gpus.min(cfg.job.n_ests), cfg.gpu),
-        ExecOptions { mode: cfg.exec_mode, device_ids: (0..cfg.initial_gpus).collect() },
+        ExecOptions {
+            mode: cfg.exec_mode,
+            device_ids: (0..cfg.initial_gpus).collect(),
+            drain: cfg.drain,
+        },
     );
     engine.run(cfg.total_steps);
     engine.flat_params()

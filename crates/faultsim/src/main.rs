@@ -131,6 +131,29 @@ fn run_detect_matrix(out: Option<&str>) -> ! {
     std::process::exit(if report.passed() { 0 } else { 1 })
 }
 
+/// Load and validate a `--schedule` JSON artifact. Any problem — missing
+/// file, unknown fault kind, out-of-range field — is a clear one-line error
+/// and exit 2, never a panic: a malformed CI artifact should read as "your
+/// input is bad", not as a faultsim crash.
+fn load_schedule(path: &str) -> FaultSchedule {
+    let fail = |msg: String| -> ! {
+        eprintln!("faultsim: invalid schedule {path}: {msg}");
+        std::process::exit(2)
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(format!("cannot read: {e}")),
+    };
+    let schedule = match FaultSchedule::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => fail(format!("cannot parse: {e}")),
+    };
+    if let Err(e) = schedule.validate() {
+        fail(e);
+    }
+    schedule
+}
+
 fn main() {
     let mut seed: u64 = 4242;
     let mut steps: u64 = 10;
@@ -176,12 +199,7 @@ fn main() {
     }
 
     let schedule = match &schedule_path {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read schedule {path}: {e}"));
-            FaultSchedule::from_json(&text)
-                .unwrap_or_else(|e| panic!("cannot parse schedule {path}: {e:?}"))
-        }
+        Some(path) => load_schedule(path),
         None => FaultSchedule::generate(seed, steps, events),
     };
     if let Some(path) = &emit_path {

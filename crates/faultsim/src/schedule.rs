@@ -95,6 +95,29 @@ pub enum FaultKind {
         /// Consecutive heartbeats swallowed.
         beats: u32,
     },
+    /// A **real** pool-thread fault: the worker's OS thread panics at its
+    /// next step command. The supervised drain must reap it (harvesting the
+    /// panic payload), respawn a replacement from the engine's param
+    /// mirror, and replay the interrupted round — bitwise-invisibly.
+    ThreadPanic {
+        /// Index of the faulted pool worker (modulo the live count).
+        worker: u32,
+    },
+    /// A **real** pool-thread fault: the worker's OS thread parks forever
+    /// at its next step command (a wedged thread, not a dead one). Only the
+    /// drain deadline can tell; the thread is quarantined, not joined.
+    ThreadStall {
+        /// Index of the faulted pool worker (modulo the live count).
+        worker: u32,
+    },
+    /// A **real** pool-thread fault: the worker computes its next step but
+    /// drops the reply publish — then keeps running. The byzantine-lite
+    /// case: alive, responsive later, yet the round cannot complete without
+    /// the supervisor replacing it.
+    ReplyDrop {
+        /// Index of the faulted pool worker (modulo the live count).
+        worker: u32,
+    },
 }
 
 impl FaultKind {
@@ -112,6 +135,9 @@ impl FaultKind {
             FaultKind::SilentCrash { .. } => "silent_crash",
             FaultKind::CreepingStraggler { .. } => "creeping_straggler",
             FaultKind::HeartbeatDrop { .. } => "heartbeat_drop",
+            FaultKind::ThreadPanic { .. } => "thread_panic",
+            FaultKind::ThreadStall { .. } => "thread_stall",
+            FaultKind::ReplyDrop { .. } => "reply_drop",
         }
     }
 
@@ -125,6 +151,42 @@ impl FaultKind {
                 | FaultKind::CreepingStraggler { .. }
                 | FaultKind::HeartbeatDrop { .. }
         )
+    }
+
+    /// Whether this fault targets a real pool worker *thread* (detected by
+    /// the supervised drain deadline, not by heartbeats).
+    pub fn is_thread_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::ThreadPanic { .. }
+                | FaultKind::ThreadStall { .. }
+                | FaultKind::ReplyDrop { .. }
+        )
+    }
+
+    /// Structural validity of the event's fields, beyond what serde can
+    /// check: `Err` carries a human-readable description of the first
+    /// out-of-range field.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            FaultKind::Straggler { factor_milli: 0, .. } => {
+                Err("straggler factor_milli must be >= 1".into())
+            }
+            FaultKind::Straggler { steps: 0, .. } => Err("straggler steps must be >= 1".into()),
+            FaultKind::Preemption { gpus: 0 }
+            | FaultKind::ScaleOut { gpus: 0 }
+            | FaultKind::ScaleIn { gpus: 0 } => Err(format!("{} gpus must be >= 1", self.name())),
+            FaultKind::CommFailure { failures: 0 } => {
+                Err("comm_failure failures must be >= 1".into())
+            }
+            FaultKind::TornCheckpoint { keep_frac_milli } if keep_frac_milli > 999 => Err(format!(
+                "torn_checkpoint keep_frac_milli must be 0..=999, got {keep_frac_milli}"
+            )),
+            FaultKind::CreepingStraggler { start_milli: 0, .. } => {
+                Err("creeping_straggler start_milli must be >= 1".into())
+            }
+            _ => Ok(()),
+        }
     }
 }
 
@@ -238,6 +300,41 @@ impl FaultSchedule {
         FaultSchedule { seed, events }
     }
 
+    /// Generate `n_events` *thread* faults over `total_steps` steps from a
+    /// seed — the thread-fault chaos matrix's schedule source. Same purity
+    /// contract as [`FaultSchedule::generate`], drawn from a decorrelated
+    /// stream (fixed seed salt) so adding this generator cannot perturb
+    /// existing seeded schedules. Faults land from step 1 to the
+    /// second-to-last step, so every armed fault is consumed by a real step
+    /// round before the run ends.
+    pub fn generate_thread_faults(seed: u64, total_steps: u64, n_events: usize) -> Self {
+        assert!(total_steps >= 3, "need room for a consumed thread fault");
+        let mut rng = EsRng::for_stream(seed ^ 0x7412_FA11, StreamKey::global(StreamKind::User));
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let step = 1 + rng.next_below((total_steps - 2) as u32) as u64;
+            let worker = rng.next_below(8);
+            let kind = match rng.next_below(3) {
+                0 => FaultKind::ThreadPanic { worker },
+                1 => FaultKind::ThreadStall { worker },
+                _ => FaultKind::ReplyDrop { worker },
+            };
+            events.push(FaultEvent { step, kind });
+        }
+        events.sort_by_key(|e| e.step);
+        FaultSchedule { seed, events }
+    }
+
+    /// Validate every event in the schedule; `Err` names the first invalid
+    /// event by position. Loading paths (the CLI's `--schedule`) call this
+    /// so a malformed artifact fails with a message, not a panic.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, ev) in self.events.iter().enumerate() {
+            ev.kind.validate().map_err(|e| format!("event {i} (step {}): {e}", ev.step))?;
+        }
+        Ok(())
+    }
+
     /// Serialize to pretty JSON (the CI artifact format).
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("schedule serializes")
@@ -349,6 +446,60 @@ mod tests {
                     assert!((12..=16).contains(&beats), "drops must be long enough: {beats}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn thread_fault_json_roundtrip_preserves_every_variant() {
+        let s = FaultSchedule::from_events(vec![
+            FaultEvent { step: 1, kind: FaultKind::ThreadPanic { worker: 0 } },
+            FaultEvent { step: 2, kind: FaultKind::ThreadStall { worker: 1 } },
+            FaultEvent { step: 3, kind: FaultKind::ReplyDrop { worker: 2 } },
+        ]);
+        let back = FaultSchedule::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(
+            back.kinds().into_iter().collect::<Vec<_>>(),
+            vec!["reply_drop", "thread_panic", "thread_stall"]
+        );
+        assert!(back.events.iter().all(|e| e.kind.is_thread_fault()));
+        assert!(back.events.iter().all(|e| !e.kind.is_silent()));
+    }
+
+    #[test]
+    fn thread_fault_generation_is_a_pure_function_of_the_seed() {
+        let a = FaultSchedule::generate_thread_faults(11, 10, 4);
+        assert_eq!(a, FaultSchedule::generate_thread_faults(11, 10, 4));
+        assert_ne!(a, FaultSchedule::generate_thread_faults(12, 10, 4));
+        // Decorrelated from the legacy generators under the same seed.
+        assert_ne!(a.events, FaultSchedule::generate(11, 10, 4).events);
+        assert!(a.events.iter().all(|e| e.kind.is_thread_fault()));
+        // Consumable: armed before the last step round.
+        assert!(a.events.iter().all(|e| e.step >= 1 && e.step <= 8));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_fields() {
+        let bad = [
+            FaultKind::Straggler { worker: 0, factor_milli: 0, steps: 2 },
+            FaultKind::Straggler { worker: 0, factor_milli: 2000, steps: 0 },
+            FaultKind::Preemption { gpus: 0 },
+            FaultKind::ScaleOut { gpus: 0 },
+            FaultKind::ScaleIn { gpus: 0 },
+            FaultKind::CommFailure { failures: 0 },
+            FaultKind::TornCheckpoint { keep_frac_milli: 1000 },
+            FaultKind::CreepingStraggler { worker: 0, start_milli: 0, ramp_milli: 100 },
+        ];
+        for kind in bad {
+            let s = FaultSchedule::from_events(vec![FaultEvent { step: 1, kind }]);
+            let err = s.validate().unwrap_err();
+            assert!(err.starts_with("event 0 (step 1):"), "error names the event: {err}");
+        }
+        // Generated schedules always validate.
+        for seed in 0..8 {
+            FaultSchedule::generate(seed, 10, 6).validate().unwrap();
+            FaultSchedule::generate_silent(seed, 14, 3).validate().unwrap();
+            FaultSchedule::generate_thread_faults(seed, 10, 4).validate().unwrap();
         }
     }
 

@@ -1,0 +1,188 @@
+//! PR 9's tentpole, end to end: **real OS-thread faults inside the worker
+//! pool are bitwise-invisible.** A pool thread that panics, stalls forever,
+//! or silently drops its reply is reaped by the supervised drain deadline,
+//! respawned from the engine's param mirror, and its round replayed — so a
+//! pool run under any thread-fault schedule is byte-identical to the
+//! single-thread run (where thread faults are structural no-ops): final
+//! params, the MAIN supervisor health log, and simulated time all match.
+//!
+//! On top of byte-identity, every consumed fault must be *detected within
+//! its computed latency bound* on the dedicated thread-health tracker's
+//! virtual timeline (`RunReport::thread_detections`), and each one costs at
+//! least one recorded respawn.
+
+use std::path::PathBuf;
+
+use device::GpuType;
+use easyscale::{Determinism, ExecMode, JobConfig};
+use faultsim::{FaultEvent, FaultHarness, FaultKind, FaultSchedule, HarnessConfig, RunReport};
+use models::Workload;
+use sched::HealthPolicy;
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("easyscale-threadfault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An 8-EST job on a `gpus`-GPU cluster: worker counts from 2 to 8 are all
+/// legal placements, so the matrix can exercise every pool width.
+fn wide_cfg(gpus: u32) -> impl Fn(PathBuf) -> HarnessConfig {
+    move |store_dir| {
+        let job = JobConfig::new(Workload::NeuMF, 4242, 8)
+            .with_dataset_len(64)
+            .with_determinism(Determinism::d1_d2());
+        let lease_us = 2 * HarnessConfig::worst_step_us(&job, GpuType::V100);
+        let mut cfg = HarnessConfig::default_chaos(store_dir);
+        cfg.job = job;
+        cfg.total_steps = 5;
+        cfg.initial_gpus = gpus;
+        cfg.cluster_gpus = 8;
+        cfg.health = HealthPolicy::with_lease(lease_us);
+        cfg.start_order = (0..gpus).collect();
+        cfg
+    }
+}
+
+/// Run `schedule` on the pool and single-threaded, assert the deterministic
+/// outputs are byte-identical, then assert the pool run's thread-fault
+/// detection story: every armed fault tracked, every non-superseded one
+/// detected within its bound, every detection backed by a respawn.
+fn assert_thread_faults_invisible(
+    tag: &str,
+    make_cfg: impl Fn(PathBuf) -> HarnessConfig,
+    schedule: FaultSchedule,
+) {
+    let dir_pool = store_dir(&format!("{tag}-pool"));
+    let dir_single = store_dir(&format!("{tag}-single"));
+    let mut cfg_pool = make_cfg(dir_pool.clone());
+    cfg_pool.exec_mode = ExecMode::Pool;
+    let mut cfg_single = make_cfg(dir_single.clone());
+    cfg_single.exec_mode = ExecMode::SingleThread;
+
+    let pool = FaultHarness::new(cfg_pool, schedule.clone()).run();
+    let single = FaultHarness::new(cfg_single, schedule.clone()).run();
+    let _ = std::fs::remove_dir_all(&dir_pool);
+    let _ = std::fs::remove_dir_all(&dir_single);
+
+    // ---- byte-identity: the fault never happened, as far as bits go ----
+    assert_eq!(
+        pool.params_bits(),
+        single.params_bits(),
+        "[{tag}] thread faults must be bitwise-invisible (seed {}, kinds {:?})",
+        schedule.seed,
+        schedule.kinds()
+    );
+    assert_eq!(
+        format!("{:?}", pool.health_events),
+        format!("{:?}", single.health_events),
+        "[{tag}] the MAIN health log must never see a thread fault"
+    );
+    assert_eq!(
+        pool.sim_elapsed_us, single.sim_elapsed_us,
+        "[{tag}] simulated time must match (recovery is real time, never virtual)"
+    );
+    assert_eq!(pool.crashes, single.crashes, "[{tag}] no crash path for thread faults");
+    assert_eq!(pool.replayed_steps, single.replayed_steps, "[{tag}] no checkpoint rewind either");
+
+    // ---- detection: every consumed fault caught, within its bound ------
+    assert_detections(tag, &schedule, &pool);
+    // Single-thread engines have no pool threads: nothing to detect.
+    assert!(single.thread_detections.is_empty(), "[{tag}] single-thread arms nothing");
+    assert_eq!(single.pool_respawns, 0, "[{tag}] single-thread respawns nothing");
+}
+
+fn assert_detections(tag: &str, schedule: &FaultSchedule, pool: &RunReport) {
+    let armed = schedule.events.iter().filter(|e| e.kind.is_thread_fault()).count();
+    assert_eq!(
+        pool.thread_detections.len(),
+        armed,
+        "[{tag}] every thread-fault event arms exactly one detection record"
+    );
+    assert!(
+        pool.all_thread_faults_detected_within_bound(),
+        "[{tag}] a thread fault missed its latency bound: {:?}",
+        pool.thread_detections
+    );
+    let live: Vec<_> = pool.thread_detections.iter().filter(|d| !d.superseded).collect();
+    for d in &live {
+        assert!(d.detected_at_us.is_some(), "[{tag}] undetected live fault: {d:?}");
+        assert!(
+            d.latency_us.is_some_and(|l| l <= d.bound_us),
+            "[{tag}] latency above bound: {d:?}"
+        );
+    }
+    // Each live detection was resolved by a real recovery; spurious
+    // deadline hits may add more respawns, never fewer.
+    assert!(
+        pool.pool_respawns >= live.len() as u64,
+        "[{tag}] {} live faults but only {} respawns",
+        live.len(),
+        pool.pool_respawns
+    );
+    if !live.is_empty() {
+        assert!(
+            !pool.thread_health_events.is_empty(),
+            "[{tag}] detections must appear on the dedicated thread-health timeline"
+        );
+    }
+}
+
+// ---- hand-authored schedules -------------------------------------------
+
+#[test]
+fn hand_one_of_each_fault_kind_is_bitwise_invisible() {
+    assert_thread_faults_invisible(
+        "one-of-each",
+        HarnessConfig::default_chaos,
+        FaultSchedule::from_events(vec![
+            FaultEvent { step: 1, kind: FaultKind::ThreadPanic { worker: 0 } },
+            FaultEvent { step: 3, kind: FaultKind::ThreadStall { worker: 1 } },
+            FaultEvent { step: 5, kind: FaultKind::ReplyDrop { worker: 0 } },
+        ]),
+    );
+}
+
+#[test]
+fn hand_wide_pool_survives_faults_on_high_workers() {
+    assert_thread_faults_invisible(
+        "wide-w8",
+        wide_cfg(8),
+        FaultSchedule::from_events(vec![
+            FaultEvent { step: 1, kind: FaultKind::ThreadPanic { worker: 3 } },
+            FaultEvent { step: 2, kind: FaultKind::ReplyDrop { worker: 7 } },
+            FaultEvent { step: 3, kind: FaultKind::ThreadStall { worker: 5 } },
+        ]),
+    );
+}
+
+#[test]
+fn hand_thread_faults_compose_with_a_process_crash() {
+    // The crash tears the whole pool down mid-run: recoveries already
+    // caught must still resolve, the fault armed after the rebuild must
+    // still be caught, and the bits must still match the single-thread run
+    // taking the same crash.
+    assert_thread_faults_invisible(
+        "mixed-crash",
+        HarnessConfig::default_chaos,
+        FaultSchedule::from_events(vec![
+            FaultEvent { step: 1, kind: FaultKind::ThreadPanic { worker: 1 } },
+            FaultEvent { step: 3, kind: FaultKind::WorkerCrash },
+            FaultEvent { step: 5, kind: FaultKind::ThreadStall { worker: 0 } },
+        ]),
+    );
+}
+
+// ---- seeded schedules, worker counts 2..=8 -----------------------------
+
+#[test]
+fn seeded_thread_fault_matrix_is_bitwise_invisible() {
+    // Seven seeded schedules spanning every pool width from 2 to 8
+    // workers; `generate_thread_faults` draws all three fault kinds.
+    for seed in 0u64..7 {
+        let gpus = 2 + (seed as u32 % 7); // 2..=8
+        let schedule = FaultSchedule::generate_thread_faults(seed, 5, 3);
+        assert_thread_faults_invisible(&format!("seed{seed}-w{gpus}"), wide_cfg(gpus), schedule);
+    }
+}

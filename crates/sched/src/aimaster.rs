@@ -108,7 +108,7 @@ impl AiMaster {
             (Some(engine), Some(p)) => {
                 self.engine = Some(engine.rescale(p));
             }
-            (Some(engine), None) => {
+            (Some(mut engine), None) => {
                 // Scale to zero: park at a checkpoint.
                 let ckpt = engine.checkpoint();
                 self.parked = Some(ckpt);

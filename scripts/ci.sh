@@ -10,7 +10,8 @@
 #                           fmt → clippy → detlint → taint → concurrency →
 #                           build → test → kernels (builds every
 #                           crates/bench/src/bin/* and smoke-runs the
-#                           per-kernel benches; no gating)
+#                           per-kernel benches; no gating) → thread_faults
+#                           (hand-authored supervised-pool schedules only)
 #
 # Per-stage wall-clock timings are written to results/ci_report.json whether
 # the pipeline passes or fails; the script exits non-zero on the first
@@ -89,6 +90,14 @@ kernels_smoke() {
   ./target/release/bench_gate --smoke --only kernel_
 }
 stage kernels    kernels_smoke
+
+if [ "$MODE" = quick ]; then
+  # Thread-fault smoke: the hand-authored schedules of the supervised-pool
+  # matrix (panic / stall / reply-drop, narrow and wide pools, composed
+  # with a process crash) must stay bitwise-invisible. The full pipeline's
+  # chaos stage runs the same suite plus the seeded matrix.
+  stage thread_faults cargo test -q --offline -p faultsim --test thread_faults hand_
+fi
 
 if [ "$MODE" = full ]; then
   # The chaos matrix: every fault schedule must converge byte-identically

@@ -30,14 +30,18 @@ fn every_declared_barrier_is_verified_or_audited() {
     // exactly-one warning is worker_main, whose canonical order lives in
     // the engine-side drains, not its own body (see the allow's reason).
     let rep = run();
-    let audited: Vec<(&str, &str, u32)> =
-        rep.warnings.iter().map(|w| (w.kind, w.file.as_str(), w.line)).collect();
+    // Match structurally (kind + file + the fn the message names), not by
+    // line number: the pool is allowed to grow without rebaselining this.
     assert_eq!(
-        audited,
-        vec![("barrier-unverified", "crates/core/src/pool.rs", 347)],
+        rep.warnings.len(),
+        1,
         "audited-barrier set drifted:\n{}",
         report::concur_human(&rep)
     );
+    let w = &rep.warnings[0];
+    assert_eq!(w.kind, "barrier-unverified");
+    assert_eq!(w.file, "crates/core/src/pool.rs");
+    assert!(w.message.contains("worker_main"), "warning names the audited barrier: {}", w.message);
 }
 
 #[test]
