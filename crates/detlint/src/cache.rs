@@ -1,0 +1,326 @@
+//! Incremental analysis cache (`--cache-dir`, conventionally
+//! `results/detlint_cache/`).
+//!
+//! Two granularities, both keyed by content, never by mtime:
+//!
+//! * **Whole-run reuse.** A run's *inputs fingerprint* is FNV-1a over the
+//!   config fingerprint plus every `(path, content-hash)` pair — source
+//!   *and* test files, sorted by path. When a later run's fingerprint
+//!   matches, the cached output bytes (stdout, `--out` report, SARIF) are
+//!   replayed wholesale together with the recorded exit status. This is
+//!   the warm-path win CI times: byte-identical by construction, because
+//!   the replay *is* the cold run's bytes.
+//! * **Per-file leaf findings.** The leaf rules are file-local, so their
+//!   findings are additionally cached per file under `files/`, keyed by
+//!   FNV-1a over config fingerprint + path + content. After a single-file
+//!   edit, a leaf run re-analyzes only that file.
+//!
+//! The cross-file modes (taint/concur/accum walk the call graph) cannot
+//! reuse per-file artifacts: any edit can add an edge that reroutes a flow
+//! through an unedited file. Their meta records the call-graph *edge hash*
+//! as the invalidation witness — when it differs, the whole mode recomputes;
+//! there is deliberately no partial path for them.
+//!
+//! Everything lives in plain JSON with hashes as fixed-width hex strings
+//! (the vendored serde shims stay precision-exact that way), so `meta`
+//! files are diffable when debugging a surprise miss. A corrupt or
+//! version-skewed cache entry is a miss, never an error.
+
+use crate::SourceFile;
+use serde::Value;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Bump on any change to the on-disk layout or artifact semantics.
+pub const CACHE_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit, same constants as `core::store::payload_checksum` (the
+/// workspace's one content-hash idiom; dependency-free and deterministic).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fnv1a_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// The whole-run inputs fingerprint: config fingerprint + every
+/// `(path, content-hash)` pair, source and test files alike, sorted by
+/// path so walk order never leaks into the key.
+pub fn inputs_fingerprint(files: &[SourceFile], test_files: &[SourceFile], config_fp: &str) -> u64 {
+    let mut pairs: Vec<(&str, u64)> = files
+        .iter()
+        .chain(test_files.iter())
+        .map(|f| (f.file.as_str(), fnv1a(f.src.as_bytes())))
+        .collect();
+    pairs.sort_unstable();
+    let mut h = fnv1a(config_fp.as_bytes());
+    for (path, ch) in pairs {
+        h = fnv1a_extend(h, path.as_bytes());
+        h = fnv1a_extend(h, &ch.to_le_bytes());
+    }
+    h
+}
+
+/// The call-graph edge hash: FNV-1a over every `caller -> callee-name`
+/// pair, sorted. Recorded in run meta as the invalidation witness for the
+/// cross-file modes.
+pub fn edge_fingerprint(graph: &crate::callgraph::Graph) -> u64 {
+    let mut edges: Vec<String> = graph
+        .edges
+        .iter()
+        .flat_map(|es| es.iter())
+        .map(|e| {
+            format!("{} -> {}", graph.fns[e.caller].qualified(), graph.fns[e.callee].qualified())
+        })
+        .collect();
+    edges.sort_unstable();
+    let mut h = fnv1a(&[]);
+    for e in &edges {
+        h = fnv1a_extend(h, e.as_bytes());
+        h = fnv1a_extend(h, b"\n");
+    }
+    h
+}
+
+/// One replayable cached run.
+pub struct CachedRun {
+    /// Recorded process exit status (0 = clean).
+    pub exit: u8,
+    /// `(name, bytes)` output artifacts in store order.
+    pub artifacts: Vec<(String, Vec<u8>)>,
+}
+
+/// Handle on one cache directory.
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Open (creating) a cache directory.
+    pub fn open(dir: &Path) -> io::Result<Cache> {
+        fs::create_dir_all(dir.join("files"))?;
+        Ok(Cache { dir: dir.to_path_buf() })
+    }
+
+    fn meta_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.meta.json"))
+    }
+
+    fn artifact_path(&self, key: &str, name: &str) -> PathBuf {
+        // Artifact names are fixed short tokens (`stdout`, `report`,
+        // `sarif`), never user paths.
+        self.dir.join(format!("{key}.{name}"))
+    }
+
+    /// Load a whole-run entry if its recorded fingerprint matches
+    /// `inputs`. Any parse failure or missing artifact is a miss.
+    pub fn load_run(&self, key: &str, inputs: u64) -> Option<CachedRun> {
+        let meta = fs::read_to_string(self.meta_path(key)).ok()?;
+        let v: Value = serde_json::from_str(&meta).ok()?;
+        let field_str = |name: &str| match v.get_field(name) {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        if field_str("version")? != CACHE_VERSION.to_string() || field_str("inputs")? != hex(inputs)
+        {
+            return None;
+        }
+        let exit: u8 = field_str("exit")?.parse().ok()?;
+        let Some(Value::Seq(names)) = v.get_field("artifacts") else { return None };
+        let mut artifacts = Vec::new();
+        for n in names {
+            let Value::Str(name) = n else { return None };
+            let bytes = fs::read(self.artifact_path(key, name)).ok()?;
+            artifacts.push((name.clone(), bytes));
+        }
+        Some(CachedRun { exit, artifacts })
+    }
+
+    /// Store a whole-run entry: artifacts first, meta last, so a torn
+    /// write can only produce a miss (meta names an absent artifact),
+    /// never a stale hit.
+    pub fn store_run(
+        &self,
+        key: &str,
+        inputs: u64,
+        edges: u64,
+        exit: u8,
+        artifacts: &[(String, Vec<u8>)],
+    ) -> io::Result<()> {
+        for (name, bytes) in artifacts {
+            fs::write(self.artifact_path(key, name), bytes)?;
+        }
+        let meta = Value::Map(vec![
+            ("version".to_string(), Value::Str(CACHE_VERSION.to_string())),
+            ("inputs".to_string(), Value::Str(hex(inputs))),
+            ("edges".to_string(), Value::Str(hex(edges))),
+            ("exit".to_string(), Value::Str(exit.to_string())),
+            (
+                "artifacts".to_string(),
+                Value::Seq(artifacts.iter().map(|(n, _)| Value::Str(n.clone())).collect()),
+            ),
+        ]);
+        fs::write(
+            self.meta_path(key),
+            serde_json::to_string_pretty(&meta).expect("value tree serializes"),
+        )
+    }
+
+    fn file_key(config_fp: &str, path: &str, src: &str) -> u64 {
+        let mut h = fnv1a(config_fp.as_bytes());
+        h = fnv1a_extend(h, path.as_bytes());
+        h = fnv1a_extend(h, src.as_bytes());
+        h
+    }
+
+    /// Cached leaf findings for one file's exact content + config, if any.
+    pub fn load_file_findings(
+        &self,
+        config_fp: &str,
+        path: &str,
+        src: &str,
+    ) -> Option<Vec<crate::Finding>> {
+        let key = hex(Self::file_key(config_fp, path, src));
+        let text = fs::read_to_string(self.dir.join("files").join(format!("{key}.json"))).ok()?;
+        let v: Value = serde_json::from_str(&text).ok()?;
+        let Value::Seq(items) = v else { return None };
+        let mut out = Vec::new();
+        for item in &items {
+            let get = |name: &str| match item.get_field(name) {
+                Some(Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            };
+            // `rule`/`level` round-trip through the catalog so the
+            // in-memory `&'static str` invariant holds; an unknown rule
+            // (catalog changed under us) voids the whole entry.
+            let rule = crate::rules::rule(&get("rule")?)?;
+            out.push(crate::Finding {
+                rule: rule.name,
+                level: rule.level,
+                file: get("file")?,
+                line: get("line")?.parse().ok()?,
+                message: get("message")?,
+            });
+        }
+        Some(out)
+    }
+
+    /// Store one file's leaf findings.
+    pub fn store_file_findings(
+        &self,
+        config_fp: &str,
+        path: &str,
+        src: &str,
+        findings: &[crate::Finding],
+    ) -> io::Result<()> {
+        let key = hex(Self::file_key(config_fp, path, src));
+        let items: Vec<Value> = findings
+            .iter()
+            .map(|f| {
+                Value::Map(vec![
+                    ("rule".to_string(), Value::Str(f.rule.to_string())),
+                    ("level".to_string(), Value::Str(f.level.to_string())),
+                    ("file".to_string(), Value::Str(f.file.clone())),
+                    ("line".to_string(), Value::Str(f.line.to_string())),
+                    ("message".to_string(), Value::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        fs::write(
+            self.dir.join("files").join(format!("{key}.json")),
+            serde_json::to_string_pretty(&Value::Seq(items)).expect("value tree serializes"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("detlint-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sf(file: &str, src: &str) -> SourceFile {
+        SourceFile { crate_name: "x".to_string(), file: file.to_string(), src: src.to_string() }
+    }
+
+    #[test]
+    fn fnv_matches_core_store_constants() {
+        // Same test vector family as core::store's checksum test.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn inputs_fingerprint_is_order_independent_but_content_sensitive() {
+        let a = sf("a.rs", "fn a() {}");
+        let b = sf("b.rs", "fn b() {}");
+        let fwd = inputs_fingerprint(&[a.clone(), b.clone()], &[], "cfg");
+        let rev = inputs_fingerprint(&[b.clone(), a.clone()], &[], "cfg");
+        assert_eq!(fwd, rev);
+        let edited =
+            inputs_fingerprint(&[a.clone(), sf("b.rs", "fn b() { let _x = 1; }")], &[], "cfg");
+        assert_ne!(fwd, edited);
+        assert_ne!(fwd, inputs_fingerprint(&[a.clone(), b.clone()], &[], "cfg2"));
+        // Test files are part of the key (oracle evidence feeds accum).
+        assert_ne!(fwd, inputs_fingerprint(&[a, b], &[sf("t.rs", "#[test] fn t() {}")], "cfg"));
+    }
+
+    #[test]
+    fn run_round_trip_replays_bytes_and_exit() {
+        let dir = tmpdir("run");
+        let cache = Cache::open(&dir).unwrap();
+        let artifacts = vec![
+            ("stdout".to_string(), b"hello\n".to_vec()),
+            ("sarif".to_string(), b"{}".to_vec()),
+        ];
+        cache.store_run("all", 42, 7, 1, &artifacts).unwrap();
+        let hit = cache.load_run("all", 42).expect("hit on same inputs");
+        assert_eq!(hit.exit, 1);
+        assert_eq!(hit.artifacts, artifacts);
+        assert!(cache.load_run("all", 43).is_none(), "different inputs miss");
+        assert!(cache.load_run("leaf", 42).is_none(), "different key misses");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_findings_round_trip_preserves_catalog_identity() {
+        let dir = tmpdir("file");
+        let cache = Cache::open(&dir).unwrap();
+        let findings = vec![crate::Finding {
+            rule: "no-wall-clock",
+            level: "D0",
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 9,
+            message: "m".to_string(),
+        }];
+        cache.store_file_findings("cfg", "crates/x/src/lib.rs", "src", &findings).unwrap();
+        let got = cache.load_file_findings("cfg", "crates/x/src/lib.rs", "src").unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "no-wall-clock");
+        assert_eq!(got[0].level, "D0");
+        assert_eq!(got[0].line, 9);
+        assert!(cache.load_file_findings("cfg", "crates/x/src/lib.rs", "src2").is_none());
+        assert!(cache.load_file_findings("cfg2", "crates/x/src/lib.rs", "src").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

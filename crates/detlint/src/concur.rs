@@ -45,10 +45,10 @@
 
 use crate::callgraph::Graph;
 use crate::items;
-use crate::lexer::{self, Tok, TokKind};
-use crate::rules;
+use crate::lexer::{Tok, TokKind};
+use crate::suppress::{phrase, AllowSet, Domain};
 use crate::taint::Hop;
-use crate::{Finding, SourceFile};
+use crate::{Finding, Model, SourceFile};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
@@ -187,33 +187,10 @@ pub struct ConcurReport {
     pub blocking: Vec<BlockingOp>,
 }
 
-/// A concurrency-level suppression comment, with usage accounting.
-struct ConcurAllow {
-    file: String,
-    line: u32,
-    /// The concurrency kind tokens present in the comment.
-    rules: Vec<String>,
-    /// Did the comment list *only* concurrency tokens? Mixed comments share
-    /// usage with other passes, so their staleness is not reported here.
-    pure: bool,
-    /// Inside a skipped `#[cfg(test)]` region (inert by construction).
-    in_test: bool,
-    used: bool,
-}
-
-/// Mark-and-test: does an allow cover `(file, line)` for `kind`?
-fn allow_blocks(allows: &mut [ConcurAllow], file: &str, line: u32, kind: &str) -> bool {
-    let mut blocked = false;
-    for a in allows.iter_mut() {
-        if a.file == file
-            && (a.line == line || a.line + 1 == line)
-            && a.rules.iter().any(|r| r == kind)
-        {
-            a.used = true;
-            blocked = true;
-        }
-    }
-    blocked
+/// Mark-and-test against the shared suppression ledger: does an allow
+/// cover `(file, line)` for `kind`?
+fn allow_blocks(allows: &mut AllowSet, file: &str, line: u32, kind: &str) -> bool {
+    allows.consume(file, line, kind)
 }
 
 /// Sort-family methods that count as canonical-order evidence inside a
@@ -426,41 +403,19 @@ fn witness(g: &Graph, parent: &[Option<(usize, u32)>], fn_id: usize, op_line: u3
     rev
 }
 
-/// Run the concurrency analysis over a set of source files. Input order
-/// does not matter — files are sorted internally and the report is
-/// byte-identical under any permutation (pinned by a proptest).
-pub fn analyze_files(files: &[SourceFile], ccfg: &ConcurConfig) -> ConcurReport {
-    let mut order: Vec<&SourceFile> = files.iter().collect();
-    order.sort_by(|a, b| (&a.crate_name, &a.file).cmp(&(&b.crate_name, &b.file)));
-
-    // Per file: lex once, share the stream between the item model, the
-    // event scanner, and the suppression parser.
-    let mut file_items = Vec::new();
+/// Run the concurrency analysis over a prebuilt [`Model`], consuming
+/// suppressions from the shared ledger `allows` (already scanned by the
+/// caller). Stale accounting is the caller's job — the returned report's
+/// `unused_suppressions` is empty.
+pub fn analyze_model(model: &Model, ccfg: &ConcurConfig, allows: &mut AllowSet) -> ConcurReport {
+    // Per file: reuse the model's shared token stream for the event scan.
     let mut events: Vec<Event> = Vec::new();
-    let mut allows: Vec<ConcurAllow> = Vec::new();
-    for sf in &order {
-        let lexed = lexer::lex(&sf.src);
-        file_items.push(items::parse_lexed(&lexed, &sf.crate_name, &sf.file));
-        let test_regions = rules::test_regions_pub(&lexed.toks);
-        let audited = ccfg.audited_channel_files.iter().any(|s| sf.file.ends_with(s.as_str()));
-        events.extend(scan_events(&lexed.toks, &sf.file, audited, ccfg, &test_regions));
-        for (line, rs) in rules::parse_suppressions(&lexed) {
-            let concur_rules: Vec<String> =
-                rs.iter().filter(|r| ALLOW_KINDS.contains(&r.as_str())).cloned().collect();
-            if !concur_rules.is_empty() {
-                allows.push(ConcurAllow {
-                    file: sf.file.clone(),
-                    line,
-                    pure: concur_rules.len() == rs.len(),
-                    in_test: test_regions.iter().any(|&(a, b)| (a..=b).contains(&line)),
-                    rules: concur_rules,
-                    used: false,
-                });
-            }
-        }
+    for mf in &model.files {
+        let audited = ccfg.audited_channel_files.iter().any(|s| mf.file.ends_with(s.as_str()));
+        events.extend(scan_events(&mf.lexed.toks, &mf.file, audited, ccfg, &mf.test_regions));
     }
 
-    let g = Graph::build(file_items);
+    let g = &model.graph;
     let n = g.fns.len();
     let fn_of: Vec<Option<usize>> =
         events.iter().map(|e| items::innermost_fn_at(&g.fns, &e.file, e.line)).collect();
@@ -479,7 +434,7 @@ pub fn analyze_files(files: &[SourceFile], ccfg: &ConcurConfig) -> ConcurReport 
     for e in &events {
         if let EventKind::Drain { binding } = &e.kind {
             if !sealed.contains(&(e.file.as_str(), binding.as_str()))
-                && !allow_blocks(&mut allows, &e.file, e.line, "unsealed-drain")
+                && !allow_blocks(allows, &e.file, e.line, "unsealed-drain")
             {
                 findings.push(ConcurFinding {
                     kind: "unsealed-drain",
@@ -505,7 +460,7 @@ pub fn analyze_files(files: &[SourceFile], ccfg: &ConcurConfig) -> ConcurReport 
                 && s.tok < e.tok
         });
         if let Some((_, s)) = seal {
-            if !allow_blocks(&mut allows, &e.file, e.line, "send-after-seal") {
+            if !allow_blocks(allows, &e.file, e.line, "send-after-seal") {
                 findings.push(ConcurFinding {
                     kind: "send-after-seal",
                     file: e.file.clone(),
@@ -524,7 +479,7 @@ pub fn analyze_files(files: &[SourceFile], ccfg: &ConcurConfig) -> ConcurReport 
         match &e.kind {
             EventKind::Recv { .. } => {
                 let in_drain = fn_of[ei].is_some_and(|f| ccfg.drain_fns.contains(&g.fns[f].name));
-                if !in_drain && !allow_blocks(&mut allows, &e.file, e.line, "order-leak") {
+                if !in_drain && !allow_blocks(allows, &e.file, e.line, "order-leak") {
                     findings.push(ConcurFinding {
                         kind: "order-leak",
                         file: e.file.clone(),
@@ -538,7 +493,7 @@ pub fn analyze_files(files: &[SourceFile], ccfg: &ConcurConfig) -> ConcurReport 
                 }
             }
             EventKind::RawChannel { what }
-                if !allow_blocks(&mut allows, &e.file, e.line, "raw-channel") =>
+                if !allow_blocks(allows, &e.file, e.line, "raw-channel") =>
             {
                 findings.push(ConcurFinding {
                     kind: "raw-channel",
@@ -627,7 +582,7 @@ pub fn analyze_files(files: &[SourceFile], ccfg: &ConcurConfig) -> ConcurReport 
         .collect();
     if let Some(ew) = engine_waits.first() {
         for w in &worker_waits {
-            if allow_blocks(&mut allows, &w.file, w.line, "blocking-cycle") {
+            if allow_blocks(allows, &w.file, w.line, "blocking-cycle") {
                 continue;
             }
             findings.push(ConcurFinding {
@@ -645,8 +600,8 @@ pub fn analyze_files(files: &[SourceFile], ccfg: &ConcurConfig) -> ConcurReport 
                     ew.line
                 ),
                 paths: vec![
-                    witness(&g, &engine_par, ew.fn_id, ew.line),
-                    witness(&g, &worker_par, w.fn_id, w.line),
+                    witness(g, &engine_par, ew.fn_id, ew.line),
+                    witness(g, &worker_par, w.fn_id, w.line),
                 ],
             });
         }
@@ -737,7 +692,7 @@ pub fn analyze_files(files: &[SourceFile], ccfg: &ConcurConfig) -> ConcurReport 
             continue; // one finding per unordered pair
         }
         let Some(rev) = pairs.get(&(b.clone(), a.clone())) else { continue };
-        if allow_blocks(&mut allows, &w.file_a, w.line_a, "lock-inversion") {
+        if allow_blocks(allows, &w.file_a, w.line_a, "lock-inversion") {
             continue;
         }
         findings.push(ConcurFinding {
@@ -794,7 +749,7 @@ pub fn analyze_files(files: &[SourceFile], ccfg: &ConcurConfig) -> ConcurReport 
             continue;
         }
         let f = &g.fns[s];
-        if allow_blocks(&mut allows, &f.file, f.line, "barrier-unverified") {
+        if allow_blocks(allows, &f.file, f.line, "barrier-unverified") {
             warnings.push(ConcurFinding {
                 kind: "barrier-unverified",
                 file: f.file.clone(),
@@ -825,26 +780,10 @@ pub fn analyze_files(files: &[SourceFile], ccfg: &ConcurConfig) -> ConcurReport 
     findings.sort_by(|a, b| (&a.file, a.line, a.kind).cmp(&(&b.file, b.line, b.kind)));
     warnings.sort_by(|a, b| (&a.file, a.line, a.kind).cmp(&(&b.file, b.line, b.kind)));
 
-    let unused_suppressions: Vec<Finding> = allows
-        .iter()
-        .filter(|a| a.pure && !a.used && !a.in_test)
-        .map(|a| Finding {
-            rule: "unused-suppression",
-            level: "meta",
-            file: a.file.clone(),
-            line: a.line,
-            message: format!(
-                "`detlint::allow({})` blocked no concurrency finding; delete the stale \
-                 suppression or fix its kind list",
-                a.rules.join(", ")
-            ),
-        })
-        .collect();
-
     ConcurReport {
         findings,
         warnings,
-        unused_suppressions,
+        unused_suppressions: Vec::new(),
         worker_fns: (0..n).filter(|&i| worker_vis[i]).map(|i| g.fns[i].qualified()).collect(),
         engine_fns: (0..n)
             .filter(|&i| engine_vis[i] && !worker_vis[i])
@@ -862,6 +801,26 @@ pub fn analyze_files(files: &[SourceFile], ccfg: &ConcurConfig) -> ConcurReport 
             })
             .collect(),
     }
+}
+
+/// [`analyze_model`] with a private suppression ledger: scan every file's
+/// allows, run the passes, and report concurrency-only stale allows.
+pub fn analyze_model_standalone(model: &Model, ccfg: &ConcurConfig) -> ConcurReport {
+    let mut allows = AllowSet::new();
+    for mf in &model.files {
+        allows.scan_file(&mf.lexed, &mf.file, &mf.test_regions);
+    }
+    let mut rep = analyze_model(model, ccfg, &mut allows);
+    rep.unused_suppressions = allows.stale(&[Domain::Concur], false, phrase::CONCUR);
+    rep
+}
+
+/// Run the concurrency analysis over a set of source files with a private
+/// suppression ledger. Input order does not matter — files are sorted
+/// internally and the report is byte-identical under any permutation
+/// (pinned by a proptest).
+pub fn analyze_files(files: &[SourceFile], ccfg: &ConcurConfig) -> ConcurReport {
+    analyze_model_standalone(&crate::build_model(files, &[]), ccfg)
 }
 
 /// [`analyze_files`] over every `crates/*/src/**/*.rs` under `root`.

@@ -183,6 +183,18 @@ pub fn lex(src: &str) -> Lexed {
         }
         // Numbers.
         if c.is_ascii_digit() {
+            // Radix-prefixed literals (`0x1e5`, `0o77`, `0b1010`) are always
+            // integers: the digits may contain `e`/`E` (hex) but never an
+            // exponent, so the float scanner below must not see them.
+            if c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'X' | 'o' | 'O' | 'b' | 'B') {
+                let mut j = i + 2;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.toks.push(Tok { kind: TokKind::Int, text: b[i..j].iter().collect(), line });
+                i = j;
+                continue;
+            }
             let mut j = i + 1;
             let mut float = false;
             while j < n {
@@ -324,6 +336,34 @@ mod tests {
                 TokKind::Int,
             ]
         );
+    }
+
+    #[test]
+    fn radix_prefixed_literals_are_ints_even_with_hex_e_digits() {
+        // Regression: the exponent scanner used to fire inside hex literals —
+        // `0x1e5` has `e` followed by a digit, which misclassified the token
+        // as a Float (and `no-float-key-sort`-style heuristics downstream saw
+        // phantom floats in checksum constants like 0xcbf29ce484222325).
+        let l = lex("0x1e5 0xE5 0xcbf29ce484222325 0o17 0b1010 0xffu64 0b1_0e1");
+        let nums: Vec<_> =
+            l.toks.iter().filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float)).collect();
+        assert_eq!(nums.len(), 7, "{:?}", l.toks);
+        for t in &nums {
+            assert_eq!(t.kind, TokKind::Int, "`{}` must lex as an integer", t.text);
+        }
+        assert_eq!(nums[2].text, "0xcbf29ce484222325", "prefix literal stays one token");
+    }
+
+    #[test]
+    fn decimal_floats_stay_single_float_tokens() {
+        // The shapes the radix fix must not disturb: separators, exponents
+        // (signed and bare), and typed suffixes all stay one Float token.
+        for src in ["1_000.0", "1e-6", "2.5E3", "1.0e-6f32"] {
+            let l = lex(src);
+            assert_eq!(l.toks.len(), 1, "`{src}` lexed as {:?}", l.toks);
+            assert_eq!(l.toks[0].kind, TokKind::Float, "`{src}` must be a Float");
+            assert_eq!(l.toks[0].text, src);
+        }
     }
 
     #[test]

@@ -14,12 +14,16 @@
 //! rendered as human text or JSON ([`report`]), and are suppressed per-site
 //! with `// detlint::allow(rule): reason` comments.
 
+pub mod accum;
+pub mod cache;
 pub mod callgraph;
 pub mod concur;
 pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod suppress;
 pub mod taint;
 
 use std::path::Path;
@@ -173,6 +177,173 @@ pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<Findi
     }
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(findings)
+}
+
+/// Read every integration-test file — `crates/*/tests/**/*.rs` plus the
+/// workspace-level `tests/*.rs` — in sorted order. Test files are not
+/// linted; they are *evidence* for the oracle-pairing pass (a kernel and
+/// its `_scalar` sibling must be exercised together by at least one test)
+/// and part of the cache's inputs fingerprint.
+pub fn workspace_test_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<std::path::PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut out = Vec::new();
+    let push_dir = |dir: &Path, crate_name: &str, out: &mut Vec<SourceFile>| {
+        if !dir.is_dir() {
+            return;
+        }
+        let mut files = Vec::new();
+        collect_rs(dir, &mut files);
+        files.sort();
+        for path in files {
+            let Ok(src) = std::fs::read_to_string(&path) else { continue };
+            let rel = path.strip_prefix(root).unwrap_or(&path).display().to_string();
+            out.push(SourceFile { crate_name: crate_name.to_string(), file: rel, src });
+        }
+    };
+    for dir in crate_dirs {
+        let crate_name = match dir.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        push_dir(&dir.join("tests"), &crate_name, &mut out);
+    }
+    push_dir(&root.join("tests"), "tests", &mut out);
+    Ok(out)
+}
+
+/// One analyzed file inside a [`Model`]: lexed exactly once, with its
+/// `#[cfg(test)]` regions precomputed, shared by every mode.
+#[derive(Debug)]
+pub struct ModelFile {
+    /// Directory name under `crates/`.
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// File contents (cache fingerprinting).
+    pub src: String,
+    /// The token stream + comments.
+    pub lexed: lexer::Lexed,
+    /// `#[cfg(test)] mod … { … }` line ranges.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+/// The shared analysis model: every mode (leaf/taint/concur/accum) runs
+/// off one lex + one item parse + one call graph, instead of each
+/// rebuilding its own. Files are sorted at build time, so downstream
+/// output never depends on the caller's visit order.
+#[derive(Debug)]
+pub struct Model {
+    /// Analyzed source files, sorted by `(crate, file)`.
+    pub files: Vec<ModelFile>,
+    /// Integration-test files (oracle evidence), sorted by `(crate, file)`.
+    pub test_files: Vec<SourceFile>,
+    /// The cross-crate call graph over `files`.
+    pub graph: callgraph::Graph,
+}
+
+/// Build the shared model: one lex, one item parse, one graph.
+pub fn build_model(files: &[SourceFile], test_files: &[SourceFile]) -> Model {
+    let mut sorted: Vec<SourceFile> = files.to_vec();
+    sorted.sort_by(|a, b| (&a.crate_name, &a.file).cmp(&(&b.crate_name, &b.file)));
+    let mut model_files = Vec::with_capacity(sorted.len());
+    let mut file_items = Vec::with_capacity(sorted.len());
+    for sf in sorted {
+        let lexed = lexer::lex(&sf.src);
+        let test_regions = rules::test_regions_pub(&lexed.toks);
+        file_items.push(items::parse_lexed(&lexed, &sf.crate_name, &sf.file));
+        model_files.push(ModelFile {
+            crate_name: sf.crate_name,
+            file: sf.file,
+            src: sf.src,
+            lexed,
+            test_regions,
+        });
+    }
+    let mut tests: Vec<SourceFile> = test_files.to_vec();
+    tests.sort_by(|a, b| (&a.crate_name, &a.file).cmp(&(&b.crate_name, &b.file)));
+    Model { files: model_files, test_files: tests, graph: callgraph::Graph::build(file_items) }
+}
+
+/// Every mode's report off one model build (`--all`).
+#[derive(Debug)]
+pub struct AllReport {
+    /// Leaf findings, with the *unified* stale-allow accounting appended:
+    /// in `--all` an allow is judged against every mode at once, so the
+    /// per-mode reports carry empty `unused_suppressions` and the single
+    /// ledger's verdict lands here.
+    pub leaf: Vec<Finding>,
+    /// Taint flows.
+    pub taint: taint::TaintReport,
+    /// Concurrency findings/warnings.
+    pub concur: concur::ConcurReport,
+    /// Accumulation findings + loop/oracle inventories.
+    pub accum: accum::AccumReport,
+}
+
+impl AllReport {
+    /// Does any mode carry a blocking finding?
+    pub fn is_clean(&self) -> bool {
+        self.leaf.is_empty()
+            && self.taint.flows.is_empty()
+            && self.concur.findings.is_empty()
+            && self.concur.unused_suppressions.is_empty()
+            && self.taint.unused_suppressions.is_empty()
+            && self.accum.findings.is_empty()
+            && self.accum.unused_suppressions.is_empty()
+    }
+}
+
+/// Run all four modes over one shared model and one shared allow ledger.
+pub fn analyze_model_all(
+    model: &Model,
+    cfg: &Config,
+    tcfg: &taint::TaintConfig,
+    ccfg: &concur::ConcurConfig,
+    acfg: &accum::AccumConfig,
+) -> AllReport {
+    let mut allows = suppress::AllowSet::new();
+    for mf in &model.files {
+        let regions: &[(u32, u32)] = if cfg.skip_test_code { &mf.test_regions } else { &[] };
+        allows.scan_file(&mf.lexed, &mf.file, regions);
+    }
+    let mut leaf = Vec::new();
+    for mf in &model.files {
+        leaf.extend(rules::check_file_with(&mf.lexed, &mf.crate_name, &mf.file, cfg, &mut allows));
+    }
+    let taint = taint::analyze_model(model, tcfg, &mut allows);
+    let concur = concur::analyze_model(model, ccfg, &mut allows);
+    let accum = accum::analyze_model(model, acfg, &mut allows);
+    // One ledger, one verdict: a token consumed by *any* mode is used; an
+    // allow is stale only when no mode consumed it.
+    use suppress::Domain;
+    leaf.extend(allows.stale(
+        &[Domain::Leaf, Domain::Taint, Domain::Concur, Domain::Accum],
+        true,
+        suppress::phrase::ALL,
+    ));
+    leaf.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    AllReport { leaf, taint, concur, accum }
+}
+
+/// [`analyze_model_all`] over the workspace at `root`.
+pub fn analyze_workspace_all(
+    root: &Path,
+    cfg: &Config,
+    tcfg: &taint::TaintConfig,
+    ccfg: &concur::ConcurConfig,
+    acfg: &accum::AccumConfig,
+) -> std::io::Result<AllReport> {
+    let files = workspace_sources(root)?;
+    let test_files = workspace_test_sources(root)?;
+    let model = build_model(&files, &test_files);
+    Ok(analyze_model_all(&model, cfg, tcfg, ccfg, acfg))
 }
 
 /// Recursively collect `.rs` files under `dir`.

@@ -2,6 +2,7 @@
 //! (`{"count": N, "findings": [{file, line, rule, level, message}…]}`) for
 //! tooling to consume.
 
+use crate::accum::AccumReport;
 use crate::concur::{ConcurFinding, ConcurReport};
 use crate::taint::TaintReport;
 use crate::Finding;
@@ -246,9 +247,119 @@ pub fn concur_json(r: &ConcurReport) -> String {
     serde_json::to_string_pretty(&root).expect("value tree serializes")
 }
 
+/// Human rendering of an accumulation report: findings with their span
+/// witnesses, stale suppressions, then a summary line.
+pub fn accum_human(r: &AccumReport) -> String {
+    let mut out = String::new();
+    for f in &r.findings {
+        out.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.kind, f.message));
+        for sp in &f.spans {
+            out.push_str(&format!("  {} ({}:{})\n", sp.label, sp.file, sp.line));
+        }
+    }
+    for s in &r.unused_suppressions {
+        out.push_str(&format!("{}:{}: [{}/{}] {}\n", s.file, s.line, s.rule, s.level, s.message));
+    }
+    if r.findings.is_empty() && r.unused_suppressions.is_empty() {
+        out.push_str(&format!(
+            "detlint-accum: no findings ({} loop(s) classified, {} oracle check(s))\n",
+            r.loops.len(),
+            r.oracles.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "detlint-accum: {} finding(s), {} loop(s) classified, {} oracle check(s), \
+             {} unused suppression(s)\n",
+            r.findings.len(),
+            r.loops.len(),
+            r.oracles.len(),
+            r.unused_suppressions.len()
+        ));
+    }
+    out
+}
+
+/// Pretty-printed JSON accumulation report (`{"count": N, "findings": […],
+/// "loops": […], "oracles": […], "unused_suppressions": […]}`).
+pub fn accum_json(r: &AccumReport) -> String {
+    let findings: Vec<Value> = r
+        .findings
+        .iter()
+        .map(|f| {
+            let spans: Vec<Value> = f
+                .spans
+                .iter()
+                .map(|sp| {
+                    Value::Map(vec![
+                        ("file".to_string(), Value::Str(sp.file.clone())),
+                        ("line".to_string(), Value::U64(u64::from(sp.line))),
+                        ("label".to_string(), Value::Str(sp.label.clone())),
+                    ])
+                })
+                .collect();
+            Value::Map(vec![
+                ("kind".to_string(), Value::Str(f.kind.to_string())),
+                ("file".to_string(), Value::Str(f.file.clone())),
+                ("line".to_string(), Value::U64(u64::from(f.line))),
+                ("message".to_string(), Value::Str(f.message.clone())),
+                ("spans".to_string(), Value::Seq(spans)),
+            ])
+        })
+        .collect();
+    let loops: Vec<Value> = r
+        .loops
+        .iter()
+        .map(|l| {
+            Value::Map(vec![
+                ("file".to_string(), Value::Str(l.file.clone())),
+                ("line".to_string(), Value::U64(u64::from(l.line))),
+                ("fn".to_string(), Value::Str(l.func.clone())),
+                ("class".to_string(), Value::Str(l.class.to_string())),
+                (
+                    "accumulators".to_string(),
+                    Value::Seq(l.accumulators.iter().map(|a| Value::Str(a.clone())).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let oracles: Vec<Value> = r
+        .oracles
+        .iter()
+        .map(|o| {
+            Value::Map(vec![
+                ("kernel".to_string(), Value::Str(o.kernel.clone())),
+                ("file".to_string(), Value::Str(o.file.clone())),
+                ("line".to_string(), Value::U64(u64::from(o.line))),
+                ("scalar_found".to_string(), Value::Bool(o.scalar_found)),
+                ("tested_together".to_string(), Value::Bool(o.tested_together)),
+            ])
+        })
+        .collect();
+    let stale: Vec<Value> = r
+        .unused_suppressions
+        .iter()
+        .map(|s| {
+            Value::Map(vec![
+                ("file".to_string(), Value::Str(s.file.clone())),
+                ("line".to_string(), Value::U64(u64::from(s.line))),
+                ("message".to_string(), Value::Str(s.message.clone())),
+            ])
+        })
+        .collect();
+    let root = Value::Map(vec![
+        ("count".to_string(), Value::U64(r.findings.len() as u64)),
+        ("findings".to_string(), Value::Seq(findings)),
+        ("loops".to_string(), Value::Seq(loops)),
+        ("oracles".to_string(), Value::Seq(oracles)),
+        ("unused_suppressions".to_string(), Value::Seq(stale)),
+    ]);
+    serde_json::to_string_pretty(&root).expect("value tree serializes")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::accum::{AccumFinding, LoopInfo, OracleCheck, Span};
     use crate::concur::BlockingOp;
     use crate::taint::{Flow, Hop};
 
@@ -384,5 +495,59 @@ mod tests {
         assert_eq!(roles.get_field("worker_fns"), Some(&Value::U64(2)));
         let Some(Value::Seq(blocking)) = v.get_field("blocking") else { panic!("blocking array") };
         assert_eq!(blocking[0].get_field("role"), Some(&Value::Str("worker".to_string())));
+    }
+
+    fn sample_accum() -> AccumReport {
+        AccumReport {
+            findings: vec![AccumFinding {
+                kind: "float-reassoc",
+                file: "crates/tensor/src/lib.rs".to_string(),
+                line: 5,
+                message: "reversed merge".to_string(),
+                spans: vec![Span {
+                    file: "crates/tensor/src/lib.rs".to_string(),
+                    line: 9,
+                    label: "merge".to_string(),
+                }],
+            }],
+            loops: vec![LoopInfo {
+                file: "crates/tensor/src/lib.rs".to_string(),
+                line: 5,
+                func: "tensor::sum".to_string(),
+                class: "reassoc",
+                accumulators: vec!["acc".to_string()],
+            }],
+            oracles: vec![OracleCheck {
+                kernel: "dot".to_string(),
+                file: "crates/tensor/src/ops.rs".to_string(),
+                line: 3,
+                scalar_found: true,
+                tested_together: true,
+            }],
+            unused_suppressions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn accum_human_shows_spans_and_summary() {
+        let text = accum_human(&sample_accum());
+        assert!(text.contains("crates/tensor/src/lib.rs:5: [float-reassoc] reversed merge"));
+        assert!(text.contains("  merge (crates/tensor/src/lib.rs:9)"));
+        assert!(text.contains("1 finding(s), 1 loop(s) classified, 1 oracle check(s)"));
+        assert!(accum_human(&AccumReport::default()).contains("no findings"));
+    }
+
+    #[test]
+    fn accum_json_round_trips_the_shape() {
+        let text = accum_json(&sample_accum());
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.get_field("count"), Some(&Value::U64(1)));
+        let Some(Value::Seq(fs)) = v.get_field("findings") else { panic!("findings array") };
+        let Some(Value::Seq(spans)) = fs[0].get_field("spans") else { panic!("spans array") };
+        assert_eq!(spans[0].get_field("label"), Some(&Value::Str("merge".to_string())));
+        let Some(Value::Seq(loops)) = v.get_field("loops") else { panic!("loops array") };
+        assert_eq!(loops[0].get_field("class"), Some(&Value::Str("reassoc".to_string())));
+        let Some(Value::Seq(oracles)) = v.get_field("oracles") else { panic!("oracles array") };
+        assert_eq!(oracles[0].get_field("scalar_found"), Some(&Value::Bool(true)));
     }
 }

@@ -96,9 +96,9 @@ impl Ctx<'_> {
     }
 }
 
-/// Run every applicable rule over one lexed file. `crate_name` is the
-/// directory name under `crates/` (e.g. `core`, `sched`).
-pub fn check_file(lexed: &Lexed, crate_name: &str, file: &str, cfg: &Config) -> Vec<Finding> {
+/// Run the detectors only — no suppression handling. Both ledgered entry
+/// points layer allow-consumption on top of this.
+fn detect(lexed: &Lexed, crate_name: &str, file: &str, cfg: &Config) -> Vec<Finding> {
     let toks = &lexed.toks;
     let ctx = Ctx {
         toks,
@@ -125,79 +125,54 @@ pub fn check_file(lexed: &Lexed, crate_name: &str, file: &str, cfg: &Config) -> 
     if deterministic {
         no_float_key_sort(&ctx, cfg, &mut findings);
     }
+    findings
+}
 
-    // Apply suppressions: `// detlint::allow(rule[, rule…]): reason` on the
-    // finding's own line or the line directly above suppresses exactly the
-    // named rules. Each comment tracks whether it suppressed anything.
-    let allows = parse_suppressions(lexed);
-    let mut used = vec![false; allows.len()];
-    findings.retain(|f| {
-        let mut keep = true;
-        for (k, (line, rules)) in allows.iter().enumerate() {
-            if (*line == f.line || *line + 1 == f.line) && rules.iter().any(|r| r == f.rule) {
-                used[k] = true;
-                keep = false;
-            }
-        }
-        keep
-    });
-
-    // Stale-audit hygiene: an allow that suppressed nothing is itself a
-    // finding, so dead suppressions cannot accumulate. Taint-level allows
-    // (`taint`, `taint-<kind>`) and concurrency-kind allows are owned by
-    // their passes, which do their own usage accounting; allows inside
-    // skipped test regions are inert by construction and not worth
-    // reporting.
+/// Run every applicable rule over one lexed file. `crate_name` is the
+/// directory name under `crates/` (e.g. `core`, `sched`).
+///
+/// Suppressions go through a file-local [`crate::suppress::AllowSet`]
+/// ledger: `// detlint::allow(rule[, rule…]): reason` on the finding's own
+/// line or the line directly above suppresses exactly the named rules, and
+/// an allow that suppressed nothing is itself a finding (stale-audit
+/// hygiene). Allows owned by other passes (taint/concur/accum tokens) are
+/// excluded by the domain scoping inside [`crate::suppress::AllowSet::stale`];
+/// a shared-ledger caller uses [`check_file_with`] instead and does the
+/// accounting across every mode at once.
+pub fn check_file(lexed: &Lexed, crate_name: &str, file: &str, cfg: &Config) -> Vec<Finding> {
+    let mut findings = detect(lexed, crate_name, file, cfg);
+    let mut allows = crate::suppress::AllowSet::new();
+    let regions = if cfg.skip_test_code { test_regions(&lexed.toks) } else { Vec::new() };
+    allows.scan_file(lexed, file, &regions);
+    findings.retain(|f| !allows.consume(file, f.line, f.rule));
     if cfg.report_unused_suppressions {
-        for (k, (line, rules)) in allows.iter().enumerate() {
-            if used[k]
-                || rules.iter().any(|r| {
-                    r == "taint"
-                        || r.starts_with("taint-")
-                        || crate::concur::ALLOW_KINDS.contains(&r.as_str())
-                })
-                || (cfg.skip_test_code && ctx.in_test(*line))
-            {
-                continue;
-            }
-            findings.push(ctx.finding(
-                "unused-suppression",
-                *line,
-                format!(
-                    "`detlint::allow({})` matches no finding on this or the next line; \
-                     delete the stale suppression or fix its rule list",
-                    rules.join(", ")
-                ),
-            ));
-        }
+        findings.extend(allows.stale(
+            &[crate::suppress::Domain::Leaf],
+            true,
+            crate::suppress::phrase::LEAF,
+        ));
     }
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
 }
 
-/// Extract `(line, [rule…])` suppressions from line comments. Only a
-/// comment that *is* a suppression counts — `detlint::allow(` must open the
-/// comment (standalone or trailing); prose that merely mentions the syntax
-/// (doc comments, this very sentence) is ignored.
-pub(crate) fn parse_suppressions(lexed: &Lexed) -> Vec<(u32, Vec<String>)> {
-    let mut out = Vec::new();
-    for (line, text) in &lexed.comments {
-        let trimmed = text.trim_start();
-        if !trimmed.starts_with("detlint::allow(") {
-            continue;
-        }
-        let rest = &trimmed["detlint::allow(".len()..];
-        let Some(close) = rest.find(')') else { continue };
-        let rules: Vec<String> = rest[..close]
-            .split(',')
-            .map(|s| s.trim().to_string())
-            .filter(|s| !s.is_empty())
-            .collect();
-        if !rules.is_empty() {
-            out.push((*line, rules));
-        }
-    }
-    out
+/// [`check_file`] against a *shared* allow ledger (`--all`): detectors run
+/// and consume from `allows` — including for the findings they suppress,
+/// so the unified accounting sees the usage — while the caller owns both
+/// the per-file scans and the cross-mode stale verdict.
+pub fn check_file_with(
+    lexed: &Lexed,
+    crate_name: &str,
+    file: &str,
+    cfg: &Config,
+    allows: &mut crate::suppress::AllowSet,
+) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = detect(lexed, crate_name, file, cfg)
+        .into_iter()
+        .filter(|f| !allows.consume(file, f.line, f.rule))
+        .collect();
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
 }
 
 /// [`test_regions`] for sibling modules (the item model marks test fns).

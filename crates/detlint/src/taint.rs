@@ -23,11 +23,10 @@
 //! nothing are reported as `unused-suppression` findings, same as the
 //! rule-level stale-audit hygiene.
 
-use crate::callgraph::Graph;
 use crate::items;
-use crate::lexer;
 use crate::rules;
-use crate::{Config, Finding, SourceFile};
+use crate::suppress::{phrase, AllowSet, Domain};
+use crate::{Config, Finding, Model, SourceFile};
 use std::collections::VecDeque;
 use std::path::Path;
 
@@ -156,88 +155,37 @@ pub struct TaintReport {
     pub unused_suppressions: Vec<Finding>,
 }
 
-/// A taint-level suppression comment, with usage accounting.
-struct TaintAllow {
-    file: String,
-    line: u32,
-    /// The taint tokens (`taint`, `taint-wall-clock`, …).
-    rules: Vec<String>,
-    /// Did the comment list *only* taint tokens? Mixed comments share
-    /// usage with the rule pass, which this pass cannot see, so their
-    /// staleness is not reported here.
-    pure: bool,
-    /// Inside a skipped `#[cfg(test)]` region (inert by construction).
-    in_test: bool,
-    used: bool,
-}
-
-impl TaintAllow {
-    /// Does this allow cover a site at `line` for a flow of `kind`?
-    fn covers(&self, line: u32, kind: &str) -> bool {
-        (self.line == line || self.line + 1 == line)
-            && self.rules.iter().any(|r| r == "taint" || r == &format!("taint-{kind}"))
-    }
-}
-
 /// Block propagation at `(file, line)` for `kind` if an allow covers it,
-/// marking the allow used.
-fn allow_blocks(allows: &mut [TaintAllow], file: &str, line: u32, kind: &str) -> bool {
-    let mut blocked = false;
-    for a in allows.iter_mut() {
-        if a.file == file && a.covers(line, kind) {
-            a.used = true;
-            blocked = true;
-        }
-    }
-    blocked
+/// marking the allow used in the shared ledger.
+fn allow_blocks(allows: &mut AllowSet, file: &str, line: u32, kind: &str) -> bool {
+    allows.consume_taint(file, line, kind)
 }
 
-/// Run the taint analysis over a set of source files. Input order does not
-/// matter — files are sorted internally, and the result is byte-identical
-/// under any permutation (pinned by a proptest).
-pub fn analyze_files(files: &[SourceFile], tcfg: &TaintConfig) -> TaintReport {
-    let mut order: Vec<&SourceFile> = files.iter().collect();
-    order.sort_by(|a, b| (&a.crate_name, &a.file).cmp(&(&b.crate_name, &b.file)));
-
-    let mut crate_names: Vec<String> = order.iter().map(|f| f.crate_name.clone()).collect();
+/// Run the taint analysis over a pre-built model, recording allow
+/// consumption in `allows`. Stale accounting is the caller's job (the
+/// single-mode wrapper scopes it to [`Domain::Taint`]; `--all` unifies it).
+pub fn analyze_model(model: &Model, tcfg: &TaintConfig, allows: &mut AllowSet) -> TaintReport {
+    let mut crate_names: Vec<String> = model.files.iter().map(|f| f.crate_name.clone()).collect();
     crate_names.sort();
     crate_names.dedup();
     let permissive = Config::permissive(&crate_names);
 
-    // Pass 1 per file: lex once, share the stream between the item model
-    // (graph nodes), the leaf detectors (sources), and the suppression
-    // parser (taint allows).
-    let mut file_items = Vec::new();
+    // Harvest sources by running the leaf detectors with a permissive
+    // scope. Leaf-level suppressions are honored by `check_file` through a
+    // *local* throwaway ledger — their usage belongs to the leaf pass, not
+    // this one, so the shared ledger stays untouched here.
     let mut raw_sources: Vec<(String, u32, &'static str)> = Vec::new();
-    let mut allows: Vec<TaintAllow> = Vec::new();
-    for sf in &order {
-        let lexed = lexer::lex(&sf.src);
-        file_items.push(items::parse_lexed(&lexed, &sf.crate_name, &sf.file));
-        for f in rules::check_file(&lexed, &sf.crate_name, &sf.file, &permissive) {
+    for mf in &model.files {
+        for f in rules::check_file(&mf.lexed, &mf.crate_name, &mf.file, &permissive) {
             if let Some(kind) = source_kind(f.rule) {
-                raw_sources.push((sf.file.clone(), f.line, kind));
-            }
-        }
-        let test_regions = rules::test_regions_pub(&lexed.toks);
-        for (line, rs) in rules::parse_suppressions(&lexed) {
-            let taint_rules: Vec<String> =
-                rs.iter().filter(|r| *r == "taint" || r.starts_with("taint-")).cloned().collect();
-            if !taint_rules.is_empty() {
-                allows.push(TaintAllow {
-                    file: sf.file.clone(),
-                    line,
-                    pure: taint_rules.len() == rs.len(),
-                    in_test: test_regions.iter().any(|&(a, b)| (a..=b).contains(&line)),
-                    rules: taint_rules,
-                    used: false,
-                });
+                raw_sources.push((mf.file.clone(), f.line, kind));
             }
         }
     }
     raw_sources.sort();
     raw_sources.dedup();
 
-    let g = Graph::build(file_items);
+    let g = &model.graph;
     let n = g.fns.len();
 
     let is_barrier: Vec<bool> = g
@@ -270,7 +218,7 @@ pub fn analyze_files(files: &[SourceFile], tcfg: &TaintConfig) -> TaintReport {
         if g.fns[fn_id].in_test || is_barrier[fn_id] {
             continue; // barrier fns absorb even their own internals
         }
-        if allow_blocks(&mut allows, &file, line, kind) {
+        if allow_blocks(allows, &file, line, kind) {
             continue;
         }
         sources.push(Source { kind, file, line, fn_id });
@@ -289,7 +237,7 @@ pub fn analyze_files(files: &[SourceFile], tcfg: &TaintConfig) -> TaintReport {
                 if visited[c] || is_barrier[c] || g.fns[c].in_test {
                     continue;
                 }
-                if allow_blocks(&mut allows, &g.fns[c].file, e.line, src.kind) {
+                if allow_blocks(allows, &g.fns[c].file, e.line, src.kind) {
                     continue;
                 }
                 visited[c] = true;
@@ -329,7 +277,7 @@ pub fn analyze_files(files: &[SourceFile], tcfg: &TaintConfig) -> TaintReport {
                 if !visited[c] || !tcfg.caller_flow_crates.contains(&g.fns[c].crate_name) {
                     continue;
                 }
-                if allow_blocks(&mut allows, &g.fns[c].file, e.line, src.kind) {
+                if allow_blocks(allows, &g.fns[c].file, e.line, src.kind) {
                     continue;
                 }
                 let mut p = path_to(c);
@@ -365,22 +313,26 @@ pub fn analyze_files(files: &[SourceFile], tcfg: &TaintConfig) -> TaintReport {
         ))
     });
 
-    let unused_suppressions = allows
-        .iter()
-        .filter(|a| a.pure && !a.used && !a.in_test)
-        .map(|a| Finding {
-            rule: "unused-suppression",
-            level: "meta",
-            file: a.file.clone(),
-            line: a.line,
-            message: format!(
-                "`detlint::allow({})` blocked no taint propagation; delete the stale \
-                 suppression or fix its kind list",
-                a.rules.join(", ")
-            ),
-        })
-        .collect();
-    TaintReport { flows, unused_suppressions }
+    TaintReport { flows, unused_suppressions: Vec::new() }
+}
+
+/// [`analyze_model`] with a private suppression ledger: scan every file's
+/// allows, run the pass, and report taint-only stale allows.
+pub fn analyze_model_standalone(model: &Model, tcfg: &TaintConfig) -> TaintReport {
+    let mut allows = AllowSet::new();
+    for mf in &model.files {
+        allows.scan_file(&mf.lexed, &mf.file, &mf.test_regions);
+    }
+    let mut rep = analyze_model(model, tcfg, &mut allows);
+    rep.unused_suppressions = allows.stale(&[Domain::Taint], false, phrase::TAINT);
+    rep
+}
+
+/// Run the taint analysis over a set of source files. Input order does not
+/// matter — files are sorted internally, and the result is byte-identical
+/// under any permutation (pinned by a proptest).
+pub fn analyze_files(files: &[SourceFile], tcfg: &TaintConfig) -> TaintReport {
+    analyze_model_standalone(&crate::build_model(files, &[]), tcfg)
 }
 
 /// [`analyze_files`] over every `crates/*/src/**/*.rs` under `root`.

@@ -1,0 +1,129 @@
+//! The accumulation pass's self-test: a planted mini-workspace under
+//! `tests/accum_fixtures/crates/` seeds every finding kind — four
+//! reassociation shapes (reversed lane merge, in-loop chain merge, chunked
+//! fold, reshaped-iterator fold), the safe lockstep shape, an unpaired
+//! kernel, a paired-but-untested kernel, a fully paired kernel, a used
+//! allow, and a stale allow. The report must match the planted set
+//! *exactly* — kind, file, line — with nothing extra.
+//!
+//! The scratch-copy test then takes the *live* `tensor::kernels` source,
+//! deliberately reassociates `leaf_partials`' lane merge, and checks the
+//! pass catches the edit: the analysis guards the real kernel, not just
+//! fixtures shaped like it.
+
+use detlint::accum::{analyze_files, analyze_workspace_accum, AccumConfig, AccumReport};
+use detlint::SourceFile;
+use std::path::Path;
+
+fn run() -> AccumReport {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/accum_fixtures");
+    analyze_workspace_accum(&root, &AccumConfig::workspace_default()).expect("fixture tree walks")
+}
+
+const LIB: &str = "crates/tensor/src/lib.rs";
+
+#[test]
+fn planted_findings_are_reported_exactly() {
+    let rep = run();
+    let got: Vec<(&str, &str, u32)> =
+        rep.findings.iter().map(|f| (f.kind, f.file.as_str(), f.line)).collect();
+    // `reversed_merge` fires twice on purpose: the post-loop reversed lane
+    // merge (anchored at the loop) and the order-dependent `.rev().sum()`
+    // fold itself (anchored at the fold line) are two independent lenses on
+    // the same defect.
+    let expected: Vec<(&str, &str, u32)> = vec![
+        ("float-reassoc", LIB, 37),
+        ("float-reassoc", LIB, 42),
+        ("float-reassoc", LIB, 50),
+        ("float-reassoc", LIB, 61),
+        ("float-reassoc", LIB, 70),
+        ("oracle-unpaired", LIB, 88),
+        ("oracle-unpaired", LIB, 98),
+    ];
+    assert_eq!(got, expected, "full report:\n{}", detlint::report::accum_human(&rep));
+}
+
+#[test]
+fn messages_and_spans_witness_each_shape() {
+    let rep = run();
+    let find = |line: u32| {
+        rep.findings.iter().find(|f| f.line == line).unwrap_or_else(|| panic!("finding at {line}"))
+    };
+    let reversed = find(37);
+    assert!(reversed.message.contains("reverse index order"), "{}", reversed.message);
+    assert!(
+        reversed.spans.iter().any(|s| s.label == "reversed-merge" && s.line == 42),
+        "{:?}",
+        reversed.spans
+    );
+    let entangled = find(50);
+    assert!(entangled.message.contains("`a` and `b`"), "{}", entangled.message);
+    assert!(
+        entangled.spans.iter().any(|s| s.label == "merge-write" && s.line == 52),
+        "{:?}",
+        entangled.spans
+    );
+    let chunked = find(61);
+    assert!(chunked.message.contains("remainder chunk"), "{}", chunked.message);
+    let reshaped = find(70);
+    assert!(reshaped.message.contains("reshaped by `chunks`"), "{}", reshaped.message);
+    let unpaired = find(88);
+    assert!(unpaired.message.contains("no `blocked_sum_scalar` oracle"), "{}", unpaired.message);
+    let untested = find(98);
+    assert!(untested.message.contains("never exercised together"), "{}", untested.message);
+}
+
+#[test]
+fn loop_inventory_classifies_the_safe_shapes() {
+    let rep = run();
+    let class_at = |line: u32| rep.loops.iter().find(|l| l.line == line).map(|l| l.class);
+    assert_eq!(class_at(10), Some("single-chain"), "{:?}", rep.loops);
+    assert_eq!(class_at(21), Some("lockstep"), "`lanes` must classify lockstep: {:?}", rep.loops);
+}
+
+#[test]
+fn oracle_inventory_and_suppression_accounting_are_exact() {
+    let rep = run();
+    let by_kernel = |k: &str| rep.oracles.iter().find(|o| o.kernel == k);
+    let dot = by_kernel("dot").expect("dot is a subject");
+    assert!(dot.scalar_found && dot.tested_together, "{dot:?}");
+    let blocked = by_kernel("blocked_sum").expect("blocked_sum is a subject");
+    assert!(!blocked.scalar_found, "{blocked:?}");
+    let matmul = by_kernel("matmul").expect("matmul is a subject");
+    assert!(matmul.scalar_found && !matmul.tested_together, "{matmul:?}");
+    // `dot_scalar` / `matmul_scalar` are oracles, never subjects.
+    assert!(by_kernel("dot_scalar").is_none() && by_kernel("matmul_scalar").is_none());
+    // Exactly one stale allow (`inert`); the audited one at the fold counted
+    // as used.
+    assert_eq!(rep.unused_suppressions.len(), 1, "{:?}", rep.unused_suppressions);
+    assert_eq!(rep.unused_suppressions[0].line, 82);
+}
+
+#[test]
+fn deliberately_reassociating_leaf_partials_is_caught() {
+    // Scratch copy of the live kernel source: the unmodified file is clean,
+    // and reversing the lane merge in `leaf_partials` is caught.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let src = std::fs::read_to_string(root.join("crates/tensor/src/kernels.rs"))
+        .expect("live kernels.rs readable");
+    let file = |text: &str| SourceFile {
+        crate_name: "tensor".to_string(),
+        file: "crates/tensor/src/kernels.rs".to_string(),
+        src: text.to_string(),
+    };
+    let acfg = AccumConfig::workspace_default();
+
+    let clean = analyze_files(&[file(&src)], &[], &acfg);
+    let reassoc: Vec<_> = clean.findings.iter().filter(|f| f.kind == "float-reassoc").collect();
+    assert!(reassoc.is_empty(), "live kernels.rs must be reassoc-clean: {reassoc:?}");
+
+    let marker = "partials.extend_from_slice(&acc);";
+    assert_eq!(src.matches(marker).count(), 1, "lane-merge marker must stay unique");
+    let broken = src.replace(marker, "partials.push(acc.iter().rev().sum::<f32>());");
+    let rep = analyze_files(&[file(&broken)], &[], &acfg);
+    assert!(
+        rep.findings.iter().any(|f| f.kind == "float-reassoc"),
+        "reassociated lane merge must be caught:\n{}",
+        detlint::report::accum_human(&rep)
+    );
+}

@@ -1,0 +1,10 @@
+//! The shared oracle test that pairs `dot` with `dot_scalar`: calling
+//! both in one test context is exactly the evidence the accum pass's
+//! oracle sub-pass looks for.
+
+#[test]
+fn dot_matches_scalar_bitwise() {
+    let a = [1.0f32, 2.0, 3.0];
+    let b = [4.0f32, 5.0, 6.0];
+    assert_eq!(dot(&a, &b).to_bits(), dot_scalar(&a, &b).to_bits());
+}

@@ -112,6 +112,7 @@ impl Tensor {
     /// fixed-width lanes so the elementwise update auto-vectorizes without
     /// per-element bounds checks; elementwise means no accumulation order
     /// exists, so the chunking is trivially bitwise-neutral.
+    // detlint::allow(oracle-unpaired): elementwise update, no reduction tree to pair against a scalar oracle; bit behavior is pinned by the optimizer grad-step and checkpoint-replay equality tests
     pub fn axpy_(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
         const LANES: usize = 8;

@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Bench regression gate: run the fixed bench_gate suite, record this PR's
-# medians to BENCH_PR9.json (committed at the repo root), and fail if any
+# medians to BENCH_PR10.json (committed at the repo root), and fail if any
 # bench's median regressed more than the threshold against the prior PR's
 # BENCH_*.json. The gate is two-sided: medians that beat the baseline past
 # the same margin are printed as wins and recorded in the output JSON's
 # `improvements` array. With no prior baseline the gate warns, records,
 # and passes.
 #
-#   scripts/bench_gate.sh [OUT_JSON]            (default: BENCH_PR9.json)
+#   scripts/bench_gate.sh [OUT_JSON]            (default: BENCH_PR10.json)
 #   BENCH_GATE_THRESHOLD=1.15                   (ratio; 1.15 = +15%)
 #
 # Baselines resolve from exactly ONE canonical location: BENCH_PR*.json at
@@ -17,7 +17,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 THRESHOLD="${BENCH_GATE_THRESHOLD:-1.15}"
 
 # Ambiguity check: committed baselines live at the repo root, full stop.

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repo gate: thin wrapper over the quick stages of the CI pipeline
-# (fmt → clippy → detlint → taint → concurrency → build → test). Full
+# (fmt → clippy → detlint [all 4 analyses, cached] → per-mode gates →
+# build → test). Full
 # pipeline, including the faultsim chaos matrix and the bench regression
 # gate: scripts/ci.sh.
 set -euo pipefail
